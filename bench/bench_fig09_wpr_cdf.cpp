@@ -1,0 +1,60 @@
+// Figure 9: CDF of the Workload-Processing Ratio under Formula (3) vs
+// Young's formula, with MNOF/MTBF estimated per priority group.
+// Paper findings: Formula (3) dominates with high probability; ST averages
+// 0.945 vs 0.916, BoT 0.955 vs 0.915; only 7% of ST jobs fall below
+// WPR 0.88 under Formula (3) vs ~20% under Young's; 56.6% of BoT jobs
+// exceed 0.95 vs 46.5%.
+
+#include "bench_common.hpp"
+
+using namespace cloudcr;
+
+int main() {
+  // Statistics are estimated over the *whole* trace (service-class tasks
+  // included) exactly as the paper computes its per-priority MNOF/MTBF
+  // groups; only the short sample jobs are replayed. The inflated
+  // unrestricted MTBF is what misleads Young's formula.
+  const auto full = bench::make_month_trace_full();
+  const auto trace = bench::restrict_length(full,
+                                            bench::kReplayMaxTaskLength);
+  std::cout << "trace: " << trace.job_count() << " replayed sample jobs of "
+            << full.job_count() << " total, " << trace.task_count()
+            << " tasks\n";
+
+  const core::MnofPolicy formula3;
+  const core::YoungPolicy young;
+  const auto grouped = sim::make_grouped_predictor(full);
+
+  const auto res_f3 = bench::replay(trace, formula3, grouped);
+  const auto res_young = bench::replay(trace, young, grouped);
+
+  const auto s_f3 = bench::split_by_structure(res_f3.outcomes);
+  const auto s_young = bench::split_by_structure(res_young.outcomes);
+
+  metrics::print_banner(std::cout, "Figure 9(a): sequential-task jobs");
+  bench::print_wpr_cdf("C/R with Formula (3)", s_f3.st);
+  bench::print_wpr_cdf("C/R with Young's formula", s_young.st);
+
+  metrics::print_banner(std::cout, "Figure 9(b): bag-of-task jobs");
+  bench::print_wpr_cdf("C/R with Formula (3)", s_f3.bot);
+  bench::print_wpr_cdf("C/R with Young's formula", s_young.bot);
+
+  metrics::print_banner(std::cout, "headline numbers");
+  metrics::Table table({"metric", "Formula (3)", "Young"});
+  table.add_row({"avg WPR (ST)", metrics::fmt(metrics::average_wpr(s_f3.st), 3),
+                 metrics::fmt(metrics::average_wpr(s_young.st), 3)});
+  table.add_row({"avg WPR (BoT)",
+                 metrics::fmt(metrics::average_wpr(s_f3.bot), 3),
+                 metrics::fmt(metrics::average_wpr(s_young.bot), 3)});
+  table.add_row({"ST jobs with WPR < 0.88",
+                 metrics::fmt(metrics::fraction_below(s_f3.st, 0.88), 3),
+                 metrics::fmt(metrics::fraction_below(s_young.st, 0.88), 3)});
+  table.add_row({"BoT jobs with WPR > 0.95",
+                 metrics::fmt(metrics::fraction_above(s_f3.bot, 0.95), 3),
+                 metrics::fmt(metrics::fraction_above(s_young.bot, 0.95), 3)});
+  table.print(std::cout);
+
+  std::cout << "paper: ST 0.945 vs 0.916; BoT 0.955 vs 0.915; "
+               "ST<0.88: 7% vs 20%; BoT>0.95: 56.6% vs 46.5%\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Micro-benchmarks (google-benchmark) for the discrete-event substrate: the
+// week-scale replays dispatch ~4e7 events, so queue throughput bounds every
+// experiment's wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/predictors.hpp"
+#include "sim/simulation.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace cloudcr;
+
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(static_cast<double>((i * 7919) % n), [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleDrain)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const std::size_t n = 10000;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(q.schedule(static_cast<double>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) q.cancel(ids[i]);
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_EngineCascade(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < depth) e.schedule_in(1.0, chain);
+    };
+    e.schedule_at(0.0, chain);
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          depth);
+}
+BENCHMARK(BM_EngineCascade)->Arg(10000);
+
+void BM_HourOfCloudSimulation(benchmark::State& state) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = 7;
+  cfg.horizon_s = 3600.0;
+  cfg.arrival_rate = 0.116;
+  const auto trace = trace::TraceGenerator(cfg).generate();
+  const core::MnofPolicy policy;
+  const auto predictor = sim::make_grouped_predictor(trace);
+  for (auto _ : state) {
+    sim::SimConfig scfg;
+    sim::Simulation sim(scfg, policy, predictor);
+    benchmark::DoNotOptimize(sim.run(trace).outcomes.size());
+  }
+}
+BENCHMARK(BM_HourOfCloudSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

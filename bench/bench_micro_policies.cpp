@@ -1,0 +1,95 @@
+// Micro-benchmarks (google-benchmark) for the core policy computations: the
+// per-checkpoint decision path must be cheap enough to run inside a
+// scheduler servicing hundreds of concurrent tasks.
+
+#include <benchmark/benchmark.h>
+
+#include "core/controller.hpp"
+#include "core/expected_cost.hpp"
+#include "core/policy.hpp"
+#include "core/storage_selector.hpp"
+
+namespace {
+
+using namespace cloudcr;
+
+core::PolicyContext make_ctx(double te) {
+  core::PolicyContext ctx;
+  ctx.total_work_s = te;
+  ctx.remaining_work_s = te * 0.7;
+  ctx.checkpoint_cost_s = 1.67;
+  ctx.restart_cost_s = 1.45;
+  ctx.stats = {2.4, 560.0};
+  return ctx;
+}
+
+void BM_MnofPolicyNextInterval(benchmark::State& state) {
+  const core::MnofPolicy policy;
+  const auto ctx = make_ctx(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.next_interval(ctx));
+  }
+}
+BENCHMARK(BM_MnofPolicyNextInterval)->Arg(400)->Arg(4000)->Arg(40000);
+
+void BM_YoungPolicyNextInterval(benchmark::State& state) {
+  const core::YoungPolicy policy;
+  const auto ctx = make_ctx(1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.next_interval(ctx));
+  }
+}
+BENCHMARK(BM_YoungPolicyNextInterval);
+
+void BM_DalyPolicyNextInterval(benchmark::State& state) {
+  const core::DalyPolicy policy;
+  const auto ctx = make_ctx(1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.next_interval(ctx));
+  }
+}
+BENCHMARK(BM_DalyPolicyNextInterval);
+
+void BM_IntegerOptimum(benchmark::State& state) {
+  const core::CostModelInput in{static_cast<double>(state.range(0)), 1.67,
+                                1.45, 3.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimal_interval_count_integer(in));
+  }
+}
+BENCHMARK(BM_IntegerOptimum)->Arg(400)->Arg(40000);
+
+void BM_StorageSelection(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::select_storage(800.0, 160.0, 2.0));
+  }
+}
+BENCHMARK(BM_StorageSelection);
+
+void BM_ControllerConstruction(benchmark::State& state) {
+  const core::MnofPolicy policy;
+  for (auto _ : state) {
+    core::CheckpointController ctl(policy, 800.0, 160.0, {2.0, 500.0},
+                                   core::AdaptationMode::kAdaptive);
+    benchmark::DoNotOptimize(ctl.current_interval());
+  }
+}
+BENCHMARK(BM_ControllerConstruction);
+
+void BM_ControllerCheckpointStep(benchmark::State& state) {
+  const core::MnofPolicy policy;
+  core::CheckpointController ctl(policy, 1e9, 160.0, {20.0, 500.0},
+                                 core::AdaptationMode::kAdaptive);
+  double progress = 0.0;
+  const double step = ctl.current_interval();
+  for (auto _ : state) {
+    progress += step;
+    ctl.on_checkpoint(progress);
+    benchmark::DoNotOptimize(ctl.work_until_next_checkpoint(progress));
+  }
+}
+BENCHMARK(BM_ControllerCheckpointStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

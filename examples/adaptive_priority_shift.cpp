@@ -1,0 +1,102 @@
+// adaptive_priority_shift: a single-task story showing why Algorithm 1
+// recomputes checkpoint positions when MNOF changes (Theorem 2 says it need
+// not otherwise). A calm task is demoted mid-execution into the Google
+// priority-10 churn class (killed every ~40 s); the static plan loses large
+// rollbacks on every kill while the adaptive plan tightens its interval
+// immediately.
+
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "sim/simulation.hpp"
+#include "trace/failure_model.hpp"
+
+using namespace cloudcr;
+
+namespace {
+
+trace::Trace make_story_trace() {
+  // One 1200 s, 160 MB task, submitted at a calm priority (9), demoted to
+  // the stormy priority 10 at half of its productive length. Kill events
+  // come from the calibrated failure model so both runs see the same storm.
+  const auto model = trace::FailureModel::google_calibration();
+  stats::Rng rng(7);
+
+  trace::TaskRecord task;
+  task.length_s = 1200.0;
+  task.memory_mb = 160.0;
+  task.priority = 9;
+  task.priority_change_time = 600.0;
+  task.new_priority = 10;
+  task.failure_dates =
+      model.sample_failure_dates_with_change(9, 10, 600.0, rng);
+
+  trace::JobRecord job;
+  job.id = 1;
+  job.structure = trace::JobStructure::kSequentialTasks;
+  job.arrival_s = 0.0;
+  task.job_id = 1;
+  job.tasks.push_back(task);
+
+  trace::Trace t;
+  t.jobs.push_back(job);
+  t.horizon_s = 86400.0;
+  return t;
+}
+
+// History says: priority 9 is calm, priority 10 is a storm.
+core::FailureStats history(int priority) {
+  return priority == 10 ? core::FailureStats{9.5, 40.0}
+                        : core::FailureStats{0.4, 2000.0};
+}
+
+metrics::JobOutcome run(const trace::Trace& t, core::AdaptationMode mode,
+                        bool follow_current_priority) {
+  const core::MnofPolicy policy;
+  sim::SimConfig cfg;
+  cfg.placement = sim::PlacementMode::kForceShared;  // C ~ 1.7 s at 160 MB
+  cfg.adaptation = mode;
+  sim::Simulation sim(
+      cfg, policy,
+      [follow_current_priority](const trace::TaskRecord& task, int current) {
+        return history(follow_current_priority ? current : task.priority);
+      });
+  const auto res = sim.run(t);
+  return res.outcomes.at(0);
+}
+
+}  // namespace
+
+int main() {
+  const auto t = make_story_trace();
+  std::cout << "task: 1200 s, 160 MB, priority 9 -> 10 at 600 s; "
+            << t.jobs[0].tasks[0].failure_dates.size()
+            << " kill events in its future\n";
+
+  const auto adaptive =
+      run(t, core::AdaptationMode::kAdaptive, /*follow=*/true);
+  const auto fixed = run(t, core::AdaptationMode::kStatic, /*follow=*/false);
+
+  metrics::Table table({"metric", "adaptive (Algorithm 1)", "static plan"});
+  table.add_row({"wall-clock (s)", metrics::fmt(adaptive.wallclock_s, 1),
+                 metrics::fmt(fixed.wallclock_s, 1)});
+  table.add_row({"WPR", metrics::fmt(adaptive.wpr(), 3),
+                 metrics::fmt(fixed.wpr(), 3)});
+  table.add_row({"checkpoints", std::to_string(adaptive.checkpoints),
+                 std::to_string(fixed.checkpoints)});
+  table.add_row({"rollback lost (s)", metrics::fmt(adaptive.rollback_s, 1),
+                 metrics::fmt(fixed.rollback_s, 1)});
+  table.add_row({"checkpoint cost (s)",
+                 metrics::fmt(adaptive.checkpoint_s, 1),
+                 metrics::fmt(fixed.checkpoint_s, 1)});
+  table.add_row({"failures", std::to_string(adaptive.failures),
+                 std::to_string(fixed.failures)});
+  table.print(std::cout);
+
+  std::cout << "\nThe static plan was computed for a calm task (few, long "
+               "intervals);\nonce the storm starts, every kill rolls back to "
+               "a distant checkpoint.\nThe adaptive controller re-plans the "
+               "moment MNOF changes (Algorithm 1\nlines 9-12) and caps each "
+               "loss at half of a much shorter interval.\n";
+  return 0;
+}

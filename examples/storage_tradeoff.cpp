@@ -1,0 +1,80 @@
+// storage_tradeoff: map the Section 4.2.2 decision boundary — when is it
+// cheaper to checkpoint into the VM's local ramdisk (cheap writes, expensive
+// migration-type-A restarts) vs the shared DM-NFS (dearer writes, cheap
+// type-B restarts)?
+//
+// The map sweeps task memory against the expected failure count for a fixed
+// 600 s task: failure-heavy tasks prefer the shared disk (restarts dominate),
+// failure-light tasks prefer the local ramdisk (write costs dominate).
+
+#include <iostream>
+
+#include "core/storage_selector.hpp"
+#include "metrics/report.hpp"
+
+using namespace cloudcr;
+
+int main() {
+  const double work_s = 600.0;
+
+  metrics::print_banner(
+      std::cout, "decision map: rows = memory (MB), cols = E(Y); L = local "
+                 "ramdisk, S = shared DM-NFS");
+  const double eys[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+  metrics::Table map({"mem\\E(Y)", "0.25", "0.5", "1", "2", "4", "8", "16",
+                      "32", "64"});
+  for (double mem : {10.0, 20.0, 40.0, 80.0, 160.0, 240.0}) {
+    std::vector<std::string> row{metrics::fmt(mem, 0)};
+    for (double ey : eys) {
+      const auto d = core::select_storage(work_s, mem, ey);
+      row.emplace_back(
+          d.device == storage::DeviceKind::kLocalRamdisk ? "L" : "S");
+    }
+    map.add_row(std::move(row));
+  }
+  map.print(std::cout);
+
+  metrics::print_banner(std::cout,
+                        "worked example (paper 4.2.2): 200 s, 160 MB, E(Y)=2");
+  const auto d = core::select_storage(200.0, 160.0, 2.0);
+  metrics::Table detail({"device", "C (s)", "R (s)", "X*", "overhead (s)"});
+  detail.add_row({"local ramdisk", metrics::fmt(d.local_cost_s, 3),
+                  metrics::fmt(d.local_restart_s, 2),
+                  std::to_string(d.local_intervals),
+                  metrics::fmt(d.local_overhead_s, 2)});
+  detail.add_row({"shared DM-NFS", metrics::fmt(d.shared_cost_s, 3),
+                  metrics::fmt(d.shared_restart_s, 2),
+                  std::to_string(d.shared_intervals),
+                  metrics::fmt(d.shared_overhead_s, 2)});
+  detail.print(std::cout);
+  std::cout << "chosen: " << storage::device_name(d.device)
+            << "  (paper computes 28.29 vs 37.78 and picks the local "
+               "ramdisk)\n";
+
+  // Crossover curve: the E(Y) at which the shared disk starts winning, per
+  // memory size.
+  metrics::print_banner(std::cout, "crossover E(Y) by memory size (600 s task)");
+  metrics::Table cross({"memory (MB)", "shared wins at E(Y) >="});
+  for (double mem : {10.0, 40.0, 80.0, 160.0, 240.0}) {
+    double lo = 0.01, hi = 512.0;
+    const bool hi_shared =
+        core::select_storage(work_s, mem, hi).device !=
+        storage::DeviceKind::kLocalRamdisk;
+    if (!hi_shared) {
+      cross.add_row({metrics::fmt(mem, 0), "never (local always wins)"});
+      continue;
+    }
+    for (int i = 0; i < 60; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (core::select_storage(work_s, mem, mid).device ==
+          storage::DeviceKind::kLocalRamdisk) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    cross.add_row({metrics::fmt(mem, 0), metrics::fmt(hi, 2)});
+  }
+  cross.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "core/estimator.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cloudcr::core {
+
+GroupedEstimator::GroupedEstimator(double length_limit)
+    : length_limit_(length_limit) {
+  if (!(length_limit > 0.0)) {
+    throw std::invalid_argument("GroupedEstimator: length limit must be > 0");
+  }
+}
+
+void GroupedEstimator::observe(const TaskObservation& obs) {
+  if (obs.priority < 1 || obs.priority > kPriorities) {
+    throw std::out_of_range("GroupedEstimator: priority out of [1,12]");
+  }
+  if (obs.length_s > length_limit_) return;
+
+  auto ingest = [&obs](Group& g) {
+    ++g.tasks;
+    g.failures += obs.failures;
+    for (double v : obs.intervals_s) {
+      g.interval_sum += v;
+      ++g.interval_count;
+    }
+  };
+  ingest(groups_[static_cast<std::size_t>(obs.priority - 1)]);
+  ingest(overall_);
+  ++total_tasks_;
+}
+
+FailureStats GroupedEstimator::stats_of(const Group& g) {
+  FailureStats s;
+  if (g.tasks > 0) {
+    s.mnof = static_cast<double>(g.failures) / static_cast<double>(g.tasks);
+  }
+  if (g.interval_count > 0) {
+    s.mtbf_s = g.interval_sum / static_cast<double>(g.interval_count);
+  }
+  return s;
+}
+
+FailureStats GroupedEstimator::query(int priority) const {
+  if (priority < 1 || priority > kPriorities) {
+    throw std::out_of_range("GroupedEstimator: priority out of [1,12]");
+  }
+  const Group& g = groups_[static_cast<std::size_t>(priority - 1)];
+  if (g.tasks > 0) return stats_of(g);
+  return stats_of(overall_);
+}
+
+std::size_t GroupedEstimator::group_size(int priority) const {
+  if (priority < 1 || priority > kPriorities) return 0;
+  return groups_[static_cast<std::size_t>(priority - 1)].tasks;
+}
+
+}  // namespace cloudcr::core

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file estimator.hpp
+/// \brief Online MNOF/MTBF estimation from observed task history.
+///
+/// The paper estimates both statistics "based on historical task events in
+/// the trace", grouped by priority (Section 5.2) and optionally by a task
+/// length class (Fig 11). This estimator accumulates completed-task
+/// observations and answers queries for new tasks. It is substrate-agnostic:
+/// the caller decides what counts as a failure and an interval.
+
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace cloudcr::core {
+
+/// One completed-task observation.
+struct TaskObservation {
+  int priority = 1;          ///< 1..12
+  double length_s = 0.0;     ///< productive length Te
+  std::size_t failures = 0;  ///< kill events during the task
+  /// Observed uninterrupted intervals (gaps + trailing censored interval).
+  std::vector<double> intervals_s;
+};
+
+/// Accumulates observations grouped by priority and answers FailureStats
+/// queries for tasks, optionally restricted to a length class.
+class GroupedEstimator {
+ public:
+  static constexpr int kPriorities = 12;
+
+  /// `length_limit` restricts accumulation to tasks with length <= limit
+  /// (infinity = no restriction). This mirrors the paper's "MTBF (as well as
+  /// MNOF) are estimated using corresponding short tasks based on
+  /// priorities".
+  explicit GroupedEstimator(
+      double length_limit = std::numeric_limits<double>::infinity());
+
+  /// Ingests one completed-task observation (ignored if over the limit).
+  void observe(const TaskObservation& obs);
+
+  /// Estimates for a task of the given priority. Falls back to the overall
+  /// aggregate when the priority group is empty, and to {0,0} when nothing
+  /// has been observed at all.
+  [[nodiscard]] FailureStats query(int priority) const;
+
+  /// Number of tasks observed in the group (0 if priority out of range).
+  [[nodiscard]] std::size_t group_size(int priority) const;
+  [[nodiscard]] std::size_t total_observations() const noexcept {
+    return total_tasks_;
+  }
+
+ private:
+  struct Group {
+    std::size_t tasks = 0;
+    std::size_t failures = 0;
+    double interval_sum = 0.0;
+    std::size_t interval_count = 0;
+  };
+
+  [[nodiscard]] static FailureStats stats_of(const Group& g);
+
+  double length_limit_;
+  std::array<Group, kPriorities> groups_{};
+  Group overall_{};
+  std::size_t total_tasks_ = 0;
+};
+
+}  // namespace cloudcr::core

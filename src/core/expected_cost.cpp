@@ -1,0 +1,76 @@
+#include "core/expected_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudcr::core {
+
+namespace {
+
+void validate(const CostModelInput& in) {
+  if (in.work_s < 0.0) {
+    throw std::invalid_argument("expected_cost: negative work");
+  }
+  if (in.checkpoint_cost_s <= 0.0) {
+    throw std::invalid_argument("expected_cost: checkpoint cost must be > 0");
+  }
+  if (in.restart_cost_s < 0.0) {
+    throw std::invalid_argument("expected_cost: negative restart cost");
+  }
+  if (in.expected_failures < 0.0) {
+    throw std::invalid_argument("expected_cost: negative expected failures");
+  }
+}
+
+}  // namespace
+
+double expected_wallclock(const CostModelInput& in, double x) {
+  validate(in);
+  if (x < 1.0) {
+    throw std::invalid_argument("expected_wallclock: x must be >= 1");
+  }
+  return in.work_s + in.checkpoint_cost_s * (x - 1.0) +
+         in.restart_cost_s * in.expected_failures +
+         in.work_s * in.expected_failures / (2.0 * x);
+}
+
+double expected_overhead(const CostModelInput& in, double x) {
+  return expected_wallclock(in, x) - in.work_s;
+}
+
+double optimal_interval_count(double work_s, double checkpoint_cost_s,
+                              double expected_failures) {
+  if (work_s < 0.0) {
+    throw std::invalid_argument("optimal_interval_count: negative work");
+  }
+  if (checkpoint_cost_s <= 0.0) {
+    throw std::invalid_argument(
+        "optimal_interval_count: checkpoint cost must be > 0");
+  }
+  if (expected_failures < 0.0) {
+    throw std::invalid_argument(
+        "optimal_interval_count: negative expected failures");
+  }
+  return std::sqrt(work_s * expected_failures / (2.0 * checkpoint_cost_s));
+}
+
+int optimal_interval_count_integer(const CostModelInput& in) {
+  validate(in);
+  const double x_star = optimal_interval_count(
+      in.work_s, in.checkpoint_cost_s, in.expected_failures);
+  const double lo = std::max(1.0, std::floor(x_star));
+  const double hi = std::max(1.0, std::ceil(x_star));
+  if (lo == hi) return static_cast<int>(lo);
+  return expected_wallclock(in, lo) <= expected_wallclock(in, hi)
+             ? static_cast<int>(lo)
+             : static_cast<int>(hi);
+}
+
+double interval_length(double work_s, double x) {
+  if (x < 1.0) {
+    throw std::invalid_argument("interval_length: x must be >= 1");
+  }
+  return work_s / x;
+}
+
+}  // namespace cloudcr::core

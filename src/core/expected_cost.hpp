@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file expected_cost.hpp
+/// \brief The paper's expected wall-clock model (Formula 4) and the optimal
+/// checkpoint-interval count derived from it (Theorem 1, Formula 3).
+///
+/// For a task with productive length Te, per-checkpoint cost C, restart cost
+/// R, and expected failure count E(Y), equidistant checkpointing with x
+/// intervals yields (Formula 4):
+///
+///   E(Tw)(x) = Te + C(x-1) + R*E(Y) + Te*E(Y) / (2x)
+///
+/// which is minimized at x* = sqrt(Te*E(Y) / (2C)) (Formula 3). The model is
+/// distribution-free: only E(Y) enters, not the shape of the failure law.
+
+namespace cloudcr::core {
+
+/// Inputs of the expected wall-clock model for a single task.
+struct CostModelInput {
+  double work_s = 0.0;             ///< Te: productive execution time (s)
+  double checkpoint_cost_s = 0.0;  ///< C: wall-clock increment per checkpoint
+  double restart_cost_s = 0.0;     ///< R: cost of restarting after a failure
+  double expected_failures = 0.0;  ///< E(Y) over the productive length
+};
+
+/// E(Tw)(x) per Formula (4). Requires x >= 1.
+double expected_wallclock(const CostModelInput& in, double x);
+
+/// Total fault-tolerance overhead E(Tw) - Te = C(x-1) + R*E(Y) + Te*E(Y)/2x.
+/// This is the quantity compared when selecting a storage device (Sec 4.2.2).
+double expected_overhead(const CostModelInput& in, double x);
+
+/// Continuous minimizer x* = sqrt(Te*E(Y) / (2C)) (Formula 3). Returns a
+/// value < 1 when checkpointing is not worth a single interval split (the
+/// caller decides how to clamp). Requires work_s >= 0, checkpoint cost > 0
+/// and expected_failures >= 0.
+double optimal_interval_count(double work_s, double checkpoint_cost_s,
+                              double expected_failures);
+
+/// Integer minimizer of Formula (4): evaluates floor(x*) and ceil(x*)
+/// (clamped to >= 1) and returns the better. This is what the runtime uses;
+/// the continuous optimum is never worse by more than the integer gap.
+int optimal_interval_count_integer(const CostModelInput& in);
+
+/// Checkpoint interval (seconds of productive work) implied by x intervals
+/// over `work_s` of work.
+double interval_length(double work_s, double x);
+
+}  // namespace cloudcr::core

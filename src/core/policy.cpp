@@ -1,0 +1,93 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/expected_cost.hpp"
+
+namespace cloudcr::core {
+
+namespace {
+
+void validate(const PolicyContext& ctx) {
+  if (ctx.total_work_s <= 0.0) {
+    throw std::invalid_argument("policy: total work must be > 0");
+  }
+  if (ctx.remaining_work_s < 0.0 ||
+      ctx.remaining_work_s > ctx.total_work_s * (1.0 + 1e-9)) {
+    throw std::invalid_argument("policy: remaining work out of [0, total]");
+  }
+  if (ctx.checkpoint_cost_s <= 0.0) {
+    throw std::invalid_argument("policy: checkpoint cost must be > 0");
+  }
+}
+
+}  // namespace
+
+double MnofPolicy::next_interval(const PolicyContext& ctx) const {
+  validate(ctx);
+  const double tr = ctx.remaining_work_s;
+  if (tr <= 0.0) return 0.0;
+  // Expected failures over the remaining work, rescaled from the full-task
+  // MNOF (Section 4.2.1: E_k(Y) = Tr(k)/Tr(0) * MNOF).
+  const double e_remaining = ctx.stats.mnof * tr / ctx.total_work_s;
+  if (e_remaining <= 0.0) return tr;  // no failures expected: never checkpoint
+
+  if (!integer_rounding_) {
+    const double x =
+        optimal_interval_count(tr, ctx.checkpoint_cost_s, e_remaining);
+    if (x <= 1.0) return tr;
+    return tr / x;
+  }
+  const CostModelInput in{tr, ctx.checkpoint_cost_s, ctx.restart_cost_s,
+                          e_remaining};
+  const int x = optimal_interval_count_integer(in);
+  return tr / static_cast<double>(x);
+}
+
+double YoungPolicy::next_interval(const PolicyContext& ctx) const {
+  validate(ctx);
+  if (ctx.stats.mtbf_s <= 0.0) return ctx.remaining_work_s;
+  return std::sqrt(2.0 * ctx.checkpoint_cost_s * ctx.stats.mtbf_s);
+}
+
+double DalyPolicy::next_interval(const PolicyContext& ctx) const {
+  validate(ctx);
+  const double m = ctx.stats.mtbf_s;
+  if (m <= 0.0) return ctx.remaining_work_s;
+  const double c = ctx.checkpoint_cost_s;
+  if (c >= 2.0 * m) return m;
+  const double ratio = c / (2.0 * m);
+  const double interval =
+      std::sqrt(2.0 * c * m) *
+          (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+      c;
+  return std::max(interval, c);  // guard against degenerate tiny intervals
+}
+
+double NoCheckpointPolicy::next_interval(const PolicyContext& ctx) const {
+  validate(ctx);
+  return ctx.remaining_work_s;
+}
+
+FixedIntervalPolicy::FixedIntervalPolicy(double interval_s)
+    : interval_s_(interval_s) {
+  if (interval_s <= 0.0) {
+    throw std::invalid_argument("FixedIntervalPolicy: interval must be > 0");
+  }
+}
+
+std::string FixedIntervalPolicy::name() const {
+  std::ostringstream os;
+  os << "fixed(" << interval_s_ << "s)";
+  return os.str();
+}
+
+double FixedIntervalPolicy::next_interval(const PolicyContext& ctx) const {
+  validate(ctx);
+  return interval_s_;
+}
+
+}  // namespace cloudcr::core

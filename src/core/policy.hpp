@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file policy.hpp
+/// \brief Checkpoint-interval policies: the paper's MNOF formula, Young's
+/// formula, and Daly's higher-order refinement.
+///
+/// A policy answers one question: given what we currently know about a task,
+/// how much productive work should pass before the next checkpoint? The
+/// paper's policy (Formula 3) consumes MNOF — the expected number of failures
+/// striking the task — while the classic policies consume MTBF. The whole
+/// evaluation of the paper hinges on which of those statistics survives
+/// estimation error on cloud traces.
+
+#include <memory>
+#include <string>
+
+namespace cloudcr::core {
+
+/// Failure statistics available to a policy, as estimated (or known exactly)
+/// for one task.
+struct FailureStats {
+  /// MNOF: expected number of failures over the task's *full* productive
+  /// length. Policies rescale to the remaining work internally.
+  double mnof = 0.0;
+  /// MTBF: mean time between failures (s).
+  double mtbf_s = 0.0;
+};
+
+/// Everything a policy may consult when planning the next checkpoint.
+struct PolicyContext {
+  double total_work_s = 0.0;      ///< Te at submission
+  double remaining_work_s = 0.0;  ///< work still to do (<= total_work_s)
+  double checkpoint_cost_s = 0.0; ///< C for the chosen storage device
+  double restart_cost_s = 0.0;    ///< R for the chosen storage device
+  FailureStats stats;             ///< current failure estimates
+};
+
+/// Strategy interface. Implementations must be stateless (the context
+/// carries all task state), so one instance can serve every task.
+class CheckpointPolicy {
+ public:
+  virtual ~CheckpointPolicy() = default;
+
+  /// Short identifier used in reports, e.g. "formula3", "young".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Productive-work interval (s) until the next checkpoint. Returning a
+  /// value >= remaining_work_s means "do not checkpoint again".
+  [[nodiscard]] virtual double next_interval(const PolicyContext& ctx) const = 0;
+};
+
+using PolicyPtr = std::unique_ptr<CheckpointPolicy>;
+
+/// The paper's policy (Theorem 1 / Formula 3):
+///   x* = sqrt(Tr * E_r(Y) / (2C)),  interval = Tr / x*,
+/// with E_r(Y) = mnof * Tr / Te the expected failures over remaining work.
+/// Note the closed form: interval = sqrt(2 * C * Te / mnof), independent of
+/// Tr — which is exactly Theorem 2's invariance (checkpoint positions do not
+/// move while MNOF is unchanged).
+class MnofPolicy final : public CheckpointPolicy {
+ public:
+  /// If `integer_rounding` is set, x* is rounded to the integer minimizer of
+  /// Formula (4) before deriving the interval (the runtime default).
+  explicit MnofPolicy(bool integer_rounding = true) noexcept
+      : integer_rounding_(integer_rounding) {}
+
+  [[nodiscard]] std::string name() const override { return "formula3"; }
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) const override;
+
+ private:
+  bool integer_rounding_;
+};
+
+/// Young's 1974 first-order formula: interval = sqrt(2 * C * MTBF).
+class YoungPolicy final : public CheckpointPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "young"; }
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) const override;
+};
+
+/// Daly's 2006 higher-order formula:
+///   interval = sqrt(2*C*M) * [1 + (1/3)sqrt(C/(2M)) + (1/9)(C/(2M))] - C
+/// for C < 2M, else interval = M, with M the MTBF. Included as the second
+/// classic baseline discussed in the paper's related work.
+class DalyPolicy final : public CheckpointPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "daly"; }
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) const override;
+};
+
+/// Never checkpoints; the no-fault-tolerance baseline for ablations.
+class NoCheckpointPolicy final : public CheckpointPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "none"; }
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) const override;
+};
+
+/// Checkpoints every fixed `interval_s` of productive work, regardless of
+/// statistics; useful for ablation sweeps.
+class FixedIntervalPolicy final : public CheckpointPolicy {
+ public:
+  explicit FixedIntervalPolicy(double interval_s);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double next_interval(const PolicyContext& ctx) const override;
+
+ private:
+  double interval_s_;
+};
+
+}  // namespace cloudcr::core

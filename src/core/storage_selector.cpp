@@ -1,0 +1,54 @@
+#include "core/storage_selector.hpp"
+
+#include <stdexcept>
+
+namespace cloudcr::core {
+
+StorageDecision select_storage_with_costs(double work_s,
+                                          double expected_failures,
+                                          double local_cost_s,
+                                          double local_restart_s,
+                                          double shared_cost_s,
+                                          double shared_restart_s,
+                                          storage::DeviceKind shared_kind) {
+  if (shared_kind == storage::DeviceKind::kLocalRamdisk) {
+    throw std::invalid_argument(
+        "select_storage: shared_kind must be a shared device");
+  }
+  StorageDecision d;
+  d.local_cost_s = local_cost_s;
+  d.shared_cost_s = shared_cost_s;
+  d.local_restart_s = local_restart_s;
+  d.shared_restart_s = shared_restart_s;
+
+  const CostModelInput local_in{work_s, local_cost_s, local_restart_s,
+                                expected_failures};
+  const CostModelInput shared_in{work_s, shared_cost_s, shared_restart_s,
+                                 expected_failures};
+  d.local_intervals = optimal_interval_count_integer(local_in);
+  d.shared_intervals = optimal_interval_count_integer(shared_in);
+  d.local_overhead_s =
+      expected_overhead(local_in, static_cast<double>(d.local_intervals));
+  d.shared_overhead_s =
+      expected_overhead(shared_in, static_cast<double>(d.shared_intervals));
+  d.device = d.local_overhead_s < d.shared_overhead_s
+                 ? storage::DeviceKind::kLocalRamdisk
+                 : shared_kind;
+  return d;
+}
+
+StorageDecision select_storage(double work_s, double mem_mb,
+                               double expected_failures,
+                               storage::DeviceKind shared_kind) {
+  const double cl = storage::checkpoint_cost(storage::DeviceKind::kLocalRamdisk,
+                                             mem_mb);
+  const double rl =
+      storage::restart_cost(storage::MigrationType::kA, mem_mb);
+  const double cs = storage::checkpoint_cost(shared_kind, mem_mb);
+  const double rs =
+      storage::restart_cost(storage::MigrationType::kB, mem_mb);
+  return select_storage_with_costs(work_s, expected_failures, cl, rl, cs, rs,
+                                   shared_kind);
+}
+
+}  // namespace cloudcr::core

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file storage_selector.hpp
+/// \brief Local-ramdisk vs shared-disk checkpoint placement (Section 4.2.2).
+///
+/// Checkpointing to the local ramdisk is cheap per checkpoint but makes a
+/// restart expensive (migration type A: the memory image must hop through a
+/// shared disk to reach the new host). Checkpointing to a shared disk costs
+/// more per checkpoint but restarts are direct (migration type B). The paper
+/// picks the device whose *expected total overhead* under its own optimal
+/// interval count is lower:
+///
+///   pick local  iff  Cl(Xl-1) + Rl E(Y) + Te E(Y)/(2 Xl)
+///                  < Cs(Xs-1) + Rs E(Y) + Te E(Y)/(2 Xs).
+
+#include "core/expected_cost.hpp"
+#include "storage/calibration.hpp"
+
+namespace cloudcr::core {
+
+/// Outcome of the device comparison for one task.
+struct StorageDecision {
+  storage::DeviceKind device = storage::DeviceKind::kLocalRamdisk;
+  double local_overhead_s = 0.0;   ///< expected overhead via local ramdisk
+  double shared_overhead_s = 0.0;  ///< expected overhead via the shared disk
+  int local_intervals = 1;         ///< Xl (integer optimum)
+  int shared_intervals = 1;        ///< Xs (integer optimum)
+  double local_cost_s = 0.0;       ///< Cl for this memory size
+  double shared_cost_s = 0.0;      ///< Cs for this memory size
+  double local_restart_s = 0.0;    ///< Rl (migration type A)
+  double shared_restart_s = 0.0;   ///< Rs (migration type B)
+};
+
+/// Compares the two placements for a task of `work_s` productive seconds,
+/// `mem_mb` memory, and `expected_failures` E(Y), using the BLCR-calibrated
+/// cost curves. `shared_kind` selects which shared device competes with the
+/// local ramdisk (kSharedNfs or kDmNfs; both price like NFS single-writer).
+StorageDecision select_storage(
+    double work_s, double mem_mb, double expected_failures,
+    storage::DeviceKind shared_kind = storage::DeviceKind::kDmNfs);
+
+/// As above but with explicit costs (used by tests and by callers that price
+/// contention into Cs).
+StorageDecision select_storage_with_costs(double work_s,
+                                          double expected_failures,
+                                          double local_cost_s,
+                                          double local_restart_s,
+                                          double shared_cost_s,
+                                          double shared_restart_s,
+                                          storage::DeviceKind shared_kind);
+
+}  // namespace cloudcr::core

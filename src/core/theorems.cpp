@@ -1,0 +1,65 @@
+#include "core/theorems.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/expected_cost.hpp"
+
+namespace cloudcr::core {
+
+Theorem1Witness theorem1_witness(double work_s, double checkpoint_cost_s,
+                                 double restart_cost_s,
+                                 double expected_failures) {
+  Theorem1Witness w;
+  w.x_star =
+      optimal_interval_count(work_s, checkpoint_cost_s, expected_failures);
+  if (w.x_star >= 1.0) {
+    const CostModelInput in{work_s, checkpoint_cost_s, restart_cost_s,
+                            expected_failures};
+    w.expected_wallclock_at_optimum = expected_wallclock(in, w.x_star);
+  } else {
+    const CostModelInput in{work_s, checkpoint_cost_s, restart_cost_s,
+                            expected_failures};
+    w.expected_wallclock_at_optimum = expected_wallclock(in, 1.0);
+  }
+  // d2 E(Tw)/dx2 = Te*E(Y)/x^3 > 0 whenever Te*E(Y) > 0.
+  w.second_order_positive = work_s * expected_failures > 0.0;
+  return w;
+}
+
+double corollary1_interval(double work_s, double checkpoint_cost_s,
+                           double mtbf_s) {
+  if (mtbf_s <= 0.0) {
+    throw std::invalid_argument("corollary1_interval: MTBF must be > 0");
+  }
+  const double expected_failures = work_s / mtbf_s;  // Poisson approximation
+  const double x =
+      optimal_interval_count(work_s, checkpoint_cost_s, expected_failures);
+  if (x <= 0.0) {
+    throw std::invalid_argument("corollary1_interval: degenerate inputs");
+  }
+  return work_s / x;
+}
+
+Theorem2Step theorem2_step(double remaining_work_s, double expected_failures,
+                           double checkpoint_cost_s) {
+  Theorem2Step step;
+  const double x_star = optimal_interval_count(
+      remaining_work_s, checkpoint_cost_s, expected_failures);
+  if (x_star <= 1.0) {
+    // Fewer than two intervals: there is no "next" checkpoint position.
+    step.remaining_next = 0.0;
+    step.x_next = 0.0;
+    step.x_expected = 0.0;
+    return step;
+  }
+  step.remaining_next = remaining_work_s * (x_star - 1.0) / x_star;
+  const double e_next =
+      expected_failures * step.remaining_next / remaining_work_s;
+  step.x_next = optimal_interval_count(step.remaining_next,
+                                       checkpoint_cost_s, e_next);
+  step.x_expected = x_star - 1.0;
+  return step;
+}
+
+}  // namespace cloudcr::core

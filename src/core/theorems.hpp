@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file theorems.hpp
+/// \brief Executable statements of the paper's Theorems 1 and 2, used by the
+/// property-test suite and the ablation benches.
+
+namespace cloudcr::core {
+
+/// Theorem 1 witness: for inputs (Te, C, R, E(Y)) returns the continuous
+/// optimum x* and verifies the second-order condition d2E/dx2 > 0 at x*.
+struct Theorem1Witness {
+  double x_star = 0.0;
+  double expected_wallclock_at_optimum = 0.0;
+  bool second_order_positive = false;
+};
+
+Theorem1Witness theorem1_witness(double work_s, double checkpoint_cost_s,
+                                 double restart_cost_s,
+                                 double expected_failures);
+
+/// Corollary 1: Young's interval sqrt(2*C*Tf) derived from Formula (3) under
+/// the Poisson approximation E(Y) = Te/Tf. Returns the Formula-3 interval
+/// Te/x*; callers can compare it against sqrt(2*C*Tf).
+double corollary1_interval(double work_s, double checkpoint_cost_s,
+                           double mtbf_s);
+
+/// Theorem 2 step: given the remaining work Tr(k) at the k-th checkpoint and
+/// the optimal count X* computed there, returns the remaining work at the
+/// (k+1)-st checkpoint Tr(k+1) = Tr(k) * (X*-1)/X* and the count X(*)
+/// recomputed there under *unchanged* MNOF scaling
+/// (E_{k+1} = E_k * Tr(k+1)/Tr(k)). Theorem 2 asserts X(*) == X* - 1.
+struct Theorem2Step {
+  double remaining_next = 0.0;
+  double x_next = 0.0;      ///< recomputed optimal count at the next position
+  double x_expected = 0.0;  ///< X* - 1
+};
+
+Theorem2Step theorem2_step(double remaining_work_s, double expected_failures,
+                           double checkpoint_cost_s);
+
+}  // namespace cloudcr::core

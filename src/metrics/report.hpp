@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file report.hpp
+/// \brief ASCII table and series printers shared by every bench binary.
+///
+/// Benches regenerate the paper's tables and figures as text: tables are
+/// printed with aligned columns; figures (CDFs, per-job series) are printed
+/// as column data a plotting tool can consume directly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cloudcr::metrics {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::vector<double>& row, int precision = 3);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for mixed-type rows).
+std::string fmt(double v, int precision = 3);
+
+/// Prints "name: x y" series lines for a CDF or any (x, y) sequence.
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<std::pair<double, double>>& points);
+
+/// Section banner used by benches: "== <title> ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace cloudcr::metrics

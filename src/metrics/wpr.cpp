@@ -1,0 +1,48 @@
+#include "metrics/wpr.hpp"
+
+#include <algorithm>
+
+namespace cloudcr::metrics {
+
+std::vector<double> wpr_values(const std::vector<JobOutcome>& outcomes) {
+  std::vector<double> out;
+  out.reserve(outcomes.size());
+  for (const auto& o : outcomes) out.push_back(o.wpr());
+  return out;
+}
+
+double average_wpr(const std::vector<JobOutcome>& outcomes) {
+  if (outcomes.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& o : outcomes) acc += o.wpr();
+  return acc / static_cast<double>(outcomes.size());
+}
+
+double lowest_wpr(const std::vector<JobOutcome>& outcomes) {
+  if (outcomes.empty()) return 0.0;
+  double lo = outcomes.front().wpr();
+  for (const auto& o : outcomes) lo = std::min(lo, o.wpr());
+  return lo;
+}
+
+double fraction_below(const std::vector<JobOutcome>& outcomes,
+                      double wpr_threshold) {
+  if (outcomes.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& o : outcomes) {
+    if (o.wpr() < wpr_threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(outcomes.size());
+}
+
+double fraction_above(const std::vector<JobOutcome>& outcomes,
+                      double wpr_threshold) {
+  if (outcomes.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& o : outcomes) {
+    if (o.wpr() > wpr_threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(outcomes.size());
+}
+
+}  // namespace cloudcr::metrics

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file wpr.hpp
+/// \brief Workload-Processing Ratio (Formula 9) and job-level accounting.
+///
+/// WPR(J) = (workload processed) / (real wall-clock length), where the
+/// workload processed is the valid execution saved by checkpoints (rollback
+/// losses excluded) and the wall-clock length runs from submission to final
+/// completion, including queueing, checkpointing, restarts, and rollbacks.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cloudcr::metrics {
+
+/// Execution accounting for one completed job.
+struct JobOutcome {
+  std::uint64_t job_id = 0;
+  bool bag_of_tasks = false;
+  int priority = 1;             ///< job priority at submission
+  double workload_s = 0.0;      ///< total productive work completed
+  double wallclock_s = 0.0;     ///< submission -> completion (job makespan)
+  /// Sum over tasks of (task completion - task ready): the per-task
+  /// wall-clock mass. For sequential jobs this equals the makespan; for
+  /// bag-of-tasks jobs it exceeds it (tasks overlap). WPR divides by this
+  /// quantity so that parallelism cannot push the ratio above 1.
+  double task_wallclock_s = 0.0;
+  double queue_s = 0.0;         ///< total task time spent waiting for a VM
+  double checkpoint_s = 0.0;    ///< total checkpointing cost paid
+  double rollback_s = 0.0;      ///< total productive work lost to rollbacks
+  double restart_s = 0.0;       ///< total restart cost paid
+  std::size_t checkpoints = 0;  ///< checkpoints taken
+  std::size_t failures = 0;     ///< failures suffered
+  double max_task_length_s = 0.0;  ///< longest task in the job
+
+  /// Workload-Processing Ratio (Formula 9): valid workload processed over
+  /// the wall-clock mass spent producing it.
+  [[nodiscard]] double wpr() const noexcept {
+    return task_wallclock_s > 0.0 ? workload_s / task_wallclock_s : 0.0;
+  }
+};
+
+/// Computes the WPR for every outcome.
+std::vector<double> wpr_values(const std::vector<JobOutcome>& outcomes);
+
+/// Mean WPR over the outcomes (0 when empty).
+double average_wpr(const std::vector<JobOutcome>& outcomes);
+
+/// Smallest WPR over the outcomes (0 when empty).
+double lowest_wpr(const std::vector<JobOutcome>& outcomes);
+
+/// Fraction of outcomes with WPR strictly below the threshold.
+double fraction_below(const std::vector<JobOutcome>& outcomes,
+                      double wpr_threshold);
+/// Fraction of outcomes with WPR strictly above the threshold.
+double fraction_above(const std::vector<JobOutcome>& outcomes,
+                      double wpr_threshold);
+
+}  // namespace cloudcr::metrics

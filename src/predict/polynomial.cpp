@@ -1,0 +1,101 @@
+#include "predict/polynomial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudcr::predict {
+
+namespace {
+
+/// Solves the dense symmetric positive-definite-ish system A x = b with
+/// partial-pivot Gaussian elimination. Throws on singularity.
+std::vector<double> solve(std::vector<std::vector<double>> a,
+                          std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      throw std::invalid_argument(
+          "PolynomialRegression: singular normal equations");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i][k] * x[k];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+PolynomialRegression::PolynomialRegression(std::span<const double> x,
+                                           std::span<const double> y,
+                                           std::size_t degree) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("PolynomialRegression: size mismatch");
+  }
+  const std::size_t n_coef = degree + 1;
+  if (x.size() < n_coef) {
+    throw std::invalid_argument(
+        "PolynomialRegression: need at least degree+1 samples");
+  }
+
+  // Normal equations: (V^T V) a = V^T y with Vandermonde V. Accumulate the
+  // required power sums directly to avoid materializing V.
+  std::vector<double> power_sums(2 * degree + 1, 0.0);
+  std::vector<double> rhs(n_coef, 0.0);
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    double xp = 1.0;
+    for (std::size_t p = 0; p <= 2 * degree; ++p) {
+      power_sums[p] += xp;
+      if (p < n_coef) rhs[p] += xp * y[s];
+      xp *= x[s];
+    }
+  }
+  std::vector<std::vector<double>> gram(n_coef,
+                                        std::vector<double>(n_coef, 0.0));
+  for (std::size_t i = 0; i < n_coef; ++i) {
+    for (std::size_t j = 0; j < n_coef; ++j) {
+      gram[i][j] = power_sums[i + j];
+    }
+  }
+  coef_ = solve(std::move(gram), std::move(rhs));
+
+  // Training-set goodness of fit.
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    const double e = y[s] - predict(x[s]);
+    ss_res += e * e;
+    ss_tot += (y[s] - y_mean) * (y[s] - y_mean);
+  }
+  rmse_ = std::sqrt(ss_res / static_cast<double>(x.size()));
+  r_squared_ = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+}
+
+double PolynomialRegression::predict(double x) const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coef_.size(); i-- > 0;) {
+    acc = acc * x + coef_[i];
+  }
+  return acc;
+}
+
+}  // namespace cloudcr::predict

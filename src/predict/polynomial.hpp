@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file polynomial.hpp
+/// \brief Least-squares polynomial regression.
+///
+/// The paper's job parser predicts a task's workload "based on its input
+/// parameters" and cites sparse polynomial regression (Huang et al.,
+/// NIPS'10) as the method of choice. This is the dense small-degree variant:
+/// fit y = a0 + a1 x + ... + ad x^d by solving the normal equations.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cloudcr::predict {
+
+/// Polynomial model fitted by ordinary least squares.
+class PolynomialRegression {
+ public:
+  /// Fits a degree-`degree` polynomial to (x, y) pairs. Requires at least
+  /// degree+1 samples; throws std::invalid_argument otherwise or when the
+  /// normal equations are singular (e.g. all x equal).
+  PolynomialRegression(std::span<const double> x, std::span<const double> y,
+                       std::size_t degree);
+
+  /// Evaluates the fitted polynomial at x (Horner).
+  [[nodiscard]] double predict(double x) const noexcept;
+
+  /// Coefficients a0..ad.
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coef_;
+  }
+  [[nodiscard]] std::size_t degree() const noexcept { return coef_.size() - 1; }
+
+  /// Coefficient of determination on the training set (1 = perfect).
+  [[nodiscard]] double r_squared() const noexcept { return r_squared_; }
+
+  /// Root-mean-square training error.
+  [[nodiscard]] double rmse() const noexcept { return rmse_; }
+
+ private:
+  std::vector<double> coef_;
+  double r_squared_ = 0.0;
+  double rmse_ = 0.0;
+};
+
+}  // namespace cloudcr::predict

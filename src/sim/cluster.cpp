@@ -1,0 +1,63 @@
+#include "sim/cluster.hpp"
+
+#include <stdexcept>
+
+namespace cloudcr::sim {
+
+bool Vm::allocate(double mem_mb) noexcept {
+  if (mem_mb < 0.0 || mem_mb > available_mb()) return false;
+  used_mb_ += mem_mb;
+  ++tasks_;
+  return true;
+}
+
+void Vm::release(double mem_mb) noexcept {
+  used_mb_ -= mem_mb;
+  if (used_mb_ < 0.0) used_mb_ = 0.0;
+  if (tasks_ > 0) --tasks_;
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  if (config_.hosts == 0 || config_.vms_per_host == 0) {
+    throw std::invalid_argument("Cluster: needs at least one host and VM");
+  }
+  if (config_.vm_memory_mb <= 0.0) {
+    throw std::invalid_argument("Cluster: VM memory must be > 0");
+  }
+  vms_.reserve(config_.hosts * config_.vms_per_host);
+  VmId next = 0;
+  for (HostId h = 0; h < config_.hosts; ++h) {
+    for (std::size_t v = 0; v < config_.vms_per_host; ++v) {
+      vms_.emplace_back(next++, h, config_.vm_memory_mb);
+    }
+  }
+}
+
+std::optional<VmId> Cluster::select_vm(
+    double mem_mb, std::optional<HostId> exclude_host) const {
+  std::optional<VmId> best;
+  double best_avail = -1.0;
+  for (const Vm& vm : vms_) {
+    if (exclude_host && vm.host() == *exclude_host) continue;
+    const double avail = vm.available_mb();
+    if (avail >= mem_mb && avail > best_avail) {
+      best = vm.id();
+      best_avail = avail;
+    }
+  }
+  return best;
+}
+
+double Cluster::total_available_mb() const {
+  double acc = 0.0;
+  for (const Vm& vm : vms_) acc += vm.available_mb();
+  return acc;
+}
+
+std::size_t Cluster::running_tasks() const {
+  std::size_t acc = 0;
+  for (const Vm& vm : vms_) acc += vm.task_count();
+  return acc;
+}
+
+}  // namespace cloudcr::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file cluster.hpp
+/// \brief The simulated data center: hosts, VM instances, and the greedy
+/// memory-based placement policy from the paper's experimental setup
+/// (32 hosts x 7 VMs, 1 GB memory per VM, max-available-memory selection).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace cloudcr::sim {
+
+using VmId = std::size_t;
+using HostId = std::size_t;
+
+/// One VM instance with a fixed memory capacity and a running allocation.
+class Vm {
+ public:
+  Vm(VmId id, HostId host, double memory_mb) noexcept
+      : id_(id), host_(host), capacity_mb_(memory_mb) {}
+
+  [[nodiscard]] VmId id() const noexcept { return id_; }
+  [[nodiscard]] HostId host() const noexcept { return host_; }
+  [[nodiscard]] double capacity_mb() const noexcept { return capacity_mb_; }
+  [[nodiscard]] double used_mb() const noexcept { return used_mb_; }
+  [[nodiscard]] double available_mb() const noexcept {
+    return capacity_mb_ - used_mb_;
+  }
+  [[nodiscard]] std::size_t task_count() const noexcept { return tasks_; }
+
+  /// Reserves memory for one task; returns false if it does not fit.
+  bool allocate(double mem_mb) noexcept;
+
+  /// Releases memory of one task; clamped at zero defensively.
+  void release(double mem_mb) noexcept;
+
+ private:
+  VmId id_;
+  HostId host_;
+  double capacity_mb_;
+  double used_mb_ = 0.0;
+  std::size_t tasks_ = 0;
+};
+
+/// Cluster topology parameters; defaults mirror the paper's testbed.
+struct ClusterConfig {
+  std::size_t hosts = 32;
+  std::size_t vms_per_host = 7;
+  double vm_memory_mb = 1024.0;
+};
+
+/// The pool of VMs with the paper's greedy max-available-memory placement.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+  [[nodiscard]] const Vm& vm(VmId id) const { return vms_.at(id); }
+  [[nodiscard]] Vm& vm(VmId id) { return vms_.at(id); }
+
+  /// Greedy policy: the VM with the maximum available memory that still fits
+  /// `mem_mb`; nullopt when nothing fits. `exclude_host` skips a host (used
+  /// to restart a failed task "on another host" as in the paper).
+  [[nodiscard]] std::optional<VmId> select_vm(
+      double mem_mb, std::optional<HostId> exclude_host = std::nullopt) const;
+
+  /// Total memory currently available across all VMs.
+  [[nodiscard]] double total_available_mb() const;
+  /// Total number of running task allocations.
+  [[nodiscard]] std::size_t running_tasks() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<Vm> vms_;
+};
+
+}  // namespace cloudcr::sim

@@ -1,0 +1,44 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace cloudcr::sim {
+
+EventId Engine::schedule_at(double time, EventFn fn) {
+  if (time < now_) {
+    throw std::invalid_argument("Engine::schedule_at: time is in the past");
+  }
+  return queue_.schedule(time, std::move(fn));
+}
+
+EventId Engine::schedule_in(double delay, EventFn fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Engine::schedule_in: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+std::size_t Engine::run() {
+  std::size_t dispatched = 0;
+  while (!queue_.empty()) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    fn();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+std::size_t Engine::run_until(double t_end) {
+  std::size_t dispatched = 0;
+  while (!queue_.empty() && queue_.next_time() <= t_end) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    fn();
+    ++dispatched;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return dispatched;
+}
+
+}  // namespace cloudcr::sim

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file engine.hpp
+/// \brief Discrete-event simulation engine: clock + event dispatch loop.
+
+#include <cstddef>
+
+#include "sim/event_queue.hpp"
+
+namespace cloudcr::sim {
+
+/// Owns the simulation clock and drives the event queue.
+class Engine {
+ public:
+  /// Current simulation time (s).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedules at an absolute time; must not be in the past.
+  EventId schedule_at(double time, EventFn fn);
+
+  /// Schedules `delay` seconds from now; delay must be >= 0.
+  EventId schedule_in(double delay, EventFn fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains. Returns the number of events dispatched.
+  std::size_t run();
+
+  /// Runs until the queue drains or the clock passes `t_end` (events beyond
+  /// t_end stay queued). Returns the number of events dispatched.
+  std::size_t run_until(double t_end);
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+};
+
+}  // namespace cloudcr::sim

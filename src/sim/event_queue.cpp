@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace cloudcr::sim {
+
+EventId EventQueue::schedule(double time, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+void EventQueue::drop_dead_entries() const {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+double EventQueue::next_time() const {
+  drop_dead_entries();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.top().time;
+}
+
+std::pair<double, EventFn> EventQueue::pop() {
+  drop_dead_entries();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  EventFn fn = std::move(it->second);
+  callbacks_.erase(it);
+  return {top.time, std::move(fn)};
+}
+
+}  // namespace cloudcr::sim

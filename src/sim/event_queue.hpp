@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// \brief Cancellable time-ordered event queue for the discrete-event engine.
+///
+/// Events at equal timestamps run in scheduling order (stable), which keeps
+/// simulations deterministic. Cancellation is O(1): the entry stays in the
+/// heap but its callback is dropped, and it is skipped on pop.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace cloudcr::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+/// Min-heap of timestamped callbacks with stable ordering and cancellation.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `time`. Returns an id for cancel().
+  EventId schedule(double time, EventFn fn);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const noexcept { return callbacks_.empty(); }
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return callbacks_.size(); }
+
+  /// Timestamp of the next live event; requires !empty().
+  [[nodiscard]] double next_time() const;
+
+  /// Pops and returns the next live event (time, fn). Requires !empty().
+  std::pair<double, EventFn> pop();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_dead_entries() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, EventFn> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace cloudcr::sim

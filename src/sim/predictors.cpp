@@ -1,0 +1,50 @@
+#include "sim/predictors.hpp"
+
+#include <memory>
+
+namespace cloudcr::sim {
+
+StatsPredictor make_oracle_predictor() {
+  return [](const trace::TaskRecord& task, int /*current_priority*/) {
+    core::FailureStats stats;
+    stats.mnof = trace::oracle_mnof(task);
+    stats.mtbf_s = trace::oracle_mtbf(task);
+    return stats;
+  };
+}
+
+core::GroupedEstimator build_estimator(const trace::Trace& trace,
+                                       double length_limit) {
+  core::GroupedEstimator est(length_limit);
+  for (const auto& job : trace.jobs) {
+    for (const auto& task : job.tasks) {
+      core::TaskObservation obs;
+      obs.priority = task.priority;
+      obs.length_s = task.length_s;
+      obs.failures = task.failures_within(task.length_s);
+      obs.intervals_s = task.uninterrupted_intervals(task.length_s);
+      est.observe(obs);
+    }
+  }
+  return est;
+}
+
+StatsPredictor make_grouped_predictor(const trace::Trace& trace,
+                                      double length_limit) {
+  auto est = std::make_shared<core::GroupedEstimator>(
+      build_estimator(trace, length_limit));
+  return [est](const trace::TaskRecord& /*task*/, int current_priority) {
+    return est->query(current_priority);
+  };
+}
+
+StatsPredictor make_submission_priority_predictor(const trace::Trace& trace,
+                                                  double length_limit) {
+  auto est = std::make_shared<core::GroupedEstimator>(
+      build_estimator(trace, length_limit));
+  return [est](const trace::TaskRecord& task, int /*current_priority*/) {
+    return est->query(task.priority);
+  };
+}
+
+}  // namespace cloudcr::sim

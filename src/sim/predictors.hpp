@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file predictors.hpp
+/// \brief Ready-made failure-statistics predictors bridging traces to
+/// controllers.
+///
+/// The paper's experiments differ only in how MNOF/MTBF reach the formulas:
+///  * Table 6 uses *precise* per-task values (the oracle predictor);
+///  * Figs 9-10 use per-priority group estimates over the whole trace;
+///  * Fig 11 restricts the estimation to short tasks (length classes).
+
+#include "core/estimator.hpp"
+#include "sim/config.hpp"
+#include "trace/estimators.hpp"
+
+namespace cloudcr::sim {
+
+/// Per-task oracle: the realized failure count / mean interval of the task
+/// itself ("precise prediction", Table 6). Ignores the current priority.
+StatsPredictor make_oracle_predictor();
+
+/// Priority-grouped estimation over `trace` (Figs 9-10): all sample jobs are
+/// grouped by priority; each task receives its group's MNOF/MTBF. Estimates
+/// are looked up by the task's *current* priority, so adaptive controllers
+/// see fresh statistics after a priority change.
+/// `length_limit` restricts the estimation to tasks at most that long
+/// (Fig 11's "MTBF (as well as MNOF) are estimated using corresponding short
+/// tasks").
+StatsPredictor make_grouped_predictor(
+    const trace::Trace& trace,
+    double length_limit = trace::kNoLengthLimit);
+
+/// Like make_grouped_predictor but always answers with the statistics of the
+/// task's *submission* priority (never updates after a change): combined
+/// with AdaptationMode::kStatic this is the Fig 14 static baseline.
+StatsPredictor make_submission_priority_predictor(
+    const trace::Trace& trace,
+    double length_limit = trace::kNoLengthLimit);
+
+/// Builds the GroupedEstimator underlying the predictors (exposed for tests
+/// and benches that want to inspect the estimates, e.g. Table 7).
+core::GroupedEstimator build_estimator(
+    const trace::Trace& trace,
+    double length_limit = trace::kNoLengthLimit);
+
+}  // namespace cloudcr::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file result.hpp
+/// \brief Aggregated results of one simulation run.
+
+#include <cstddef>
+#include <vector>
+
+#include "metrics/wpr.hpp"
+
+namespace cloudcr::sim {
+
+/// Outcome of replaying one trace under one policy configuration.
+struct SimResult {
+  /// One entry per *completed* job, in completion order.
+  std::vector<metrics::JobOutcome> outcomes;
+
+  std::size_t incomplete_jobs = 0;   ///< jobs not finished when queue drained
+  std::size_t total_checkpoints = 0;
+  std::size_t total_failures = 0;
+  std::size_t events_dispatched = 0;
+  double makespan_s = 0.0;           ///< last event timestamp
+
+  [[nodiscard]] double average_wpr() const {
+    return metrics::average_wpr(outcomes);
+  }
+};
+
+}  // namespace cloudcr::sim

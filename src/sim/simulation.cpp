@@ -1,0 +1,382 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cloudcr::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Simulation::Simulation(SimConfig config, const core::CheckpointPolicy& policy,
+                       StatsPredictor predictor)
+    : config_(config),
+      policy_(policy),
+      predictor_(std::move(predictor)),
+      cluster_(config.cluster),
+      rng_(config.seed) {
+  if (!predictor_) {
+    throw std::invalid_argument("Simulation: predictor must be callable");
+  }
+  local_backend_ = storage::make_backend(storage::DeviceKind::kLocalRamdisk,
+                                         rng_, config_.storage_noise);
+  shared_backend_ = storage::make_backend(config_.shared_kind, rng_,
+                                          config_.storage_noise,
+                                          config_.cluster.hosts);
+}
+
+storage::StorageBackend* Simulation::backend_for(storage::DeviceKind kind) {
+  return kind == storage::DeviceKind::kLocalRamdisk ? local_backend_.get()
+                                                    : shared_backend_.get();
+}
+
+SimResult Simulation::run(const trace::Trace& trace) {
+  // Build task and job state tables.
+  tasks_.clear();
+  jobs_.clear();
+  jobs_.reserve(trace.jobs.size());
+  tasks_.reserve(trace.task_count());
+  for (const auto& job : trace.jobs) {
+    JobState js;
+    js.rec = &job;
+    js.first_task = tasks_.size();
+    js.remaining = job.tasks.size();
+    jobs_.push_back(js);
+    for (const auto& task : job.tasks) {
+      TaskState ts;
+      ts.rec = &task;
+      ts.job = jobs_.size() - 1;
+      ts.index = tasks_.size();
+      ts.priority = task.priority;
+      ts.priority_change_pending = task.has_priority_change();
+      tasks_.push_back(std::move(ts));
+    }
+  }
+
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    engine_.schedule_at(jobs_[j].rec->arrival_s,
+                        [this, j] { on_job_arrival(j); });
+  }
+
+  result_ = SimResult{};
+  result_.events_dispatched = engine_.run();
+  result_.makespan_s = engine_.now();
+  for (const auto& job : jobs_) {
+    if (!job.done) ++result_.incomplete_jobs;
+  }
+  for (const auto& t : tasks_) {
+    result_.total_checkpoints += t.checkpoints;
+    result_.total_failures += t.failures;
+  }
+  return result_;
+}
+
+void Simulation::on_job_arrival(std::size_t job_idx) {
+  JobState& job = jobs_[job_idx];
+  if (job.rec->structure == trace::JobStructure::kBagOfTasks) {
+    for (std::size_t i = 0; i < job.rec->tasks.size(); ++i) {
+      make_ready(job.first_task + i);
+    }
+  } else {
+    job.next_sequential = 1;
+    make_ready(job.first_task);
+  }
+  try_dispatch();
+}
+
+void Simulation::make_ready(std::size_t task_idx) {
+  TaskState& t = tasks_[task_idx];
+  t.phase = Phase::kQueued;
+  t.last_enqueue_s = engine_.now();
+  if (t.first_ready_s < 0.0) t.first_ready_s = engine_.now();
+  pending_.push_back(task_idx);
+}
+
+void Simulation::init_controller(TaskState& t) {
+  const core::FailureStats stats = predictor_(*t.rec, t.priority);
+  std::optional<storage::DeviceKind> forced;
+  if (config_.placement == PlacementMode::kForceLocal) {
+    forced = storage::DeviceKind::kLocalRamdisk;
+  } else if (config_.placement == PlacementMode::kForceShared) {
+    forced = config_.shared_kind;
+  }
+  // The planner sees the parser's *predicted* length; execution still ends
+  // at the true length.
+  const double planned_length =
+      config_.length_predictor
+          ? std::max(1.0, config_.length_predictor(*t.rec))
+          : t.rec->length_s;
+  t.controller.emplace(policy_, planned_length, t.rec->memory_mb, stats,
+                       config_.adaptation, config_.shared_kind, forced);
+  t.backend = backend_for(t.controller->storage_decision().device);
+}
+
+void Simulation::try_dispatch() {
+  // Repeatedly sweep the pending queue; each successful placement may unlock
+  // nothing further (memory only shrinks), so one pass per change suffices,
+  // but we loop until a full pass makes no progress for simplicity.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      TaskState& t = tasks_[*it];
+      if (dispatch(t)) {
+        it = pending_.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+bool Simulation::dispatch(TaskState& t) {
+  // The paper restarts failed tasks "on another host"; fall back to any host
+  // if no other host fits.
+  std::optional<VmId> vm = cluster_.select_vm(t.rec->memory_mb,
+                                              t.last_failed_host);
+  if (!vm && t.last_failed_host) {
+    vm = cluster_.select_vm(t.rec->memory_mb);
+  }
+  if (!vm) return false;
+
+  if (!cluster_.vm(*vm).allocate(t.rec->memory_mb)) {
+    throw std::logic_error("Simulation::dispatch: allocation failed");
+  }
+  t.vm = vm;
+  t.queue_s += engine_.now() - t.last_enqueue_s;
+  t.last_sync_s = engine_.now();
+
+  if (!t.controller) init_controller(t);
+
+  if (t.pay_restart) {
+    const double r = t.backend->restart_cost(t.rec->memory_mb);
+    t.restart_cost_s += r;
+    t.phase = Phase::kRestoring;
+    t.phase_end_active = t.active_s + r;
+    t.controller->on_rollback(t.saved_s);
+  } else {
+    t.phase = Phase::kExecuting;
+  }
+  arm(t);
+  return true;
+}
+
+void Simulation::sync_clock(TaskState& t) {
+  const double elapsed = engine_.now() - t.last_sync_s;
+  if (elapsed > 0.0) {
+    t.active_s += elapsed;
+    if (t.phase == Phase::kExecuting) t.progress_s += elapsed;
+  }
+  t.last_sync_s = engine_.now();
+}
+
+void Simulation::cancel_pending(TaskState& t) {
+  if (t.pending_event) {
+    engine_.cancel(*t.pending_event);
+    t.pending_event.reset();
+  }
+}
+
+void Simulation::arm(TaskState& t) {
+  cancel_pending(t);
+
+  // All candidate wakeups, as deltas from now (== deltas in active time,
+  // since the task is on a VM whenever arm() runs).
+  double best_delta = kInf;
+  Wakeup best = Wakeup::kComplete;
+
+  auto consider = [&](double delta, Wakeup kind) {
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = kind;
+    }
+  };
+
+  // Kill event from the trace.
+  if (t.next_failure < t.rec->failure_dates.size()) {
+    consider(t.rec->failure_dates[t.next_failure] - t.active_s, Wakeup::kKill);
+  }
+  // Scheduled priority change (active-time driven).
+  if (t.priority_change_pending) {
+    consider(t.rec->priority_change_time - t.active_s,
+             Wakeup::kPriorityChange);
+  }
+
+  switch (t.phase) {
+    case Phase::kExecuting: {
+      consider(t.rec->length_s - t.progress_s, Wakeup::kComplete);
+      const auto next_ckpt =
+          t.controller->work_until_next_checkpoint(t.progress_s);
+      if (next_ckpt) consider(*next_ckpt, Wakeup::kCheckpointDue);
+      break;
+    }
+    case Phase::kRestoring:
+      consider(t.phase_end_active - t.active_s, Wakeup::kRestoreDone);
+      break;
+    case Phase::kCheckpointing:
+      consider(t.phase_end_active - t.active_s, Wakeup::kCheckpointDone);
+      break;
+    default:
+      throw std::logic_error("Simulation::arm: task not on a VM");
+  }
+
+  if (best_delta == kInf) {
+    throw std::logic_error("Simulation::arm: no wakeup candidate");
+  }
+  best_delta = std::max(0.0, best_delta);
+  const std::size_t idx = t.index;
+  const Wakeup kind = best;
+  t.pending_event =
+      engine_.schedule_in(best_delta, [this, idx, kind] { wake(idx, kind); });
+}
+
+void Simulation::wake(std::size_t task_idx, Wakeup kind) {
+  TaskState& t = tasks_[task_idx];
+  t.pending_event.reset();
+  sync_clock(t);
+  switch (kind) {
+    case Wakeup::kKill:
+      handle_kill(t);
+      break;
+    case Wakeup::kPriorityChange:
+      handle_priority_change(t);
+      break;
+    case Wakeup::kCheckpointDue:
+      handle_checkpoint_due(t);
+      break;
+    case Wakeup::kCheckpointDone:
+      handle_checkpoint_done(t);
+      break;
+    case Wakeup::kRestoreDone:
+      handle_restore_done(t);
+      break;
+    case Wakeup::kComplete:
+      handle_complete(t);
+      break;
+  }
+}
+
+void Simulation::leave_vm(TaskState& t) {
+  if (t.vm) {
+    cluster_.vm(*t.vm).release(t.rec->memory_mb);
+    t.vm.reset();
+  }
+}
+
+void Simulation::handle_kill(TaskState& t) {
+  ++t.failures;
+  ++t.next_failure;
+  // Refund the unspent part of an interrupted checkpoint or restore phase:
+  // the cost was charged in full when the phase began, but the kill cuts it
+  // short (the wall-clock only absorbed the elapsed portion).
+  if (t.phase == Phase::kCheckpointing) {
+    t.checkpoint_cost_s -= std::max(0.0, t.phase_end_active - t.active_s);
+  } else if (t.phase == Phase::kRestoring) {
+    t.restart_cost_s -= std::max(0.0, t.phase_end_active - t.active_s);
+  }
+  // Roll back: progress since the last completed checkpoint is lost. A
+  // checkpoint in flight is lost too (it never completed).
+  t.rollback_s += t.progress_s - t.saved_s;
+  t.progress_s = t.saved_s;
+  t.last_failed_host = cluster_.vm(*t.vm).host();
+  leave_vm(t);
+  t.pay_restart = true;
+  t.phase = Phase::kQueued;
+
+  // Failure detection latency before the task may be rescheduled.
+  const double delay = config_.detection_delay_s;
+  const std::size_t idx = t.index;
+  if (delay > 0.0) {
+    engine_.schedule_in(delay, [this, idx] {
+      make_ready(idx);
+      try_dispatch();
+    });
+    t.phase = Phase::kNotReady;
+  } else {
+    t.last_enqueue_s = engine_.now();
+    pending_.push_back(idx);
+    try_dispatch();
+  }
+}
+
+void Simulation::handle_priority_change(TaskState& t) {
+  t.priority_change_pending = false;
+  t.priority = t.rec->new_priority;
+  t.controller->update_stats(predictor_(*t.rec, t.priority), t.progress_s);
+  arm(t);  // same phase continues with refreshed wakeups
+}
+
+void Simulation::handle_checkpoint_due(TaskState& t) {
+  const auto ticket =
+      t.backend->begin_checkpoint(t.rec->memory_mb, cluster_.vm(*t.vm).host());
+  ++t.checkpoints;
+  t.checkpoint_cost_s += ticket.cost;
+  t.ckpt_progress_s = t.progress_s;
+  t.phase = Phase::kCheckpointing;
+  t.phase_end_active = t.active_s + ticket.cost;
+
+  // The device stays busy for the full operation time, independently of the
+  // task's fate (a killed task's half-written checkpoint still occupied the
+  // server).
+  storage::StorageBackend* backend = t.backend;
+  const std::uint64_t op = ticket.op_id;
+  engine_.schedule_in(ticket.op_time,
+                      [backend, op] { backend->end_checkpoint(op); });
+  arm(t);
+}
+
+void Simulation::handle_checkpoint_done(TaskState& t) {
+  t.saved_s = t.ckpt_progress_s;
+  t.controller->on_checkpoint(t.saved_s);
+  t.phase = Phase::kExecuting;
+  arm(t);
+}
+
+void Simulation::handle_restore_done(TaskState& t) {
+  t.phase = Phase::kExecuting;
+  arm(t);
+}
+
+void Simulation::handle_complete(TaskState& t) {
+  t.progress_s = t.rec->length_s;
+  t.phase = Phase::kDone;
+  t.done_s = engine_.now();
+  leave_vm(t);
+
+  JobState& job = jobs_[t.job];
+  if (job.rec->structure == trace::JobStructure::kSequentialTasks &&
+      job.next_sequential < job.rec->tasks.size()) {
+    make_ready(job.first_task + job.next_sequential);
+    ++job.next_sequential;
+  }
+  if (--job.remaining == 0) finish_job(job);
+  try_dispatch();
+}
+
+void Simulation::finish_job(JobState& job) {
+  job.done = true;
+  metrics::JobOutcome out;
+  out.job_id = job.rec->id;
+  out.bag_of_tasks = job.rec->structure == trace::JobStructure::kBagOfTasks;
+  out.priority = job.rec->tasks.empty() ? 1 : job.rec->tasks.front().priority;
+  out.wallclock_s = engine_.now() - job.rec->arrival_s;
+  for (std::size_t i = 0; i < job.rec->tasks.size(); ++i) {
+    const TaskState& t = tasks_[job.first_task + i];
+    out.workload_s += t.rec->length_s;
+    out.task_wallclock_s += t.done_s - t.first_ready_s;
+    out.queue_s += t.queue_s;
+    out.checkpoint_s += t.checkpoint_cost_s;
+    out.rollback_s += t.rollback_s;
+    out.restart_s += t.restart_cost_s;
+    out.checkpoints += t.checkpoints;
+    out.failures += t.failures;
+    out.max_task_length_s = std::max(out.max_task_length_s, t.rec->length_s);
+  }
+  result_.outcomes.push_back(out);
+}
+
+}  // namespace cloudcr::sim

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file simulation.hpp
+/// \brief Trace replay: the full cloud job processing procedure of Fig 2.
+///
+/// Jobs arrive at their trace timestamps; tasks wait in a pending queue until
+/// the greedy placement finds a VM with enough free memory; each running task
+/// is driven by a CheckpointController (Algorithm 1) that schedules
+/// equidistant checkpoints on its chosen storage device; kill/evict events
+/// from the trace interrupt tasks, which roll back to their last completed
+/// checkpoint and restart on another host, paying the migration-appropriate
+/// restart cost. All costs are accounted per task and aggregated per job into
+/// metrics::JobOutcome, from which WPR (Formula 9) is computed.
+///
+/// Failure dates are consumed in the task's *active time* (time spent on a
+/// VM), so replaying the same trace under different policies delivers
+/// identical kill sequences — the paper's paired-comparison methodology.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/policy.hpp"
+#include "sim/cluster.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/result.hpp"
+#include "storage/backend.hpp"
+#include "trace/records.hpp"
+
+namespace cloudcr::sim {
+
+/// Replays one trace under one policy. Single-use: construct, run(), read
+/// the result.
+class Simulation {
+ public:
+  /// \param config    simulation parameters
+  /// \param policy    checkpoint-interval policy (must outlive run())
+  /// \param predictor failure-statistics source for controllers
+  Simulation(SimConfig config, const core::CheckpointPolicy& policy,
+             StatsPredictor predictor);
+
+  /// Replays the trace to completion and returns the aggregated result.
+  SimResult run(const trace::Trace& trace);
+
+ private:
+  enum class Phase : std::uint8_t {
+    kNotReady,       ///< ST successor waiting for its predecessor
+    kQueued,         ///< in the pending queue
+    kRestoring,      ///< paying the restart cost on a VM
+    kExecuting,      ///< making productive progress
+    kCheckpointing,  ///< blocked while a checkpoint is written
+    kDone,
+  };
+
+  enum class Wakeup : std::uint8_t {
+    kKill,
+    kPriorityChange,
+    kCheckpointDue,
+    kCheckpointDone,
+    kRestoreDone,
+    kComplete,
+  };
+
+  struct TaskState {
+    const trace::TaskRecord* rec = nullptr;
+    std::size_t job = 0;
+    std::size_t index = 0;  // global task index
+
+    Phase phase = Phase::kNotReady;
+    double progress_s = 0.0;  ///< productive work completed
+    double saved_s = 0.0;     ///< progress at last completed checkpoint
+    double active_s = 0.0;    ///< accrued on-VM time (failure-date clock)
+    double last_sync_s = 0.0; ///< sim time of last clock sync
+    std::size_t next_failure = 0;
+    int priority = 1;
+    bool priority_change_pending = false;
+
+    std::optional<VmId> vm;
+    std::optional<HostId> last_failed_host;
+    bool pay_restart = false;
+
+    std::optional<core::CheckpointController> controller;
+    storage::StorageBackend* backend = nullptr;
+
+    /// Active-time value at which the current restore/checkpoint phase ends.
+    double phase_end_active = 0.0;
+    /// Progress being saved by the in-flight checkpoint.
+    double ckpt_progress_s = 0.0;
+
+    std::optional<EventId> pending_event;
+
+    // Accounting.
+    double first_ready_s = -1.0;
+    double last_enqueue_s = 0.0;
+    double done_s = 0.0;
+    double queue_s = 0.0;
+    double checkpoint_cost_s = 0.0;
+    double rollback_s = 0.0;
+    double restart_cost_s = 0.0;
+    std::size_t checkpoints = 0;
+    std::size_t failures = 0;
+  };
+
+  struct JobState {
+    const trace::JobRecord* rec = nullptr;
+    std::size_t first_task = 0;   ///< global index of the job's first task
+    std::size_t remaining = 0;
+    std::size_t next_sequential = 0;
+    bool done = false;
+  };
+
+  // -- event plumbing -------------------------------------------------------
+  void on_job_arrival(std::size_t job_idx);
+  void make_ready(std::size_t task_idx);
+  void try_dispatch();
+  bool dispatch(TaskState& t);
+  void arm(TaskState& t);
+  void wake(std::size_t task_idx, Wakeup kind);
+
+  // -- handlers (clock already synced) --------------------------------------
+  void handle_kill(TaskState& t);
+  void handle_priority_change(TaskState& t);
+  void handle_checkpoint_due(TaskState& t);
+  void handle_checkpoint_done(TaskState& t);
+  void handle_restore_done(TaskState& t);
+  void handle_complete(TaskState& t);
+
+  // -- helpers ---------------------------------------------------------------
+  /// Accrues active (and productive) time since the last sync.
+  void sync_clock(TaskState& t);
+  void cancel_pending(TaskState& t);
+  void leave_vm(TaskState& t);
+  void finish_job(JobState& job);
+  [[nodiscard]] storage::StorageBackend* backend_for(
+      storage::DeviceKind kind);
+  void init_controller(TaskState& t);
+
+  SimConfig config_;
+  const core::CheckpointPolicy& policy_;
+  StatsPredictor predictor_;
+
+  Engine engine_;
+  Cluster cluster_;
+  stats::Rng rng_;
+  std::unique_ptr<storage::StorageBackend> local_backend_;
+  std::unique_ptr<storage::StorageBackend> shared_backend_;
+
+  std::vector<TaskState> tasks_;
+  std::vector<JobState> jobs_;
+  std::deque<std::size_t> pending_;
+
+  SimResult result_;
+};
+
+}  // namespace cloudcr::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file distribution.hpp
+/// \brief Abstract interface for univariate probability distributions.
+///
+/// The paper's analysis (Theorem 1) is distribution-free: the optimal number
+/// of checkpoint intervals depends only on E(Y), the expected number of
+/// failures. To *test* that claim we need a family of concrete failure-
+/// interval distributions — exponential (Young's assumption), the Pareto
+/// shape observed in the Google trace (Fig 5), and the families the paper
+/// fits with MLE. All of them implement this interface.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace cloudcr::stats {
+
+/// A univariate real-valued probability distribution.
+///
+/// Implementations must be immutable after construction; sampling mutates
+/// only the caller-provided Rng, which keeps distributions shareable across
+/// threads with per-thread generators.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Human-readable family name, e.g. "exponential(lambda=0.004)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Probability density (or mass for discrete families) at x.
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+
+  /// Cumulative distribution function P(X <= x).
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+
+  /// Quantile function (inverse CDF). Requires p in [0, 1].
+  [[nodiscard]] virtual double quantile(double p) const = 0;
+
+  /// Distribution mean; may be +infinity (e.g. Pareto with alpha <= 1).
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Distribution variance; may be +infinity.
+  [[nodiscard]] virtual double variance() const = 0;
+
+  /// Draws one variate.
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+
+  /// Draws n variates (convenience; default loops over sample()).
+  [[nodiscard]] std::vector<double> sample_n(Rng& rng, std::size_t n) const;
+
+  /// Deep copy, preserving the dynamic type.
+  [[nodiscard]] virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+}  // namespace cloudcr::stats

@@ -1,0 +1,62 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudcr::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("EmpiricalCdf: empty sample set");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  double acc = 0.0;
+  for (double v : sorted_) acc += v;
+  mean_ = acc / static_cast<double>(sorted_.size());
+  if (sorted_.size() > 1) {
+    double ss = 0.0;
+    for (double v : sorted_) ss += (v - mean_) * (v - mean_);
+    variance_ = ss / static_cast<double>(sorted_.size() - 1);
+  }
+}
+
+double EmpiricalCdf::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("EmpiricalCdf::quantile: p out of [0,1]");
+  }
+  const std::size_t n = sorted_.size();
+  if (n == 1) return sorted_.front();
+  const double h = p * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = h - std::floor(h);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+std::vector<CdfPoint> cdf_series(const EmpiricalCdf& cdf, std::size_t points) {
+  return cdf_series(cdf, points, cdf.min(), cdf.max());
+}
+
+std::vector<CdfPoint> cdf_series(const EmpiricalCdf& cdf, std::size_t points,
+                                 double x_lo, double x_hi) {
+  if (points < 2) throw std::invalid_argument("cdf_series: points < 2");
+  std::vector<CdfPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        x_lo + (x_hi - x_lo) * static_cast<double>(i) /
+                   static_cast<double>(points - 1);
+    out.push_back({x, cdf.cdf(x)});
+  }
+  return out;
+}
+
+}  // namespace cloudcr::stats

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file empirical.hpp
+/// \brief Empirical CDFs and quantiles from observed samples.
+///
+/// Used to reproduce every CDF figure of the paper (Figs 4, 5, 8, 9, 11, 14)
+/// and as the reference curve for MLE goodness-of-fit (Fig 5).
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudcr::stats {
+
+/// Immutable empirical distribution over a sample set.
+class EmpiricalCdf {
+ public:
+  /// Builds from samples (copied and sorted). Throws on empty input.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// p-quantile with linear interpolation between order statistics
+  /// (type-7 / R default). Requires p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 for a single sample).
+  [[nodiscard]] double variance() const noexcept { return variance_; }
+
+  /// Sorted view of the underlying samples.
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+/// One point of a CDF series destined for a figure: (x, P(X <= x)).
+struct CdfPoint {
+  double x;
+  double p;
+};
+
+/// Evaluates the empirical CDF on `points` evenly spaced x values spanning
+/// [min, max] (or a caller-provided range), producing a plottable series.
+std::vector<CdfPoint> cdf_series(const EmpiricalCdf& cdf, std::size_t points);
+std::vector<CdfPoint> cdf_series(const EmpiricalCdf& cdf, std::size_t points,
+                                 double x_lo, double x_hi);
+
+}  // namespace cloudcr::stats

@@ -1,0 +1,209 @@
+#include "stats/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace cloudcr::stats {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void require_nonempty(std::span<const double> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("fitting: empty sample set");
+  }
+}
+
+double sample_mean(std::span<const double> samples) {
+  double acc = 0.0;
+  for (double v : samples) acc += v;
+  return acc / static_cast<double>(samples.size());
+}
+
+FitResult finish(std::string family, DistributionPtr dist,
+                 std::span<const double> samples, int n_params) {
+  FitResult r;
+  r.family = std::move(family);
+  if (dist == nullptr) {
+    r.dist = nullptr;
+    r.log_likelihood = -kInf;
+    r.aic = kInf;
+    r.ks_statistic = 1.0;
+    return r;
+  }
+  r.log_likelihood = log_likelihood(samples, *dist);
+  r.aic = 2.0 * n_params - 2.0 * r.log_likelihood;
+  r.ks_statistic = ks_statistic(samples, *dist);
+  r.dist = std::move(dist);
+  return r;
+}
+
+}  // namespace
+
+double ks_statistic(std::span<const double> samples,
+                    const Distribution& dist) {
+  require_nonempty(samples);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = dist.cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return d;
+}
+
+double log_likelihood(std::span<const double> samples,
+                      const Distribution& dist) {
+  double acc = 0.0;
+  for (double v : samples) {
+    const double p = dist.pdf(v);
+    if (p <= 0.0) return -kInf;
+    acc += std::log(p);
+  }
+  return acc;
+}
+
+FitResult fit_exponential(std::span<const double> samples) {
+  require_nonempty(samples);
+  const double m = sample_mean(samples);
+  if (m <= 0.0) return finish("exponential", nullptr, samples, 1);
+  return finish("exponential", std::make_unique<Exponential>(1.0 / m), samples,
+                1);
+}
+
+FitResult fit_normal(std::span<const double> samples) {
+  require_nonempty(samples);
+  const double m = sample_mean(samples);
+  double ss = 0.0;
+  for (double v : samples) ss += (v - m) * (v - m);
+  const double sigma =
+      std::sqrt(ss / static_cast<double>(samples.size()));
+  if (sigma <= 0.0) return finish("normal", nullptr, samples, 2);
+  return finish("normal", std::make_unique<Normal>(m, sigma), samples, 2);
+}
+
+FitResult fit_laplace(std::span<const double> samples) {
+  require_nonempty(samples);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const double median = (n % 2 == 1)
+                            ? sorted[n / 2]
+                            : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double mad = 0.0;
+  for (double v : sorted) mad += std::abs(v - median);
+  mad /= static_cast<double>(n);
+  if (mad <= 0.0) return finish("laplace", nullptr, samples, 2);
+  return finish("laplace", std::make_unique<Laplace>(median, mad), samples, 2);
+}
+
+FitResult fit_pareto(std::span<const double> samples) {
+  require_nonempty(samples);
+  const double xm = *std::min_element(samples.begin(), samples.end());
+  if (xm <= 0.0) return finish("pareto", nullptr, samples, 2);
+  double acc = 0.0;
+  for (double v : samples) acc += std::log(v / xm);
+  if (acc <= 0.0) return finish("pareto", nullptr, samples, 2);
+  const double alpha = static_cast<double>(samples.size()) / acc;
+  return finish("pareto", std::make_unique<Pareto>(alpha, xm), samples, 2);
+}
+
+FitResult fit_geometric(std::span<const double> samples) {
+  require_nonempty(samples);
+  // Interpret each (continuous) interval as a whole number of unit slots.
+  double acc = 0.0;
+  for (double v : samples) acc += std::max(1.0, std::ceil(v));
+  const double m = acc / static_cast<double>(samples.size());
+  const double p = 1.0 / m;
+  if (p <= 0.0 || p > 1.0) return finish("geometric", nullptr, samples, 1);
+  auto dist = std::make_unique<Geometric>(p);
+  // KS/logL evaluated against the rounded samples (the family is discrete).
+  std::vector<double> rounded;
+  rounded.reserve(samples.size());
+  for (double v : samples) rounded.push_back(std::max(1.0, std::ceil(v)));
+  return finish("geometric", std::move(dist), rounded, 1);
+}
+
+FitResult fit_weibull(std::span<const double> samples) {
+  require_nonempty(samples);
+  for (double v : samples) {
+    if (v <= 0.0) return finish("weibull", nullptr, samples, 2);
+  }
+  // Newton iteration on g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0.
+  double mean_ln = 0.0;
+  for (double v : samples) mean_ln += std::log(v);
+  mean_ln /= static_cast<double>(samples.size());
+
+  double k = 1.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (double v : samples) {
+      const double xk = std::pow(v, k);
+      const double lx = std::log(v);
+      s0 += xk;
+      s1 += xk * lx;
+      s2 += xk * lx * lx;
+    }
+    const double g = s1 / s0 - 1.0 / k - mean_ln;
+    const double gp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+    if (gp == 0.0) break;
+    const double next = k - g / gp;
+    if (!(next > 0.0) || !std::isfinite(next)) break;
+    if (std::abs(next - k) < 1e-10 * k) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  if (!(k > 0.0) || !std::isfinite(k)) {
+    return finish("weibull", nullptr, samples, 2);
+  }
+  double sk = 0.0;
+  for (double v : samples) sk += std::pow(v, k);
+  const double scale =
+      std::pow(sk / static_cast<double>(samples.size()), 1.0 / k);
+  return finish("weibull", std::make_unique<Weibull>(k, scale), samples, 2);
+}
+
+FitResult fit_lognormal(std::span<const double> samples) {
+  require_nonempty(samples);
+  for (double v : samples) {
+    if (v <= 0.0) return finish("lognormal", nullptr, samples, 2);
+  }
+  double m = 0.0;
+  for (double v : samples) m += std::log(v);
+  m /= static_cast<double>(samples.size());
+  double ss = 0.0;
+  for (double v : samples) {
+    const double d = std::log(v) - m;
+    ss += d * d;
+  }
+  const double sigma = std::sqrt(ss / static_cast<double>(samples.size()));
+  if (sigma <= 0.0) return finish("lognormal", nullptr, samples, 2);
+  return finish("lognormal", std::make_unique<LogNormal>(m, sigma), samples, 2);
+}
+
+std::vector<FitResult> fit_all(std::span<const double> samples) {
+  std::vector<FitResult> fits;
+  fits.push_back(fit_exponential(samples));
+  fits.push_back(fit_geometric(samples));
+  fits.push_back(fit_laplace(samples));
+  fits.push_back(fit_normal(samples));
+  fits.push_back(fit_pareto(samples));
+  std::sort(fits.begin(), fits.end(),
+            [](const FitResult& a, const FitResult& b) {
+              return a.ks_statistic < b.ks_statistic;
+            });
+  return fits;
+}
+
+}  // namespace cloudcr::stats

@@ -1,0 +1,45 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudcr::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: requires lo < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: requires bins >= 1");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_hi");
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::frequency(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::frequency");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+}  // namespace cloudcr::stats

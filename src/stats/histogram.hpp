@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file histogram.hpp
+/// \brief Fixed-width histogram for quick distribution summaries in benches.
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudcr::stats {
+
+/// Fixed-width histogram over [lo, hi) with under/overflow buckets.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width buckets spanning [lo, hi). Throws unless
+  /// lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Inclusive lower edge of a bucket.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of a bucket.
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Fraction of all observations (including under/overflow) in the bucket.
+  [[nodiscard]] double frequency(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cloudcr::stats

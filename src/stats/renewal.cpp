@@ -1,0 +1,45 @@
+#include "stats/renewal.hpp"
+
+#include <stdexcept>
+
+namespace cloudcr::stats {
+
+std::vector<double> sample_renewal_events(const Distribution& interval_dist,
+                                          double horizon, Rng& rng,
+                                          std::size_t max_events) {
+  if (horizon < 0.0) {
+    throw std::invalid_argument("sample_renewal_events: negative horizon");
+  }
+  std::vector<double> events;
+  double t = 0.0;
+  while (events.size() < max_events) {
+    const double gap = interval_dist.sample(rng);
+    if (!(gap > 0.0)) continue;  // defensive: skip degenerate draws
+    t += gap;
+    if (t > horizon) break;
+    events.push_back(t);
+  }
+  return events;
+}
+
+double expected_events_monte_carlo(const Distribution& interval_dist,
+                                   double horizon, Rng& rng,
+                                   std::size_t trials) {
+  if (trials == 0) {
+    throw std::invalid_argument("expected_events_monte_carlo: zero trials");
+  }
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    total += sample_renewal_events(interval_dist, horizon, rng).size();
+  }
+  return static_cast<double>(total) / static_cast<double>(trials);
+}
+
+double expected_events_poisson(double lambda, double horizon) {
+  if (lambda < 0.0 || horizon < 0.0) {
+    throw std::invalid_argument("expected_events_poisson: negative argument");
+  }
+  return lambda * horizon;
+}
+
+}  // namespace cloudcr::stats

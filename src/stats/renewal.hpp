@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file renewal.hpp
+/// \brief Renewal-process sampling of failure event dates.
+///
+/// Task failures in the paper's model strike a task at dates T_1 < T_2 < ...
+/// whose gaps are drawn from a failure-interval distribution (exponential for
+/// Young's assumption, Pareto-tailed mixtures for the Google trace). This
+/// module turns an interval distribution into concrete event dates over a
+/// horizon, and computes the theoretical E(Y) consumed by Formula (3).
+
+#include <vector>
+
+#include "stats/distribution.hpp"
+#include "stats/rng.hpp"
+
+namespace cloudcr::stats {
+
+/// Samples failure dates in (0, horizon] from a renewal process whose
+/// inter-event gaps follow `interval_dist`. The process starts at time 0
+/// (i.e. the first event happens after one full interval).
+std::vector<double> sample_renewal_events(const Distribution& interval_dist,
+                                          double horizon, Rng& rng,
+                                          std::size_t max_events = 100000);
+
+/// Estimates the expected number of renewal events in (0, horizon] by Monte
+/// Carlo over `trials` sampled processes. This is the ground-truth E(Y) used
+/// by "precise prediction" experiments (Table 6).
+double expected_events_monte_carlo(const Distribution& interval_dist,
+                                   double horizon, Rng& rng,
+                                   std::size_t trials = 2000);
+
+/// Expected events for a *Poisson* process with the given rate over the
+/// horizon — the closed form E(Y) = lambda * horizon used by Corollary 1.
+double expected_events_poisson(double lambda, double horizon);
+
+}  // namespace cloudcr::stats

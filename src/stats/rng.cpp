@@ -1,0 +1,109 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+
+namespace cloudcr::stats {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // xoshiro must not start from the all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire-style rejection-free-in-expectation bounded generation.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+void Rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+  has_cached_normal_ = false;
+}
+
+Rng Rng::split(unsigned n_jumps) const noexcept {
+  Rng child = *this;
+  for (unsigned i = 0; i < n_jumps; ++i) child.jump();
+  return child;
+}
+
+}  // namespace cloudcr::stats

@@ -1,0 +1,73 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cloudcr::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEps = 1e-14;
+constexpr double kTiny = 1e-300;
+
+/// Series representation: P(a,x) = e^{-x} x^a / Gamma(a) * sum x^n /
+/// (a (a+1) ... (a+n)).
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued fraction (modified Lentz) for Q(a,x); P = 1 - Q.
+double gamma_q_continued_fraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  if (a <= 0.0) {
+    throw std::invalid_argument("regularized_gamma_p: a must be > 0");
+  }
+  if (x < 0.0) {
+    throw std::invalid_argument("regularized_gamma_p: x must be >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  // The exp() argument underflows for extreme x; both branches return the
+  // mathematically correct limit in that regime (0 or 1 respectively).
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double erlang_cdf(int k, double rate, double t) {
+  if (k < 1) throw std::invalid_argument("erlang_cdf: k must be >= 1");
+  if (rate <= 0.0) throw std::invalid_argument("erlang_cdf: rate must be > 0");
+  if (t <= 0.0) return 0.0;
+  return regularized_gamma_p(static_cast<double>(k), rate * t);
+}
+
+}  // namespace cloudcr::stats

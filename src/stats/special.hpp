@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file special.hpp
+/// \brief Special functions needed by the failure model's closed forms.
+
+namespace cloudcr::stats {
+
+/// Regularized lower incomplete gamma function P(a, x) = gamma(a, x)/Gamma(a)
+/// for a > 0, x >= 0. Uses the series expansion for x < a+1 and the Lentz
+/// continued fraction otherwise; accurate to ~1e-12 and stable for the very
+/// large x (x >> a) that appear as E(Y) horizons.
+double regularized_gamma_p(double a, double x);
+
+/// P(Erlang(k, rate) <= t): the probability that the k-th event of a Poisson
+/// process of the given rate arrives by time t. Equals P(k, rate*t).
+double erlang_cdf(int k, double rate, double t);
+
+}  // namespace cloudcr::stats

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file summary.hpp
+/// \brief Streaming summary statistics (Welford) and min/avg/max groupings.
+///
+/// The paper reports min/avg/max in Tables 2, 3 and Fig 10; this accumulator
+/// is the single implementation behind all of them.
+
+#include <cstddef>
+#include <limits>
+
+namespace cloudcr::stats {
+
+/// Numerically stable streaming accumulator for count/mean/variance/min/max.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-reduction friendly).
+  void merge(const Summary& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Mean of the observations; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace cloudcr::stats

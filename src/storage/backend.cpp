@@ -1,0 +1,126 @@
+#include "storage/backend.hpp"
+
+#include <stdexcept>
+
+namespace cloudcr::storage {
+
+namespace {
+
+double apply_noise(double value, stats::Rng* rng, double noise) {
+  if (noise <= 0.0 || rng == nullptr) return value;
+  return value * rng->uniform(1.0 - noise, 1.0 + noise);
+}
+
+}  // namespace
+
+double StorageBackend::restart_cost(double mem_mb) const {
+  return storage::restart_cost(kind(), mem_mb);
+}
+
+// --------------------------------------------------------- LocalRamdiskBackend
+
+LocalRamdiskBackend::LocalRamdiskBackend(stats::Rng* rng, double noise)
+    : rng_(rng), noise_(noise) {}
+
+CheckpointTicket LocalRamdiskBackend::begin_checkpoint(double mem_mb,
+                                                       std::size_t host_id) {
+  CheckpointTicket t;
+  t.op_id = next_id_++;
+  t.cost = apply_noise(checkpoint_cost(DeviceKind::kLocalRamdisk, mem_mb),
+                       rng_, noise_);
+  t.op_time = t.cost;  // ramdisk writes are synchronous memory copies
+  t.server = host_id;  // data lands on the writing host itself
+  active_.emplace(t.op_id, host_id);
+  return t;
+}
+
+void LocalRamdiskBackend::end_checkpoint(std::uint64_t op_id) {
+  active_.erase(op_id);
+}
+
+// ------------------------------------------------------------ SharedNfsBackend
+
+SharedNfsBackend::SharedNfsBackend(stats::Rng* rng, double noise,
+                                   double contention_slope)
+    : rng_(rng), noise_(noise), contention_(contention_slope) {}
+
+CheckpointTicket SharedNfsBackend::begin_checkpoint(double mem_mb,
+                                                    std::size_t host_id) {
+  CheckpointTicket t;
+  t.op_id = next_id_++;
+  const std::size_t writers = active_.size() + 1;  // including this op
+  const double mult = contention_.multiplier(writers);
+  t.cost = apply_noise(
+      checkpoint_cost(DeviceKind::kSharedNfs, mem_mb) * mult, rng_, noise_);
+  t.op_time = apply_noise(
+      checkpoint_op_time(DeviceKind::kSharedNfs, mem_mb) * mult, rng_, noise_);
+  t.server = 0;  // single server
+  active_.emplace(t.op_id, host_id);
+  return t;
+}
+
+void SharedNfsBackend::end_checkpoint(std::uint64_t op_id) {
+  active_.erase(op_id);
+}
+
+// ---------------------------------------------------------------- DmNfsBackend
+
+DmNfsBackend::DmNfsBackend(std::size_t n_servers, stats::Rng& rng,
+                           double noise, double contention_slope)
+    : rng_(rng),
+      noise_(noise),
+      contention_(contention_slope),
+      per_server_active_(n_servers, 0) {
+  if (n_servers == 0) {
+    throw std::invalid_argument("DmNfsBackend: needs at least one server");
+  }
+}
+
+CheckpointTicket DmNfsBackend::begin_checkpoint(double mem_mb,
+                                                std::size_t /*host_id*/) {
+  CheckpointTicket t;
+  t.op_id = next_id_++;
+  t.server = rng_.uniform_index(per_server_active_.size());
+  const std::size_t writers = per_server_active_[t.server] + 1;
+  const double mult = contention_.multiplier(writers);
+  // DM-NFS is an NFS server per host, so single-writer pricing matches NFS.
+  t.cost = apply_noise(
+      checkpoint_cost(DeviceKind::kSharedNfs, mem_mb) * mult, &rng_, noise_);
+  t.op_time =
+      apply_noise(checkpoint_op_time(DeviceKind::kSharedNfs, mem_mb) * mult,
+                  &rng_, noise_);
+  ++per_server_active_[t.server];
+  op_server_.emplace(t.op_id, t.server);
+  return t;
+}
+
+void DmNfsBackend::end_checkpoint(std::uint64_t op_id) {
+  const auto it = op_server_.find(op_id);
+  if (it == op_server_.end()) return;
+  if (per_server_active_[it->second] > 0) --per_server_active_[it->second];
+  op_server_.erase(it);
+}
+
+std::size_t DmNfsBackend::active_ops() const noexcept {
+  return op_server_.size();
+}
+
+std::size_t DmNfsBackend::server_load(std::size_t server) const {
+  return per_server_active_.at(server);
+}
+
+std::unique_ptr<StorageBackend> make_backend(DeviceKind kind, stats::Rng& rng,
+                                             double noise,
+                                             std::size_t n_servers) {
+  switch (kind) {
+    case DeviceKind::kLocalRamdisk:
+      return std::make_unique<LocalRamdiskBackend>(&rng, noise);
+    case DeviceKind::kSharedNfs:
+      return std::make_unique<SharedNfsBackend>(&rng, noise);
+    case DeviceKind::kDmNfs:
+      return std::make_unique<DmNfsBackend>(n_servers, rng, noise);
+  }
+  throw std::invalid_argument("make_backend: unknown device kind");
+}
+
+}  // namespace cloudcr::storage

@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file backend.hpp
+/// \brief Simulation-facing checkpoint storage devices.
+///
+/// A backend prices each checkpoint operation at the moment it starts, from
+/// (a) the task's memory footprint (calibrated curves, Fig 7 / Table 4),
+/// (b) the number of checkpoints concurrently in flight on the same server
+///     (contention, Tables 2-3), and
+/// (c) optional multiplicative measurement noise, reproducing the min/avg/max
+///     spread the paper reports over 25 repetitions.
+///
+/// Ops already in flight are not repriced when new writers arrive; the paper
+/// measures steady-state parallel degrees, which this approximates.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "storage/calibration.hpp"
+#include "storage/contention.hpp"
+
+namespace cloudcr::storage {
+
+/// Handle returned when a checkpoint op begins.
+struct CheckpointTicket {
+  std::uint64_t op_id = 0;   ///< pass back to end_checkpoint()
+  double cost = 0.0;         ///< wall-clock increment charged to the task (s)
+  double op_time = 0.0;      ///< how long the device stays busy (s)
+  std::size_t server = 0;    ///< which server received the write
+};
+
+/// Relative half-width of the multiplicative measurement noise; matches the
+/// ~±10 % spread between the min and max rows of Tables 2-3.
+inline constexpr double kDefaultNoise = 0.10;
+
+/// A checkpoint storage device as seen by the simulator.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  [[nodiscard]] virtual DeviceKind kind() const noexcept = 0;
+
+  /// Starts a checkpoint of `mem_mb` megabytes originating from `host_id`.
+  virtual CheckpointTicket begin_checkpoint(double mem_mb,
+                                            std::size_t host_id) = 0;
+
+  /// Marks the op as finished; its server slot is released. Unknown ids are
+  /// ignored (idempotent).
+  virtual void end_checkpoint(std::uint64_t op_id) = 0;
+
+  /// Cost of restarting a `mem_mb` task from this device's checkpoints.
+  [[nodiscard]] virtual double restart_cost(double mem_mb) const;
+
+  /// Number of checkpoint ops currently in flight (across all servers).
+  [[nodiscard]] virtual std::size_t active_ops() const noexcept = 0;
+
+  /// Migration type implied by this device.
+  [[nodiscard]] MigrationType migration_type() const noexcept {
+    return migration_for_device(kind());
+  }
+};
+
+/// Per-VM local ramdisk: cheap writes, no contention, migration type A.
+class LocalRamdiskBackend final : public StorageBackend {
+ public:
+  /// noise = 0 disables the stochastic spread; rng may be null in that case.
+  explicit LocalRamdiskBackend(stats::Rng* rng = nullptr,
+                               double noise = 0.0);
+
+  [[nodiscard]] DeviceKind kind() const noexcept override {
+    return DeviceKind::kLocalRamdisk;
+  }
+  CheckpointTicket begin_checkpoint(double mem_mb,
+                                    std::size_t host_id) override;
+  void end_checkpoint(std::uint64_t op_id) override;
+  [[nodiscard]] std::size_t active_ops() const noexcept override {
+    return active_.size();
+  }
+
+ private:
+  stats::Rng* rng_;
+  double noise_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::size_t> active_;  // op -> host
+};
+
+/// Single shared NFS server: writes contend (cost grows ~linearly with the
+/// parallel degree), migration type B.
+class SharedNfsBackend final : public StorageBackend {
+ public:
+  explicit SharedNfsBackend(stats::Rng* rng = nullptr, double noise = 0.0,
+                            double contention_slope = kNfsContentionSlope);
+
+  [[nodiscard]] DeviceKind kind() const noexcept override {
+    return DeviceKind::kSharedNfs;
+  }
+  CheckpointTicket begin_checkpoint(double mem_mb,
+                                    std::size_t host_id) override;
+  void end_checkpoint(std::uint64_t op_id) override;
+  [[nodiscard]] std::size_t active_ops() const noexcept override {
+    return active_.size();
+  }
+
+ private:
+  stats::Rng* rng_;
+  double noise_;
+  LinearContention contention_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::size_t> active_;
+};
+
+/// Distributively-managed NFS (the paper's design): every host runs an NFS
+/// server and each checkpoint picks a server uniformly at random, so
+/// concurrent writers rarely share a server and the cost stays flat.
+class DmNfsBackend final : public StorageBackend {
+ public:
+  /// `n_servers` is the number of hosts, each exporting one NFS share.
+  /// DM-NFS requires an rng for server selection.
+  DmNfsBackend(std::size_t n_servers, stats::Rng& rng, double noise = 0.0,
+               double contention_slope = kNfsContentionSlope);
+
+  [[nodiscard]] DeviceKind kind() const noexcept override {
+    return DeviceKind::kDmNfs;
+  }
+  CheckpointTicket begin_checkpoint(double mem_mb,
+                                    std::size_t host_id) override;
+  void end_checkpoint(std::uint64_t op_id) override;
+  [[nodiscard]] std::size_t active_ops() const noexcept override;
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return per_server_active_.size();
+  }
+  /// Ops currently writing to one server (for contention validation tests).
+  [[nodiscard]] std::size_t server_load(std::size_t server) const;
+
+ private:
+  stats::Rng& rng_;
+  double noise_;
+  LinearContention contention_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::size_t> per_server_active_;
+  std::unordered_map<std::uint64_t, std::size_t> op_server_;
+};
+
+/// Factory covering all three devices. For kDmNfs, `n_servers` hosts are
+/// assumed; rng must outlive the backend.
+std::unique_ptr<StorageBackend> make_backend(DeviceKind kind, stats::Rng& rng,
+                                             double noise = 0.0,
+                                             std::size_t n_servers = 32);
+
+}  // namespace cloudcr::storage

@@ -1,0 +1,148 @@
+#include "storage/calibration.hpp"
+
+namespace cloudcr::storage {
+
+const char* device_name(DeviceKind kind) noexcept {
+  switch (kind) {
+    case DeviceKind::kLocalRamdisk:
+      return "local-ramdisk";
+    case DeviceKind::kSharedNfs:
+      return "nfs";
+    case DeviceKind::kDmNfs:
+      return "dm-nfs";
+  }
+  return "?";
+}
+
+const char* migration_name(MigrationType type) noexcept {
+  return type == MigrationType::kA ? "A" : "B";
+}
+
+MigrationType migration_for_device(DeviceKind kind) noexcept {
+  return kind == DeviceKind::kLocalRamdisk ? MigrationType::kA
+                                           : MigrationType::kB;
+}
+
+namespace calibration {
+
+const PiecewiseLinear& checkpoint_cost_local_ramdisk() {
+  // Fig 7(a): 0.016 s at 10 MB, 0.99 s at 240 MB; Table 2 X=1: 0.632 s at
+  // 160 MB.
+  static const PiecewiseLinear curve({{10.0, 0.016},
+                                      {20.0, 0.058},
+                                      {40.0, 0.141},
+                                      {80.0, 0.308},
+                                      {160.0, 0.632},
+                                      {240.0, 0.990}});
+  return curve;
+}
+
+const PiecewiseLinear& checkpoint_cost_nfs() {
+  // Fig 7(b): 0.25 s at 10 MB, 2.52 s at 240 MB; Table 2 X=1: 1.67 s at
+  // 160 MB.
+  static const PiecewiseLinear curve({{10.0, 0.250},
+                                      {20.0, 0.345},
+                                      {40.0, 0.534},
+                                      {80.0, 0.913},
+                                      {160.0, 1.670},
+                                      {240.0, 2.520}});
+  return curve;
+}
+
+const PiecewiseLinear& checkpoint_op_time_shared() {
+  // Table 4, all twelve measurement points.
+  static const PiecewiseLinear curve({{10.3, 0.33},
+                                      {22.3, 0.42},
+                                      {42.3, 0.60},
+                                      {46.3, 0.66},
+                                      {82.4, 1.46},
+                                      {86.4, 1.75},
+                                      {90.4, 2.09},
+                                      {94.4, 2.34},
+                                      {162.0, 3.68},
+                                      {174.0, 4.95},
+                                      {212.0, 5.47},
+                                      {240.0, 6.83}});
+  return curve;
+}
+
+const PiecewiseLinear& restart_cost_migration_a() {
+  // Table 5, row "migration type A".
+  static const PiecewiseLinear curve({{10.0, 0.71},
+                                      {20.0, 0.84},
+                                      {40.0, 1.23},
+                                      {80.0, 1.87},
+                                      {160.0, 3.22},
+                                      {240.0, 5.69}});
+  return curve;
+}
+
+const PiecewiseLinear& restart_cost_migration_b() {
+  // Table 5, row "migration type B".
+  static const PiecewiseLinear curve({{10.0, 0.37},
+                                      {20.0, 0.49},
+                                      {40.0, 0.54},
+                                      {80.0, 0.86},
+                                      {160.0, 1.45},
+                                      {240.0, 2.40}});
+  return curve;
+}
+
+const PiecewiseLinear& concurrent_cost_local_ramdisk() {
+  // Table 2, local ramdisk "avg" row, parallel degree 1-5.
+  static const PiecewiseLinear curve(
+      {{1.0, 0.632}, {2.0, 0.81}, {3.0, 0.74}, {4.0, 0.59}, {5.0, 0.58}});
+  return curve;
+}
+
+const PiecewiseLinear& concurrent_cost_nfs() {
+  // Table 2, NFS "avg" row.
+  static const PiecewiseLinear curve(
+      {{1.0, 1.67}, {2.0, 2.665}, {3.0, 5.38}, {4.0, 6.25}, {5.0, 8.95}});
+  return curve;
+}
+
+const PiecewiseLinear& concurrent_cost_dmnfs() {
+  // Table 3, DM-NFS "avg" row.
+  static const PiecewiseLinear curve(
+      {{1.0, 1.67}, {2.0, 1.49}, {3.0, 1.63}, {4.0, 1.75}, {5.0, 1.74}});
+  return curve;
+}
+
+}  // namespace calibration
+
+double checkpoint_cost(DeviceKind kind, double mem_mb) {
+  switch (kind) {
+    case DeviceKind::kLocalRamdisk:
+      return calibration::checkpoint_cost_local_ramdisk()(mem_mb);
+    case DeviceKind::kSharedNfs:
+    case DeviceKind::kDmNfs:
+      return calibration::checkpoint_cost_nfs()(mem_mb);
+  }
+  return 0.0;
+}
+
+double checkpoint_op_time(DeviceKind kind, double mem_mb) {
+  switch (kind) {
+    case DeviceKind::kLocalRamdisk:
+      // Local ramdisk writes at memory speed; the wall-clock cost *is* the
+      // operation time (no asynchronous device phase).
+      return calibration::checkpoint_cost_local_ramdisk()(mem_mb);
+    case DeviceKind::kSharedNfs:
+    case DeviceKind::kDmNfs:
+      return calibration::checkpoint_op_time_shared()(mem_mb);
+  }
+  return 0.0;
+}
+
+double restart_cost(MigrationType type, double mem_mb) {
+  return type == MigrationType::kA
+             ? calibration::restart_cost_migration_a()(mem_mb)
+             : calibration::restart_cost_migration_b()(mem_mb);
+}
+
+double restart_cost(DeviceKind kind, double mem_mb) {
+  return restart_cost(migration_for_device(kind), mem_mb);
+}
+
+}  // namespace cloudcr::storage

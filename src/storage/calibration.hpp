@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file calibration.hpp
+/// \brief BLCR cost measurements from the paper, embedded as calibration
+/// curves.
+///
+/// The paper characterizes Berkeley Lab Checkpoint/Restart on the Gideon-II
+/// cluster and reduces it to per-task constants: a checkpoint cost C (the
+/// wall-clock increment per checkpoint) and a restart cost R, both functions
+/// of the task memory footprint. This module embeds those measurements:
+///
+///  * Fig 7 + Table 2 column X=1: per-checkpoint cost over local ramdisk
+///    ([0.016, 0.99] s for 10-240 MB) and over NFS ([0.25, 2.52] s; 1.67 s at
+///    160 MB).
+///  * Table 4: duration of the checkpoint *operation* itself over a shared
+///    disk (0.33 s at 10.3 MB ... 6.83 s at 240 MB) — this is how long the
+///    storage device stays busy, relevant for contention.
+///  * Table 5: task restart cost by migration type. Type A restarts a task
+///    whose checkpoints live in the failed host's local ramdisk (memory must
+///    hop via the shared disk first — expensive). Type B restarts from the
+///    shared disk directly.
+///  * Tables 2-3: contention — NFS per-checkpoint cost grows roughly linearly
+///    with the number of simultaneous checkpoints, local ramdisk and DM-NFS
+///    stay flat.
+
+#include "storage/piecewise.hpp"
+
+namespace cloudcr::storage {
+
+/// How a failed task's memory image reaches its restart host (paper 4.2.2).
+enum class MigrationType {
+  kA,  ///< checkpoints on local ramdisk; restart pays an extra shared-disk hop
+  kB,  ///< checkpoints on shared disk; restart reads it directly
+};
+
+/// Where checkpoints are stored.
+enum class DeviceKind {
+  kLocalRamdisk,  ///< per-VM ramdisk: cheapest writes, migration type A
+  kSharedNfs,     ///< single NFS server: contended writes, migration type B
+  kDmNfs,         ///< distributively-managed NFS: one server per host,
+                  ///< random selection per checkpoint (paper's design)
+};
+
+/// Returns a short lowercase label ("local-ramdisk", "nfs", "dm-nfs").
+const char* device_name(DeviceKind kind) noexcept;
+/// Returns "A" or "B".
+const char* migration_name(MigrationType type) noexcept;
+
+/// Migration type implied by a checkpoint device (paper Section 4.2.2).
+MigrationType migration_for_device(DeviceKind kind) noexcept;
+
+namespace calibration {
+
+/// Per-checkpoint wall-clock cost (seconds) vs task memory (MB), local
+/// ramdisk. Knots from Fig 7(a) and Table 2 (X=1, 160 MB).
+const PiecewiseLinear& checkpoint_cost_local_ramdisk();
+
+/// Per-checkpoint wall-clock cost (seconds) vs task memory (MB), NFS.
+/// Knots from Fig 7(b) and Table 2 (X=1, 160 MB).
+const PiecewiseLinear& checkpoint_cost_nfs();
+
+/// Checkpoint *operation* duration (seconds) vs memory (MB) over a shared
+/// disk — all twelve measurement points of Table 4.
+const PiecewiseLinear& checkpoint_op_time_shared();
+
+/// Restart cost (seconds) vs memory (MB) for migration type A (Table 5).
+const PiecewiseLinear& restart_cost_migration_a();
+
+/// Restart cost (seconds) vs memory (MB) for migration type B (Table 5).
+const PiecewiseLinear& restart_cost_migration_b();
+
+/// Average per-checkpoint cost at 160 MB vs parallel degree 1-5 (Table 2/3
+/// "avg" rows), exposed for validation tests and benches.
+const PiecewiseLinear& concurrent_cost_local_ramdisk();
+const PiecewiseLinear& concurrent_cost_nfs();
+const PiecewiseLinear& concurrent_cost_dmnfs();
+
+}  // namespace calibration
+
+/// Per-checkpoint cost (s) for `mem_mb` on `kind`, single writer.
+double checkpoint_cost(DeviceKind kind, double mem_mb);
+
+/// Duration (s) the storage device is busy writing one checkpoint.
+double checkpoint_op_time(DeviceKind kind, double mem_mb);
+
+/// Restart cost (s) for `mem_mb` under the given migration type.
+double restart_cost(MigrationType type, double mem_mb);
+
+/// Restart cost implied by the checkpoint device.
+double restart_cost(DeviceKind kind, double mem_mb);
+
+}  // namespace cloudcr::storage

@@ -1,0 +1,18 @@
+#include "storage/contention.hpp"
+
+#include <stdexcept>
+
+namespace cloudcr::storage {
+
+LinearContention::LinearContention(double slope) : slope_(slope) {
+  if (slope < 0.0) {
+    throw std::invalid_argument("LinearContention: negative slope");
+  }
+}
+
+double LinearContention::multiplier(std::size_t writers) const {
+  if (writers == 0) return 1.0;
+  return 1.0 + slope_ * static_cast<double>(writers - 1);
+}
+
+}  // namespace cloudcr::storage

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file contention.hpp
+/// \brief Models for the cost of simultaneous checkpointing (Tables 2-3).
+///
+/// The paper measures that checkpointing several tasks at once leaves local
+/// ramdisk cost unchanged, scales NFS cost roughly linearly with the number
+/// of concurrent writers (network congestion / NFS synchronization), and that
+/// the proposed DM-NFS keeps the cost flat by spreading writers over one
+/// server per host.
+
+#include <cstddef>
+
+namespace cloudcr::storage {
+
+/// Multiplier applied to the single-writer checkpoint cost when `writers`
+/// checkpoints are in flight on the same device/server.
+class ContentionModel {
+ public:
+  virtual ~ContentionModel() = default;
+  /// writers >= 1 counts the op being priced itself.
+  [[nodiscard]] virtual double multiplier(std::size_t writers) const = 0;
+};
+
+/// No slowdown regardless of concurrency (local ramdisk, Table 2 top rows).
+class FlatContention final : public ContentionModel {
+ public:
+  [[nodiscard]] double multiplier(std::size_t) const override { return 1.0; }
+};
+
+/// Cost grows linearly with concurrent writers:
+/// multiplier(w) = 1 + slope * (w - 1).
+///
+/// Table 2's NFS "avg" row {1.67, 2.665, 5.38, 6.25, 8.95} is matched in
+/// shape by slope ~= 1.0 (cost ~ proportional to the parallel degree).
+class LinearContention final : public ContentionModel {
+ public:
+  explicit LinearContention(double slope);
+  [[nodiscard]] double multiplier(std::size_t writers) const override;
+  [[nodiscard]] double slope() const noexcept { return slope_; }
+
+ private:
+  double slope_;
+};
+
+/// Default slope calibrated against Table 2's NFS measurements.
+inline constexpr double kNfsContentionSlope = 1.0;
+
+}  // namespace cloudcr::storage

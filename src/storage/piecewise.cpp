@@ -1,0 +1,42 @@
+#include "storage/piecewise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudcr::storage {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<Knot> knots)
+    : knots_(std::move(knots)) {
+  if (knots_.empty()) {
+    throw std::invalid_argument("PiecewiseLinear: no knots");
+  }
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (!(knots_[i - 1].first < knots_[i].first)) {
+      throw std::invalid_argument(
+          "PiecewiseLinear: knots must be strictly increasing in x");
+    }
+  }
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (knots_.size() == 1) return knots_.front().second;
+
+  // Locate the segment; clamp to the first/last segment for extrapolation.
+  auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), x,
+      [](const Knot& k, double v) { return k.first < v; });
+  std::size_t hi;
+  if (it == knots_.begin()) {
+    hi = 1;
+  } else if (it == knots_.end()) {
+    hi = knots_.size() - 1;
+  } else {
+    hi = static_cast<std::size_t>(it - knots_.begin());
+  }
+  const auto& [x0, y0] = knots_[hi - 1];
+  const auto& [x1, y1] = knots_[hi];
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+}  // namespace cloudcr::storage

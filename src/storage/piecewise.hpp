@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file piecewise.hpp
+/// \brief Piecewise-linear curves used to embed the paper's measured cost
+/// tables (Fig 7, Tables 2-5) directly as calibration data.
+
+#include <utility>
+#include <vector>
+
+namespace cloudcr::storage {
+
+/// A piecewise-linear function defined by (x, y) knots.
+///
+/// Between knots the value is linearly interpolated; outside the knot range
+/// it is linearly extrapolated using the slope of the nearest segment (or
+/// held constant for single-knot curves). Knots must be strictly increasing
+/// in x.
+class PiecewiseLinear {
+ public:
+  using Knot = std::pair<double, double>;
+
+  /// Throws std::invalid_argument on empty or non-increasing knots.
+  explicit PiecewiseLinear(std::vector<Knot> knots);
+
+  [[nodiscard]] double operator()(double x) const;
+
+  [[nodiscard]] const std::vector<Knot>& knots() const noexcept {
+    return knots_;
+  }
+  [[nodiscard]] double min_x() const noexcept { return knots_.front().first; }
+  [[nodiscard]] double max_x() const noexcept { return knots_.back().first; }
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+}  // namespace cloudcr::storage

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file estimators.hpp
+/// \brief Historical MNOF/MTBF estimation from traces (paper Table 7) and
+/// interval extraction for the CDF figures (Figs 4-5).
+///
+/// MNOF (mean number of failures per task) and MTBF (mean time between
+/// failures) are the two statistics the competing formulas consume: the
+/// paper's Formula (3) needs MNOF, Young's formula needs MTBF. Both are
+/// estimated from history, grouped by priority and optionally restricted to
+/// tasks below a length limit — reproducing the exact structure of Table 7.
+
+#include <array>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "trace/records.hpp"
+
+namespace cloudcr::trace {
+
+/// Group statistics for one (priority, length-limit) cell of Table 7.
+struct GroupStats {
+  std::size_t task_count = 0;     ///< tasks in the group
+  std::size_t failure_count = 0;  ///< total failures across the group
+  double mnof = 0.0;              ///< mean failures per task
+  double mtbf = 0.0;              ///< mean uninterrupted interval (s)
+
+  [[nodiscard]] bool empty() const noexcept { return task_count == 0; }
+};
+
+/// No length restriction (the Table 7 "<= +inf" rows).
+inline constexpr double kNoLengthLimit =
+    std::numeric_limits<double>::infinity();
+
+/// Estimates MNOF/MTBF for every priority over tasks with
+/// `length_s <= length_limit`.
+///
+/// A task's failure count is the number of kill events within its own
+/// productive length; its observed uninterrupted intervals are the gaps
+/// between consecutive kills plus the trailing censored interval (a task
+/// that never fails contributes its full length as one interval). This is
+/// how a trace consumer would measure both statistics from history, and it
+/// reproduces the paper's observation that MTBF inflates with the length
+/// limit while MNOF stays comparatively stable.
+std::array<GroupStats, kMaxPriority> estimate_by_priority(
+    const Trace& trace, double length_limit = kNoLengthLimit);
+
+/// Aggregate of estimate_by_priority over all priorities.
+GroupStats estimate_overall(const Trace& trace,
+                            double length_limit = kNoLengthLimit);
+
+/// Filter for the per-structure breakdown of Table 7.
+enum class StructureFilter { kAll, kSequentialOnly, kBagOfTasksOnly };
+
+/// Per-priority estimation restricted to one job structure.
+std::array<GroupStats, kMaxPriority> estimate_by_priority(
+    const Trace& trace, double length_limit, StructureFilter filter);
+
+/// All uninterrupted work intervals observed per priority (Fig 4's CDFs).
+std::map<int, std::vector<double>> intervals_by_priority(const Trace& trace);
+
+/// All failure intervals (gaps between consecutive failures only, no
+/// censored tails) across the whole trace. Intervals larger than `limit`
+/// are dropped when a finite limit is given.
+std::vector<double> failure_intervals(const Trace& trace,
+                                      double limit = kNoLengthLimit);
+
+/// All *uninterrupted work intervals* pooled over every task: gaps between
+/// consecutive failures plus each task's trailing censored interval. This is
+/// the Fig 5 sample set ("task failure intervals"): the bulk is short burst
+/// gaps, the tail is the full length of tasks that never fail — which is why
+/// a Pareto fits the whole set while an exponential wins the <=1000 s
+/// window. Intervals above `limit` are dropped when a finite limit is given.
+std::vector<double> uninterrupted_interval_pool(
+    const Trace& trace, double limit = kNoLengthLimit);
+
+/// Per-task expected-failure oracle: the realized number of failures within
+/// the task's own productive length. Used by the "precise prediction"
+/// experiments (Table 6), where both formulas receive exact per-task values.
+double oracle_mnof(const TaskRecord& task);
+
+/// Per-task MTBF oracle: mean observed uninterrupted interval of this task.
+double oracle_mtbf(const TaskRecord& task);
+
+}  // namespace cloudcr::trace

@@ -1,0 +1,70 @@
+#include "trace/generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace cloudcr::trace {
+
+TraceGenerator::TraceGenerator(GeneratorConfig config,
+                               FailureModel failure_model)
+    : config_(config),
+      workload_(config.workload),
+      failure_model_(std::move(failure_model)) {
+  if (config_.arrival_rate <= 0.0) {
+    throw std::invalid_argument("TraceGenerator: arrival_rate must be > 0");
+  }
+  if (config_.horizon_s <= 0.0) {
+    throw std::invalid_argument("TraceGenerator: horizon must be > 0");
+  }
+}
+
+TraceGenerator::TraceGenerator(GeneratorConfig config)
+    : TraceGenerator(config, FailureModel::google_calibration()) {}
+
+void TraceGenerator::attach_failures(TaskRecord& task, stats::Rng& rng) const {
+  if (config_.priority_change_midway) {
+    task.priority_change_time = 0.5 * task.length_s;
+    // Redraw until the new priority differs, so the change is observable.
+    int np = workload_.sample_priority(rng);
+    for (int tries = 0; np == task.priority && tries < 16; ++tries) {
+      np = workload_.sample_priority(rng);
+    }
+    task.new_priority = np;
+    task.failure_dates = failure_model_.sample_failure_dates_with_change(
+        task.priority, task.new_priority, task.priority_change_time, rng);
+  } else {
+    task.failure_dates =
+        failure_model_.sample_failure_dates(task.priority, rng);
+  }
+}
+
+Trace TraceGenerator::generate() const {
+  stats::Rng rng(config_.seed);
+  Trace trace;
+  trace.horizon_s = config_.horizon_s;
+
+  double t = 0.0;
+  std::uint64_t next_job_id = 1;
+  for (;;) {
+    t += -std::log1p(-rng.uniform()) / config_.arrival_rate;
+    if (t > config_.horizon_s) break;
+    if (config_.max_jobs != 0 && trace.jobs.size() >= config_.max_jobs) break;
+
+    JobRecord job = workload_.sample_job(rng);
+    job.arrival_s = t;
+    for (auto& task : job.tasks) attach_failures(task, rng);
+
+    if (config_.sample_job_filter) {
+      const std::size_t failed = job.failed_task_count();
+      if (2 * failed < job.tasks.size()) continue;  // < half the tasks failed
+    }
+
+    job.id = next_job_id++;
+    for (auto& task : job.tasks) task.job_id = job.id;
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+}  // namespace cloudcr::trace

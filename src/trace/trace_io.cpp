@@ -1,0 +1,127 @@
+#include "trace/trace_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace cloudcr::trace {
+
+namespace {
+
+constexpr char kHeader[] =
+    "job_id,structure,arrival_s,task_index,length_s,memory_mb,input_size,"
+    "priority,prio_change_time,new_priority,failure_dates";
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) out.push_back(field);
+  if (!line.empty() && line.back() == sep) out.emplace_back();
+  return out;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const Trace& trace) {
+  // Max digits10 + 2 guarantees bit-exact double round trips.
+  os.precision(17);
+  os << kHeader << '\n';
+  os << "# horizon_s=" << trace.horizon_s << '\n';
+  for (const auto& job : trace.jobs) {
+    for (const auto& task : job.tasks) {
+      os << job.id << ','
+         << (job.structure == JobStructure::kSequentialTasks ? "ST" : "BoT")
+         << ',' << job.arrival_s << ',' << task.index_in_job << ','
+         << task.length_s << ',' << task.memory_mb << ',' << task.input_size
+         << ',' << task.priority << ',' << task.priority_change_time << ','
+         << task.new_priority << ',';
+      for (std::size_t i = 0; i < task.failure_dates.size(); ++i) {
+        if (i > 0) os << ';';
+        os << task.failure_dates[i];
+      }
+      os << '\n';
+    }
+  }
+  if (!os) throw std::runtime_error("write_csv: stream failure");
+}
+
+void write_csv_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(os, trace);
+}
+
+Trace read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("read_csv: missing or unexpected header");
+  }
+
+  Trace trace;
+  // jobs keyed by id; tasks appended in row order.
+  std::map<std::uint64_t, std::size_t> job_index;
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto pos = line.find("horizon_s=");
+      if (pos != std::string::npos) {
+        trace.horizon_s = std::stod(line.substr(pos + 10));
+      }
+      continue;
+    }
+    const auto fields = split(line, ',');
+    if (fields.size() != 11) {
+      throw std::runtime_error("read_csv: expected 11 fields, got " +
+                               std::to_string(fields.size()));
+    }
+
+    const std::uint64_t job_id = std::stoull(fields[0]);
+    auto [it, inserted] = job_index.try_emplace(job_id, trace.jobs.size());
+    if (inserted) {
+      JobRecord job;
+      job.id = job_id;
+      if (fields[1] == "ST") {
+        job.structure = JobStructure::kSequentialTasks;
+      } else if (fields[1] == "BoT") {
+        job.structure = JobStructure::kBagOfTasks;
+      } else {
+        throw std::runtime_error("read_csv: bad structure " + fields[1]);
+      }
+      job.arrival_s = std::stod(fields[2]);
+      trace.jobs.push_back(std::move(job));
+    }
+
+    TaskRecord task;
+    task.job_id = job_id;
+    task.index_in_job = static_cast<std::uint32_t>(std::stoul(fields[3]));
+    task.length_s = std::stod(fields[4]);
+    task.memory_mb = std::stod(fields[5]);
+    task.input_size = std::stod(fields[6]);
+    task.priority = std::stoi(fields[7]);
+    task.priority_change_time = std::stod(fields[8]);
+    task.new_priority = std::stoi(fields[9]);
+    if (!fields[10].empty()) {
+      for (const auto& d : split(fields[10], ';')) {
+        if (!d.empty()) task.failure_dates.push_back(std::stod(d));
+      }
+      if (!std::is_sorted(task.failure_dates.begin(),
+                          task.failure_dates.end())) {
+        throw std::runtime_error("read_csv: failure dates not sorted");
+      }
+    }
+    trace.jobs[it->second].tasks.push_back(std::move(task));
+  }
+  return trace;
+}
+
+Trace read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(is);
+}
+
+}  // namespace cloudcr::trace

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file trace_io.hpp
+/// \brief CSV serialization of traces so benches and examples can share one
+/// generated workload (and users can plug in their own traces).
+///
+/// Format: one row per task.
+///   job_id,structure,arrival_s,task_index,length_s,memory_mb,priority,
+///   prio_change_time,new_priority,failure_dates...
+/// where `failure_dates...` is a ';'-separated list (may be empty) and
+/// `prio_change_time` is -1 when no change is scheduled. A header row is
+/// written and required on read.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/records.hpp"
+
+namespace cloudcr::trace {
+
+/// Writes a trace as CSV. Throws std::runtime_error on stream failure.
+void write_csv(std::ostream& os, const Trace& trace);
+void write_csv_file(const std::string& path, const Trace& trace);
+
+/// Reads a trace from CSV written by write_csv. Throws std::runtime_error on
+/// malformed input.
+Trace read_csv(std::istream& is);
+Trace read_csv_file(const std::string& path);
+
+}  // namespace cloudcr::trace

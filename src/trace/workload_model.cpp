@@ -1,0 +1,113 @@
+#include "trace/workload_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace cloudcr::trace {
+
+WorkloadModel::WorkloadModel(WorkloadConfig config) : config_(config) {
+  if (config_.bot_fraction < 0.0 || config_.bot_fraction > 1.0) {
+    throw std::invalid_argument("WorkloadModel: bot_fraction out of [0,1]");
+  }
+  if (config_.max_tasks_per_job < 2) {
+    throw std::invalid_argument("WorkloadModel: max_tasks_per_job < 2");
+  }
+  if (config_.long_service_fraction < 0.0 ||
+      config_.long_service_fraction > 1.0) {
+    throw std::invalid_argument(
+        "WorkloadModel: long_service_fraction out of [0,1]");
+  }
+  if (config_.long_service_fraction > 0.0 &&
+      !(config_.service_min_s > 0.0 &&
+        config_.service_min_s < config_.service_max_s)) {
+    throw std::invalid_argument("WorkloadModel: bad service length range");
+  }
+  length_dist_ = std::make_unique<stats::Truncated>(
+      std::make_unique<stats::LogNormal>(config_.length_log_mu,
+                                         config_.length_log_sigma),
+      config_.min_length_s, config_.max_length_s);
+  memory_dist_ = std::make_unique<stats::Truncated>(
+      std::make_unique<stats::LogNormal>(config_.memory_log_mu,
+                                         config_.memory_log_sigma),
+      config_.min_memory_mb, config_.max_memory_mb);
+
+  double total = 0.0;
+  for (double w : config_.priority_weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("WorkloadModel: negative priority weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("WorkloadModel: all priority weights zero");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < priority_cdf_.size(); ++i) {
+    acc += config_.priority_weights[i] / total;
+    priority_cdf_[i] = acc;
+  }
+  priority_cdf_.back() = 1.0;
+}
+
+int WorkloadModel::sample_priority(stats::Rng& rng) const {
+  const double u = rng.uniform();
+  for (std::size_t i = 0; i < priority_cdf_.size(); ++i) {
+    if (u <= priority_cdf_[i]) return static_cast<int>(i) + 1;
+  }
+  return kMaxPriority;
+}
+
+TaskRecord WorkloadModel::sample_task(JobStructure structure,
+                                      stats::Rng& rng) const {
+  TaskRecord t;
+  if (rng.bernoulli(config_.long_service_fraction)) {
+    // Long-running service: log-uniform over [service_min, service_max].
+    const double lo = std::log(config_.service_min_s);
+    const double hi = std::log(config_.service_max_s);
+    t.length_s = std::exp(rng.uniform(lo, hi));
+  } else {
+    t.length_s = length_dist_->sample(rng);
+  }
+  double mem = memory_dist_->sample(rng);
+  if (structure == JobStructure::kBagOfTasks) {
+    mem = std::max(config_.min_memory_mb, mem * config_.bot_memory_scale);
+  }
+  t.memory_mb = std::min(mem, config_.max_memory_mb);
+  t.priority = sample_priority(rng);
+  // Input-parameter size visible to the job parser: a noisy monotone
+  // transform of the true length (length ~ input^{4/3} up to ~15% noise),
+  // giving regression-based workload prediction realistic signal.
+  t.input_size = std::pow(t.length_s, 0.75) *
+                 std::exp(0.15 * rng.normal());
+  return t;
+}
+
+JobRecord WorkloadModel::sample_job(stats::Rng& rng) const {
+  JobRecord job;
+  job.structure = rng.bernoulli(config_.bot_fraction)
+                      ? JobStructure::kBagOfTasks
+                      : JobStructure::kSequentialTasks;
+
+  // Task count: 1 + Geom (ST) or 2 + Geom (BoT), capped.
+  const bool bot = job.structure == JobStructure::kBagOfTasks;
+  const double p = bot ? config_.bot_extra_task_p : config_.st_extra_task_p;
+  std::size_t n = bot ? 2 : 1;
+  while (!rng.bernoulli(p) && n < config_.max_tasks_per_job) ++n;
+
+  // All tasks of a job share one priority (Google jobs are scheduled with a
+  // per-job priority); per-task fields are sampled independently.
+  const int priority = sample_priority(rng);
+  job.tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskRecord t = sample_task(job.structure, rng);
+    t.priority = priority;
+    t.index_in_job = static_cast<std::uint32_t>(i);
+    job.tasks.push_back(std::move(t));
+  }
+  return job;
+}
+
+}  // namespace cloudcr::trace

@@ -1,0 +1,174 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cloudcr::core {
+namespace {
+
+const MnofPolicy kPolicy;  // shared stateless policy
+
+CheckpointController make_controller(
+    double te = 400.0, double mem = 160.0, double mnof = 2.0,
+    AdaptationMode mode = AdaptationMode::kAdaptive) {
+  return CheckpointController(kPolicy, te, mem, FailureStats{mnof, 200.0},
+                              mode);
+}
+
+TEST(Controller, InitialPlanMatchesPolicy) {
+  auto ctl = make_controller();
+  PolicyContext ctx;
+  ctx.total_work_s = 400.0;
+  ctx.remaining_work_s = 400.0;
+  const auto& d = ctl.storage_decision();
+  ctx.checkpoint_cost_s = d.device == storage::DeviceKind::kLocalRamdisk
+                              ? d.local_cost_s
+                              : d.shared_cost_s;
+  ctx.restart_cost_s = d.device == storage::DeviceKind::kLocalRamdisk
+                           ? d.local_restart_s
+                           : d.shared_restart_s;
+  ctx.stats = {2.0, 200.0};
+  EXPECT_NEAR(ctl.current_interval(), kPolicy.next_interval(ctx), 1e-9);
+}
+
+TEST(Controller, FirstCheckpointAtOneInterval) {
+  auto ctl = make_controller();
+  const auto next = ctl.work_until_next_checkpoint(0.0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NEAR(*next, ctl.current_interval(), 1e-9);
+}
+
+TEST(Controller, PositionsAreEquidistant) {
+  auto ctl = make_controller();
+  const double w = ctl.current_interval();
+  // From just after the k-th checkpoint, the next is one interval ahead.
+  for (int k = 0; k < 5; ++k) {
+    const double progress = k * w + 1e-6;
+    const auto next = ctl.work_until_next_checkpoint(progress);
+    ASSERT_TRUE(next.has_value()) << "k=" << k;
+    EXPECT_NEAR(progress + *next, (k + 1) * w, 1e-6);
+  }
+}
+
+TEST(Controller, NoCheckpointAtOrBeyondTaskEnd) {
+  auto ctl = make_controller(100.0, 160.0, 0.01);
+  // x* < 1: single interval, no checkpoint before the end.
+  EXPECT_FALSE(ctl.work_until_next_checkpoint(0.0).has_value());
+  EXPECT_FALSE(ctl.work_until_next_checkpoint(99.0).has_value());
+  EXPECT_FALSE(ctl.work_until_next_checkpoint(100.0).has_value());
+}
+
+TEST(Controller, Theorem2NoReplanWhileMnofUnchanged) {
+  auto ctl = make_controller();
+  const double w = ctl.current_interval();
+  for (int k = 1; k <= 4; ++k) {
+    ctl.on_checkpoint(k * w);
+    EXPECT_EQ(ctl.replan_count(), 0) << "checkpoint " << k;
+    EXPECT_NEAR(ctl.current_interval(), w, 1e-9);
+  }
+}
+
+TEST(Controller, AdaptiveReplansImmediatelyOnMnofChange) {
+  auto ctl = make_controller(400.0, 160.0, 2.0, AdaptationMode::kAdaptive);
+  const double w0 = ctl.current_interval();
+  // Algorithm 1 checks "MNOF changed" every polling tick: the new plan is in
+  // force right away, anchored at the current progress.
+  ctl.update_stats(FailureStats{8.0, 200.0}, /*progress_s=*/100.0);
+  EXPECT_EQ(ctl.replan_count(), 1);
+  // Quadrupled MNOF halves the interval: sqrt(2 C Te / mnof).
+  EXPECT_LT(ctl.current_interval(), w0 * 0.6);
+  const auto next = ctl.work_until_next_checkpoint(100.0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NEAR(*next, ctl.current_interval(), 1e-9);
+}
+
+TEST(Controller, AdaptiveRescuesTaskWithNoPlannedCheckpoints) {
+  // A calm task plans zero checkpoints; when its failure rate explodes the
+  // adaptive controller must start checkpointing anyway — there is no
+  // checkpoint boundary to wait for.
+  auto ctl = make_controller(100.0, 160.0, 0.01, AdaptationMode::kAdaptive);
+  EXPECT_FALSE(ctl.work_until_next_checkpoint(50.0).has_value());
+  ctl.update_stats(FailureStats{20.0, 40.0}, /*progress_s=*/50.0);
+  EXPECT_TRUE(ctl.work_until_next_checkpoint(50.0).has_value());
+}
+
+TEST(Controller, UnchangedStatsDoNotTriggerReplan) {
+  auto ctl = make_controller(400.0, 160.0, 2.0, AdaptationMode::kAdaptive);
+  ctl.update_stats(FailureStats{2.0, 200.0}, 50.0);  // identical stats
+  EXPECT_EQ(ctl.replan_count(), 0);
+}
+
+TEST(Controller, StaticIgnoresStatsUpdates) {
+  auto ctl = make_controller(400.0, 160.0, 2.0, AdaptationMode::kStatic);
+  const double w0 = ctl.current_interval();
+  ctl.update_stats(FailureStats{50.0, 10.0}, 10.0);
+  ctl.on_checkpoint(w0);
+  EXPECT_EQ(ctl.replan_count(), 0);
+  EXPECT_NEAR(ctl.current_interval(), w0, 1e-9);
+}
+
+TEST(Controller, RollbackKeepsPositions) {
+  auto ctl = make_controller();
+  const double w = ctl.current_interval();
+  ctl.on_checkpoint(w);
+  ctl.on_checkpoint(2 * w);
+  // Failure rolls the task back to 2w; next checkpoint stays at 3w.
+  ctl.on_rollback(2 * w);
+  const auto next = ctl.work_until_next_checkpoint(2 * w);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NEAR(*next, w, 1e-9);
+}
+
+TEST(Controller, RollbackToZeroRestartsSequence) {
+  auto ctl = make_controller();
+  const double w = ctl.current_interval();
+  ctl.on_rollback(0.0);
+  const auto next = ctl.work_until_next_checkpoint(0.0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NEAR(*next, w, 1e-9);
+}
+
+TEST(Controller, ForcedDeviceOverridesSelection) {
+  // Pick parameters where auto-select chooses local, then force shared.
+  CheckpointController forced(kPolicy, 200.0, 160.0, FailureStats{2.0, 100.0},
+                              AdaptationMode::kAdaptive,
+                              storage::DeviceKind::kDmNfs,
+                              storage::DeviceKind::kDmNfs);
+  EXPECT_EQ(forced.storage_decision().device, storage::DeviceKind::kDmNfs);
+
+  CheckpointController auto_sel(kPolicy, 200.0, 160.0,
+                                FailureStats{2.0, 100.0},
+                                AdaptationMode::kAdaptive);
+  EXPECT_EQ(auto_sel.storage_decision().device,
+            storage::DeviceKind::kLocalRamdisk);
+  // Forcing the dearer device yields a longer interval (higher C).
+  EXPECT_GT(forced.current_interval(), auto_sel.current_interval());
+}
+
+TEST(Controller, RejectsNonPositiveWork) {
+  EXPECT_THROW(make_controller(0.0), std::invalid_argument);
+  EXPECT_THROW(make_controller(-10.0), std::invalid_argument);
+}
+
+TEST(Controller, CompletionReturnsNoCheckpoint) {
+  auto ctl = make_controller();
+  EXPECT_FALSE(ctl.work_until_next_checkpoint(400.0).has_value());
+  EXPECT_FALSE(ctl.work_until_next_checkpoint(500.0).has_value());
+}
+
+TEST(Controller, AdaptiveReplanUsesRemainingWork) {
+  auto ctl = make_controller(400.0, 160.0, 2.0, AdaptationMode::kAdaptive);
+  const double w0 = ctl.current_interval();
+  ctl.on_checkpoint(w0);
+  // Epsilon change at 3/4 progress: re-plans over the remaining quarter.
+  ctl.update_stats(FailureStats{2.0000001, 200.0}, 300.0);
+  EXPECT_EQ(ctl.replan_count(), 1);
+  // New interval computed over remaining 100 s with scaled-down MNOF; the
+  // closed form keeps interval = sqrt(2 C Te/mnof) ~ w0 (MNOF per full task
+  // unchanged up to epsilon).
+  EXPECT_NEAR(ctl.current_interval(), w0, 0.05 * w0);
+}
+
+}  // namespace
+}  // namespace cloudcr::core

@@ -1,0 +1,102 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudcr::core {
+namespace {
+
+TaskObservation obs(int priority, double length, std::size_t failures,
+                    std::vector<double> intervals) {
+  TaskObservation o;
+  o.priority = priority;
+  o.length_s = length;
+  o.failures = failures;
+  o.intervals_s = std::move(intervals);
+  return o;
+}
+
+TEST(GroupedEstimator, EmptyReturnsZeros) {
+  const GroupedEstimator est;
+  const auto s = est.query(1);
+  EXPECT_DOUBLE_EQ(s.mnof, 0.0);
+  EXPECT_DOUBLE_EQ(s.mtbf_s, 0.0);
+  EXPECT_EQ(est.total_observations(), 0u);
+}
+
+TEST(GroupedEstimator, SingleGroupStatistics) {
+  GroupedEstimator est;
+  est.observe(obs(3, 100.0, 2, {20.0, 30.0, 50.0}));
+  est.observe(obs(3, 200.0, 0, {200.0}));
+  const auto s = est.query(3);
+  EXPECT_DOUBLE_EQ(s.mnof, 1.0);                      // 2 failures / 2 tasks
+  EXPECT_DOUBLE_EQ(s.mtbf_s, (100.0 + 200.0) / 4.0);  // 4 intervals
+  EXPECT_EQ(est.group_size(3), 2u);
+}
+
+TEST(GroupedEstimator, FallsBackToOverall) {
+  GroupedEstimator est;
+  est.observe(obs(1, 100.0, 4, {25.0}));
+  // Priority 7 has no data; the overall aggregate answers.
+  const auto s = est.query(7);
+  EXPECT_DOUBLE_EQ(s.mnof, 4.0);
+  EXPECT_DOUBLE_EQ(s.mtbf_s, 25.0);
+}
+
+TEST(GroupedEstimator, LengthLimitFiltersObservations) {
+  GroupedEstimator est(150.0);
+  est.observe(obs(2, 100.0, 1, {50.0, 50.0}));
+  est.observe(obs(2, 1000.0, 9, {10.0}));  // over the limit: dropped
+  const auto s = est.query(2);
+  EXPECT_DOUBLE_EQ(s.mnof, 1.0);
+  EXPECT_DOUBLE_EQ(s.mtbf_s, 50.0);
+  EXPECT_EQ(est.total_observations(), 1u);
+}
+
+TEST(GroupedEstimator, PrioritiesAreIndependent) {
+  GroupedEstimator est;
+  est.observe(obs(1, 100.0, 10, {10.0}));
+  est.observe(obs(12, 100.0, 0, {100.0}));
+  EXPECT_DOUBLE_EQ(est.query(1).mnof, 10.0);
+  EXPECT_DOUBLE_EQ(est.query(12).mnof, 0.0);
+}
+
+TEST(GroupedEstimator, RejectsBadPriority) {
+  GroupedEstimator est;
+  EXPECT_THROW(est.observe(obs(0, 1.0, 0, {})), std::out_of_range);
+  EXPECT_THROW(est.observe(obs(13, 1.0, 0, {})), std::out_of_range);
+  EXPECT_THROW((void)est.query(0), std::out_of_range);
+  EXPECT_THROW((void)est.query(13), std::out_of_range);
+}
+
+TEST(GroupedEstimator, RejectsBadLimit) {
+  EXPECT_THROW(GroupedEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(GroupedEstimator(-1.0), std::invalid_argument);
+}
+
+TEST(GroupedEstimator, GroupSizeOutOfRangeIsZero) {
+  const GroupedEstimator est;
+  EXPECT_EQ(est.group_size(0), 0u);
+  EXPECT_EQ(est.group_size(42), 0u);
+}
+
+TEST(GroupedEstimator, MtbfInflationScenario) {
+  // The Table 7 phenomenon in miniature: short harassed tasks plus long safe
+  // tasks blow up MTBF while MNOF moves modestly.
+  GroupedEstimator all_est;
+  GroupedEstimator short_est(1000.0);
+  for (int i = 0; i < 100; ++i) {
+    const auto short_task = obs(2, 500.0, 2, {100.0, 150.0, 250.0});
+    all_est.observe(short_task);
+    short_est.observe(short_task);
+    const auto long_task = obs(2, 20000.0, 0, {20000.0});
+    all_est.observe(long_task);
+    short_est.observe(long_task);  // filtered out by the limit
+  }
+  const auto s_short = short_est.query(2);
+  const auto s_all = all_est.query(2);
+  EXPECT_GT(s_all.mtbf_s, 10.0 * s_short.mtbf_s);
+  EXPECT_LT(s_all.mnof / s_short.mnof, 1.01);
+}
+
+}  // namespace
+}  // namespace cloudcr::core

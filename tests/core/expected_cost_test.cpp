@@ -1,0 +1,156 @@
+#include "core/expected_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cloudcr::core {
+namespace {
+
+TEST(ExpectedCost, PaperWorkedExample) {
+  // Theorem 1 remark: Te=18, C=2, E(Y)=2 -> x* = sqrt(18*2/4) = 3,
+  // checkpoint every 6 seconds.
+  const double x = optimal_interval_count(18.0, 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(x, 3.0);
+  EXPECT_DOUBLE_EQ(interval_length(18.0, x), 6.0);
+}
+
+TEST(ExpectedCost, Section422Examples) {
+  // The paper's storage-selection example: Te=200, E(Y)=2.
+  // Local: C=0.632 -> x* = sqrt(200*2/(2*0.632)) = 17.79.
+  EXPECT_NEAR(optimal_interval_count(200.0, 0.632, 2.0), 17.79, 0.01);
+  // Shared: C=1.67 -> x* = 10.94.
+  EXPECT_NEAR(optimal_interval_count(200.0, 1.67, 2.0), 10.94, 0.01);
+}
+
+TEST(ExpectedCost, Section422TotalCosts) {
+  // Total costs quoted in the paper: 28.29 (local) and 37.78 (shared).
+  const CostModelInput local{200.0, 0.632, 3.22, 2.0};
+  const CostModelInput shared{200.0, 1.67, 1.45, 2.0};
+  EXPECT_NEAR(expected_overhead(local, 17.79), 28.29, 0.02);
+  EXPECT_NEAR(expected_overhead(shared, 10.94), 37.78, 0.02);
+}
+
+TEST(ExpectedCost, AnotherPaperExample) {
+  // Section 4.2.2: length 441 s, C=1 s, E(Y)=2 -> sqrt(441*2/2) = 21
+  // intervals, i.e. 20 checkpoints.
+  const double x = optimal_interval_count(441.0, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(x, 21.0);
+}
+
+TEST(ExpectedCost, FormulaFourShape) {
+  const CostModelInput in{100.0, 2.0, 1.0, 4.0};
+  // E(Tw)(x) = 100 + 2(x-1) + 4 + 200/x
+  EXPECT_DOUBLE_EQ(expected_wallclock(in, 1.0), 100.0 + 0.0 + 4.0 + 200.0);
+  EXPECT_DOUBLE_EQ(expected_wallclock(in, 10.0), 100.0 + 18.0 + 4.0 + 20.0);
+}
+
+TEST(ExpectedCost, OverheadIsWallclockMinusWork) {
+  const CostModelInput in{500.0, 1.5, 2.0, 3.0};
+  for (double x : {1.0, 2.0, 5.0, 20.0}) {
+    EXPECT_DOUBLE_EQ(expected_overhead(in, x),
+                     expected_wallclock(in, x) - in.work_s);
+  }
+}
+
+// Property: x* minimizes Formula (4) over a dense grid (TEST_P sweep across
+// model inputs).
+struct CostCase {
+  double te, c, r, ey;
+};
+
+class OptimalityProperty : public ::testing::TestWithParam<CostCase> {};
+
+TEST_P(OptimalityProperty, ContinuousOptimumBeatsGrid) {
+  const auto& p = GetParam();
+  const CostModelInput in{p.te, p.c, p.r, p.ey};
+  const double x_star = optimal_interval_count(p.te, p.c, p.ey);
+  if (x_star < 1.0) GTEST_SKIP() << "degenerate optimum below one interval";
+  const double best = expected_wallclock(in, x_star);
+  for (double x = 1.0; x <= x_star * 4.0; x += 0.25) {
+    EXPECT_GE(expected_wallclock(in, x) + 1e-9, best) << "x=" << x;
+  }
+}
+
+TEST_P(OptimalityProperty, IntegerOptimumBeatsIntegerNeighbors) {
+  const auto& p = GetParam();
+  const CostModelInput in{p.te, p.c, p.r, p.ey};
+  const int xi = optimal_interval_count_integer(in);
+  ASSERT_GE(xi, 1);
+  const double best = expected_wallclock(in, xi);
+  for (int x = 1; x <= xi * 3 + 3; ++x) {
+    EXPECT_GE(expected_wallclock(in, x) + 1e-9, best) << "x=" << x;
+  }
+}
+
+TEST_P(OptimalityProperty, SecondDerivativePositive) {
+  const auto& p = GetParam();
+  const CostModelInput in{p.te, p.c, p.r, p.ey};
+  const double x_star = std::max(1.0, optimal_interval_count(p.te, p.c, p.ey));
+  // Numerical convexity check around the optimum.
+  const double h = 0.01;
+  if (x_star <= 1.0 + h) GTEST_SKIP();
+  const double mid = expected_wallclock(in, x_star);
+  const double lo = expected_wallclock(in, x_star - h);
+  const double hi = expected_wallclock(in, x_star + h);
+  EXPECT_GT(lo + hi - 2.0 * mid, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimalityProperty,
+    ::testing::Values(CostCase{18.0, 2.0, 1.0, 2.0},
+                      CostCase{100.0, 0.632, 3.22, 1.0},
+                      CostCase{441.0, 1.0, 0.5, 2.0},
+                      CostCase{1000.0, 2.0, 2.0, 5.0},
+                      CostCase{3600.0, 1.67, 1.45, 12.0},
+                      CostCase{200.0, 0.016, 0.71, 0.5},
+                      CostCase{10000.0, 6.83, 5.69, 30.0},
+                      CostCase{50.0, 2.52, 2.4, 0.2}));
+
+TEST(ExpectedCost, ZeroFailuresMeansOneInterval) {
+  const CostModelInput in{100.0, 2.0, 1.0, 0.0};
+  EXPECT_EQ(optimal_interval_count_integer(in), 1);
+  EXPECT_DOUBLE_EQ(optimal_interval_count(100.0, 2.0, 0.0), 0.0);
+}
+
+TEST(ExpectedCost, MoreFailuresMoreCheckpoints) {
+  double prev = 0.0;
+  for (double ey : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double x = optimal_interval_count(1000.0, 2.0, ey);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(ExpectedCost, CostlierCheckpointsFewerCheckpoints) {
+  double prev = 1e18;
+  for (double c : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const double x = optimal_interval_count(1000.0, c, 2.0);
+    EXPECT_LT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(ExpectedCost, InputValidation) {
+  EXPECT_THROW(optimal_interval_count(-1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(optimal_interval_count(1.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(optimal_interval_count(1.0, 1.0, -1.0), std::invalid_argument);
+  const CostModelInput in{100.0, 2.0, 1.0, 1.0};
+  EXPECT_THROW(expected_wallclock(in, 0.5), std::invalid_argument);
+  EXPECT_THROW(interval_length(10.0, 0.0), std::invalid_argument);
+  const CostModelInput bad{100.0, 2.0, -1.0, 1.0};
+  EXPECT_THROW(expected_wallclock(bad, 1.0), std::invalid_argument);
+}
+
+TEST(ExpectedCost, RestartCostShiftsLevelNotOptimum) {
+  // R*E(Y) is additive: it moves E(Tw) but not x*.
+  const CostModelInput r0{300.0, 1.0, 0.0, 3.0};
+  const CostModelInput r5{300.0, 1.0, 5.0, 3.0};
+  EXPECT_EQ(optimal_interval_count_integer(r0),
+            optimal_interval_count_integer(r5));
+  EXPECT_DOUBLE_EQ(expected_wallclock(r5, 7.0) - expected_wallclock(r0, 7.0),
+                   15.0);
+}
+
+}  // namespace
+}  // namespace cloudcr::core

@@ -1,0 +1,195 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cloudcr::core {
+namespace {
+
+PolicyContext make_ctx(double te, double c, double mnof, double mtbf,
+                       double remaining = -1.0) {
+  PolicyContext ctx;
+  ctx.total_work_s = te;
+  ctx.remaining_work_s = remaining < 0.0 ? te : remaining;
+  ctx.checkpoint_cost_s = c;
+  ctx.restart_cost_s = 1.0;
+  ctx.stats = {mnof, mtbf};
+  return ctx;
+}
+
+TEST(MnofPolicy, ClosedFormInterval) {
+  // interval = sqrt(2*C*Te/mnof), independent of remaining work.
+  const MnofPolicy policy(/*integer_rounding=*/false);
+  const auto ctx = make_ctx(1000.0, 2.0, 4.0, 0.0);
+  EXPECT_NEAR(policy.next_interval(ctx), std::sqrt(2.0 * 2.0 * 1000.0 / 4.0),
+              1e-9);
+}
+
+TEST(MnofPolicy, IntervalInvariantUnderProgress) {
+  // Theorem 2 consequence: with unchanged MNOF the interval stays identical
+  // as the remaining work shrinks.
+  const MnofPolicy policy(/*integer_rounding=*/false);
+  const double full =
+      policy.next_interval(make_ctx(1000.0, 2.0, 4.0, 0.0));
+  for (double remaining : {900.0, 600.0, 300.0, 100.0}) {
+    const double i =
+        policy.next_interval(make_ctx(1000.0, 2.0, 4.0, 0.0, remaining));
+    EXPECT_NEAR(i, full, 1e-9) << "remaining=" << remaining;
+  }
+}
+
+TEST(MnofPolicy, PaperExampleEighteenSeconds) {
+  const MnofPolicy policy(/*integer_rounding=*/false);
+  // Te=18, C=2, E(Y)=2 -> 3 intervals of 6 s.
+  EXPECT_NEAR(policy.next_interval(make_ctx(18.0, 2.0, 2.0, 0.0)), 6.0, 1e-9);
+}
+
+TEST(MnofPolicy, ZeroMnofNeverCheckpoints) {
+  const MnofPolicy policy;
+  const auto ctx = make_ctx(500.0, 2.0, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(policy.next_interval(ctx), 500.0);
+}
+
+TEST(MnofPolicy, LowMnofCheckpointsOncePerRemainder) {
+  const MnofPolicy policy;
+  // x* < 1 -> do not split the work at all.
+  const auto ctx = make_ctx(10.0, 5.0, 0.1, 0.0);
+  EXPECT_DOUBLE_EQ(policy.next_interval(ctx), 10.0);
+}
+
+TEST(MnofPolicy, IntegerRoundingUsesFormula4) {
+  const MnofPolicy rounded(true);
+  const MnofPolicy continuous(false);
+  const auto ctx = make_ctx(1000.0, 2.0, 3.0, 0.0);
+  // x* = sqrt(1500/2) = 27.39 -> integer optimum 27, interval 1000/27.
+  EXPECT_NEAR(rounded.next_interval(ctx), 1000.0 / 27.0, 1e-9);
+  EXPECT_NEAR(continuous.next_interval(ctx), 1000.0 / 27.386, 1e-3);
+}
+
+TEST(MnofPolicy, ScalesExpectationToRemainingWork) {
+  // With remaining = Te/4, E_r = mnof/4; x*(remaining) = remaining *
+  // sqrt(mnof/(2C Te)) — interval unchanged, but the *count* shrinks.
+  const MnofPolicy policy(false);
+  const auto full_ctx = make_ctx(1600.0, 2.0, 4.0, 0.0);
+  const auto part_ctx = make_ctx(1600.0, 2.0, 4.0, 0.0, 400.0);
+  const double i_full = policy.next_interval(full_ctx);
+  const double i_part = policy.next_interval(part_ctx);
+  EXPECT_NEAR(i_full, i_part, 1e-9);
+}
+
+TEST(YoungPolicy, ClosedForm) {
+  const YoungPolicy policy;
+  // Tc = sqrt(2 * C * Tf); paper example: C=2, Tf=1/0.00423445 -> ~30.7 s.
+  const auto ctx = make_ctx(1000.0, 2.0, 0.0, 1.0 / 0.00423445);
+  EXPECT_NEAR(policy.next_interval(ctx), 30.7, 0.05);
+}
+
+TEST(YoungPolicy, IgnoresMnof) {
+  const YoungPolicy policy;
+  const double a = policy.next_interval(make_ctx(1000.0, 2.0, 0.0, 400.0));
+  const double b = policy.next_interval(make_ctx(1000.0, 2.0, 99.0, 400.0));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(YoungPolicy, NoMtbfMeansNoCheckpointing) {
+  const YoungPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.next_interval(make_ctx(750.0, 2.0, 1.0, 0.0)),
+                   750.0);
+}
+
+TEST(YoungPolicy, InflatedMtbfStretchesInterval) {
+  // The failure mode the paper exploits: a Pareto-inflated MTBF makes Young
+  // checkpoint far too rarely.
+  const YoungPolicy policy;
+  const double honest = policy.next_interval(make_ctx(1000.0, 2.0, 0.0, 179.0));
+  const double inflated =
+      policy.next_interval(make_ctx(1000.0, 2.0, 0.0, 4199.0));
+  EXPECT_GT(inflated, 4.0 * honest);
+}
+
+TEST(DalyPolicy, ReducesToYoungForSmallC) {
+  const DalyPolicy daly;
+  const YoungPolicy young;
+  const auto ctx = make_ctx(100000.0, 0.01, 0.0, 10000.0);
+  const double d = daly.next_interval(ctx);
+  const double y = young.next_interval(ctx);
+  EXPECT_NEAR(d / y, 1.0, 0.01);
+}
+
+TEST(DalyPolicy, CapsAtMtbfForHugeC) {
+  const DalyPolicy daly;
+  const auto ctx = make_ctx(1000.0, 300.0, 0.0, 100.0);  // C >= 2*MTBF
+  EXPECT_DOUBLE_EQ(daly.next_interval(ctx), 100.0);
+}
+
+TEST(DalyPolicy, HigherOrderTermsShortenInterval) {
+  // For non-negligible C/MTBF, Daly's interval is below Young's.
+  const DalyPolicy daly;
+  const YoungPolicy young;
+  const auto ctx = make_ctx(10000.0, 30.0, 0.0, 200.0);
+  EXPECT_LT(daly.next_interval(ctx), young.next_interval(ctx));
+}
+
+TEST(NoCheckpointPolicy, AlwaysReturnsRemaining) {
+  const NoCheckpointPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.next_interval(make_ctx(123.0, 1.0, 5.0, 5.0)),
+                   123.0);
+  EXPECT_DOUBLE_EQ(
+      policy.next_interval(make_ctx(123.0, 1.0, 5.0, 5.0, 45.0)), 45.0);
+}
+
+TEST(FixedIntervalPolicy, ReturnsConfiguredInterval) {
+  const FixedIntervalPolicy policy(42.0);
+  EXPECT_DOUBLE_EQ(policy.next_interval(make_ctx(1000.0, 1.0, 1.0, 1.0)),
+                   42.0);
+  EXPECT_EQ(policy.name(), "fixed(42s)");
+}
+
+TEST(FixedIntervalPolicy, RejectsNonPositive) {
+  EXPECT_THROW(FixedIntervalPolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(FixedIntervalPolicy(-5.0), std::invalid_argument);
+}
+
+TEST(Policies, ValidateContext) {
+  const MnofPolicy policy;
+  auto bad = make_ctx(0.0, 1.0, 1.0, 1.0);
+  EXPECT_THROW((void)policy.next_interval(bad), std::invalid_argument);
+  auto bad2 = make_ctx(10.0, 0.0, 1.0, 1.0);
+  EXPECT_THROW((void)policy.next_interval(bad2), std::invalid_argument);
+  auto bad3 = make_ctx(10.0, 1.0, 1.0, 1.0);
+  bad3.remaining_work_s = 20.0;
+  EXPECT_THROW((void)policy.next_interval(bad3), std::invalid_argument);
+}
+
+TEST(Policies, NamesAreStable) {
+  EXPECT_EQ(MnofPolicy().name(), "formula3");
+  EXPECT_EQ(YoungPolicy().name(), "young");
+  EXPECT_EQ(DalyPolicy().name(), "daly");
+  EXPECT_EQ(NoCheckpointPolicy().name(), "none");
+}
+
+// Corollary 1 as a property: under exponential failures (E(Y) = Te/MTBF)
+// and small C, the MNOF interval converges to Young's.
+class Corollary1Sweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(Corollary1Sweep, MnofMatchesYoungUnderPoissonAssumption) {
+  const auto [te, mtbf] = GetParam();
+  const double c = 0.5;  // small relative to intervals
+  const MnofPolicy mnof_policy(false);
+  const YoungPolicy young_policy;
+  const double ey = te / mtbf;  // Poisson E(Y)
+  const double i_mnof = mnof_policy.next_interval(make_ctx(te, c, ey, mtbf));
+  const double i_young = young_policy.next_interval(make_ctx(te, c, ey, mtbf));
+  EXPECT_NEAR(i_mnof / i_young, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Corollary1Sweep,
+    ::testing::Values(std::pair{1000.0, 236.0}, std::pair{5000.0, 500.0},
+                      std::pair{800.0, 100.0}, std::pair{20000.0, 2000.0},
+                      std::pair{350.0, 37.0}));
+
+}  // namespace
+}  // namespace cloudcr::core

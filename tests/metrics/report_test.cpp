@@ -1,0 +1,66 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace cloudcr::metrics {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("1")}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"metric", "value"});
+  t.add_row({std::string("wpr"), std::string("0.95")});
+  t.add_row({std::string("wallclock"), std::string("123.4")});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_NE(s.find("wallclock"), std::string::npos);
+  EXPECT_NE(s.find("0.95"), std::string::npos);
+  // Rules around header + body.
+  EXPECT_GE(std::count(s.begin(), s.end(), '+'), 6);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"x", "y"});
+  t.add_row(std::vector<double>{1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_NE(os.str().find("2.00"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(PrintSeries, EmitsNameAndPoints) {
+  std::ostringstream os;
+  print_series(os, "cdf", {{1.0, 0.5}, {2.0, 1.0}});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# series: cdf"), std::string::npos);
+  EXPECT_NE(s.find("1 0.5"), std::string::npos);
+  EXPECT_NE(s.find("2 1"), std::string::npos);
+}
+
+TEST(PrintBanner, Format) {
+  std::ostringstream os;
+  print_banner(os, "Table 6");
+  EXPECT_EQ(os.str(), "\n== Table 6 ==\n");
+}
+
+}  // namespace
+}  // namespace cloudcr::metrics

@@ -1,0 +1,72 @@
+#include "metrics/wpr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudcr::metrics {
+namespace {
+
+JobOutcome outcome(double workload, double wallclock) {
+  JobOutcome o;
+  o.workload_s = workload;
+  o.wallclock_s = wallclock;
+  o.task_wallclock_s = wallclock;  // single-task job: the two coincide
+  return o;
+}
+
+TEST(Wpr, Formula9Definition) {
+  EXPECT_DOUBLE_EQ(outcome(90.0, 100.0).wpr(), 0.9);
+  EXPECT_DOUBLE_EQ(outcome(100.0, 100.0).wpr(), 1.0);
+}
+
+TEST(Wpr, ZeroWallclockYieldsZero) {
+  EXPECT_DOUBLE_EQ(outcome(10.0, 0.0).wpr(), 0.0);
+}
+
+TEST(Wpr, ParallelJobsDivideByTaskWallclock) {
+  // Two 100 s tasks running fully in parallel: makespan 100 but the WPR
+  // denominator is the 200 s of per-task wall-clock, keeping WPR <= 1.
+  JobOutcome o;
+  o.workload_s = 200.0;
+  o.wallclock_s = 100.0;
+  o.task_wallclock_s = 200.0;
+  EXPECT_DOUBLE_EQ(o.wpr(), 1.0);
+}
+
+TEST(Wpr, ValuesVector) {
+  const std::vector<JobOutcome> outs{outcome(50.0, 100.0),
+                                     outcome(80.0, 100.0)};
+  const auto vals = wpr_values(outs);
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_DOUBLE_EQ(vals[0], 0.5);
+  EXPECT_DOUBLE_EQ(vals[1], 0.8);
+}
+
+TEST(Wpr, AverageAndLowest) {
+  const std::vector<JobOutcome> outs{outcome(50.0, 100.0),
+                                     outcome(80.0, 100.0),
+                                     outcome(100.0, 100.0)};
+  EXPECT_NEAR(average_wpr(outs), (0.5 + 0.8 + 1.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(lowest_wpr(outs), 0.5);
+}
+
+TEST(Wpr, EmptyAggregatesAreZero) {
+  const std::vector<JobOutcome> empty;
+  EXPECT_DOUBLE_EQ(average_wpr(empty), 0.0);
+  EXPECT_DOUBLE_EQ(lowest_wpr(empty), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_above(empty, 0.5), 0.0);
+}
+
+TEST(Wpr, FractionThresholds) {
+  const std::vector<JobOutcome> outs{outcome(50.0, 100.0),
+                                     outcome(80.0, 100.0),
+                                     outcome(95.0, 100.0),
+                                     outcome(100.0, 100.0)};
+  EXPECT_DOUBLE_EQ(fraction_below(outs, 0.9), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above(outs, 0.9), 0.5);
+  // Strict comparisons: 0.8 is not below 0.8.
+  EXPECT_DOUBLE_EQ(fraction_below(outs, 0.8), 0.25);
+}
+
+}  // namespace
+}  // namespace cloudcr::metrics

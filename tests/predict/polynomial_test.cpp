@@ -1,0 +1,90 @@
+#include "predict/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace cloudcr::predict {
+namespace {
+
+TEST(PolynomialRegression, RecoversExactLine) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 3.0, 5.0, 7.0};  // y = 1 + 2x
+  const PolynomialRegression fit(x, y, 1);
+  ASSERT_EQ(fit.coefficients().size(), 2u);
+  EXPECT_NEAR(fit.coefficients()[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients()[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared(), 1.0, 1e-12);
+  EXPECT_NEAR(fit.rmse(), 0.0, 1e-9);
+}
+
+TEST(PolynomialRegression, RecoversExactQuadratic) {
+  std::vector<double> x, y;
+  for (double v = -3.0; v <= 3.0; v += 0.5) {
+    x.push_back(v);
+    y.push_back(2.0 - v + 0.5 * v * v);
+  }
+  const PolynomialRegression fit(x, y, 2);
+  EXPECT_NEAR(fit.coefficients()[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients()[1], -1.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients()[2], 0.5, 1e-9);
+  EXPECT_NEAR(fit.predict(10.0), 2.0 - 10.0 + 50.0, 1e-6);
+}
+
+TEST(PolynomialRegression, NoisyFitIsClose) {
+  stats::Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(0.0, 100.0);
+    x.push_back(v);
+    y.push_back(5.0 + 3.0 * v + rng.normal() * 2.0);
+  }
+  const PolynomialRegression fit(x, y, 1);
+  EXPECT_NEAR(fit.coefficients()[0], 5.0, 0.5);
+  EXPECT_NEAR(fit.coefficients()[1], 3.0, 0.02);
+  EXPECT_GT(fit.r_squared(), 0.99);
+  EXPECT_NEAR(fit.rmse(), 2.0, 0.2);
+}
+
+TEST(PolynomialRegression, DegreeZeroIsMean) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{10.0, 20.0, 30.0, 40.0};
+  const PolynomialRegression fit(x, y, 0);
+  EXPECT_NEAR(fit.predict(999.0), 25.0, 1e-9);
+}
+
+TEST(PolynomialRegression, RejectsBadInputs) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(PolynomialRegression(x, y, 1), std::invalid_argument);
+
+  const std::vector<double> x2{1.0};
+  const std::vector<double> y2{1.0};
+  EXPECT_THROW(PolynomialRegression(x2, y2, 1), std::invalid_argument);
+
+  // Singular: all x identical cannot identify a slope.
+  const std::vector<double> x3{2.0, 2.0, 2.0};
+  const std::vector<double> y3{1.0, 2.0, 3.0};
+  EXPECT_THROW(PolynomialRegression(x3, y3, 1), std::invalid_argument);
+}
+
+TEST(PolynomialRegression, HigherDegreeNeverWorseInSample) {
+  stats::Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(0.0, 10.0);
+    x.push_back(v);
+    y.push_back(std::sin(v) + 0.1 * rng.normal());
+  }
+  const PolynomialRegression d1(x, y, 1);
+  const PolynomialRegression d3(x, y, 3);
+  const PolynomialRegression d5(x, y, 5);
+  EXPECT_LE(d3.rmse(), d1.rmse() + 1e-9);
+  EXPECT_LE(d5.rmse(), d3.rmse() + 1e-9);
+}
+
+}  // namespace
+}  // namespace cloudcr::predict

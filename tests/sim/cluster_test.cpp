@@ -1,0 +1,99 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudcr::sim {
+namespace {
+
+TEST(Vm, AllocationAccounting) {
+  Vm vm(0, 0, 1024.0);
+  EXPECT_TRUE(vm.allocate(512.0));
+  EXPECT_DOUBLE_EQ(vm.available_mb(), 512.0);
+  EXPECT_EQ(vm.task_count(), 1u);
+  EXPECT_TRUE(vm.allocate(512.0));
+  EXPECT_FALSE(vm.allocate(1.0));
+  vm.release(512.0);
+  EXPECT_DOUBLE_EQ(vm.available_mb(), 512.0);
+  EXPECT_EQ(vm.task_count(), 1u);
+}
+
+TEST(Vm, RejectsNegativeAllocation) {
+  Vm vm(0, 0, 1024.0);
+  EXPECT_FALSE(vm.allocate(-1.0));
+}
+
+TEST(Vm, ReleaseClampsAtZero) {
+  Vm vm(0, 0, 1024.0);
+  vm.allocate(100.0);
+  vm.release(500.0);  // defensive over-release
+  EXPECT_DOUBLE_EQ(vm.used_mb(), 0.0);
+}
+
+TEST(Cluster, PaperTopologyDefaults) {
+  const Cluster c;
+  EXPECT_EQ(c.vm_count(), 32u * 7u);
+  EXPECT_DOUBLE_EQ(c.vm(0).capacity_mb(), 1024.0);
+  EXPECT_DOUBLE_EQ(c.total_available_mb(), 32.0 * 7.0 * 1024.0);
+}
+
+TEST(Cluster, RejectsDegenerateConfig) {
+  EXPECT_THROW(Cluster({0, 7, 1024.0}), std::invalid_argument);
+  EXPECT_THROW(Cluster({32, 0, 1024.0}), std::invalid_argument);
+  EXPECT_THROW(Cluster({32, 7, 0.0}), std::invalid_argument);
+}
+
+TEST(Cluster, HostsAssignedRoundRobinBlocks) {
+  const Cluster c({4, 3, 1024.0});
+  EXPECT_EQ(c.vm(0).host(), 0u);
+  EXPECT_EQ(c.vm(2).host(), 0u);
+  EXPECT_EQ(c.vm(3).host(), 1u);
+  EXPECT_EQ(c.vm(11).host(), 3u);
+}
+
+TEST(Cluster, GreedySelectsMaxAvailableMemory) {
+  Cluster c({2, 2, 1024.0});
+  // Consume memory so VM 2 has the most available.
+  c.vm(0).allocate(800.0);
+  c.vm(1).allocate(600.0);
+  c.vm(3).allocate(400.0);
+  const auto pick = c.select_vm(100.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);
+}
+
+TEST(Cluster, SelectRespectsFit) {
+  Cluster c({1, 2, 1024.0});
+  c.vm(0).allocate(1000.0);
+  c.vm(1).allocate(900.0);
+  const auto pick = c.select_vm(200.0);
+  EXPECT_FALSE(pick.has_value());
+  const auto pick2 = c.select_vm(100.0);
+  ASSERT_TRUE(pick2.has_value());
+  EXPECT_EQ(*pick2, 1u);
+}
+
+TEST(Cluster, ExcludeHostSkipsItsVms) {
+  Cluster c({2, 2, 1024.0});
+  // Host 0's VMs are the emptiest.
+  c.vm(2).allocate(500.0);
+  c.vm(3).allocate(500.0);
+  const auto pick = c.select_vm(100.0, HostId{0});
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(c.vm(*pick).host(), 1u);
+}
+
+TEST(Cluster, ExcludeCanEliminateAllCandidates) {
+  Cluster c({1, 2, 1024.0});
+  EXPECT_FALSE(c.select_vm(100.0, HostId{0}).has_value());
+}
+
+TEST(Cluster, RunningTasksCountsAllocations) {
+  Cluster c({2, 2, 1024.0});
+  EXPECT_EQ(c.running_tasks(), 0u);
+  c.vm(0).allocate(10.0);
+  c.vm(3).allocate(10.0);
+  EXPECT_EQ(c.running_tasks(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudcr::sim

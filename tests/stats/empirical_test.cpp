@@ -1,0 +1,104 @@
+#include "stats/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace cloudcr::stats {
+namespace {
+
+TEST(EmpiricalCdf, RejectsEmptyInput) {
+  EXPECT_THROW(EmpiricalCdf({}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, SingleSample) {
+  const EmpiricalCdf e({5.0});
+  EXPECT_DOUBLE_EQ(e.cdf(4.9), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.variance(), 0.0);
+}
+
+TEST(EmpiricalCdf, StepFunctionValues) {
+  const EmpiricalCdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.cdf(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, HandlesDuplicates) {
+  const EmpiricalCdf e({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.cdf(1.9), 0.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInputIsSorted) {
+  const EmpiricalCdf e({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 9.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 5.0);
+}
+
+TEST(EmpiricalCdf, QuantileInterpolates) {
+  const EmpiricalCdf e({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.25), 2.5);
+}
+
+TEST(EmpiricalCdf, QuantileRejectsOutOfRange) {
+  const EmpiricalCdf e({1.0, 2.0});
+  EXPECT_THROW((void)e.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)e.quantile(1.1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, MeanAndVariance) {
+  const EmpiricalCdf e({2.0, 4.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(e.mean(), 5.0);
+  // Unbiased: ((9+1+1+9)/3) = 20/3
+  EXPECT_NEAR(e.variance(), 20.0 / 3.0, 1e-12);
+}
+
+TEST(EmpiricalCdf, ConvergesToTrueCdf) {
+  Rng rng(5);
+  const Exponential d(0.01);
+  const EmpiricalCdf e(d.sample_n(rng, 50000));
+  for (double x : {10.0, 50.0, 100.0, 300.0}) {
+    EXPECT_NEAR(e.cdf(x), d.cdf(x), 0.01) << "at x=" << x;
+  }
+}
+
+TEST(CdfSeries, SpansRangeAndIsMonotone) {
+  const EmpiricalCdf e({1.0, 2.0, 3.0, 10.0});
+  const auto series = cdf_series(e, 50);
+  ASSERT_EQ(series.size(), 50u);
+  EXPECT_DOUBLE_EQ(series.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(series.back().x, 10.0);
+  EXPECT_DOUBLE_EQ(series.back().p, 1.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].p, series[i].p);
+    EXPECT_LT(series[i - 1].x, series[i].x);
+  }
+}
+
+TEST(CdfSeries, ExplicitRange) {
+  const EmpiricalCdf e({5.0});
+  const auto series = cdf_series(e, 3, 0.0, 10.0);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(series[1].x, 5.0);
+  EXPECT_DOUBLE_EQ(series[2].x, 10.0);
+  EXPECT_DOUBLE_EQ(series[0].p, 0.0);
+  EXPECT_DOUBLE_EQ(series[2].p, 1.0);
+}
+
+TEST(CdfSeries, RejectsTooFewPoints) {
+  const EmpiricalCdf e({1.0});
+  EXPECT_THROW(cdf_series(e, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudcr::stats

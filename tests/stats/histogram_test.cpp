@@ -1,0 +1,58 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudcr::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // exclusive upper edge
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, EdgesAreConsistent) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+  EXPECT_THROW((void)h.bin_lo(4), std::out_of_range);
+}
+
+TEST(Histogram, FrequenciesSumToOneWithoutOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 4) * 0.25);
+  double acc = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) acc += h.frequency(b);
+  EXPECT_NEAR(acc, 1.0, 1e-12);
+}
+
+TEST(Histogram, FrequencyZeroWhenEmpty) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudcr::stats

@@ -1,0 +1,93 @@
+#include "stats/renewal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/distributions.hpp"
+
+namespace cloudcr::stats {
+namespace {
+
+TEST(Renewal, EventsAreSortedAndWithinHorizon) {
+  Rng rng(3);
+  const Exponential d(0.05);
+  const auto events = sample_renewal_events(d, 1000.0, rng);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end()));
+  for (double t : events) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, 1000.0);
+  }
+}
+
+TEST(Renewal, ZeroHorizonYieldsNoEvents) {
+  Rng rng(5);
+  const Exponential d(1.0);
+  EXPECT_TRUE(sample_renewal_events(d, 0.0, rng).empty());
+}
+
+TEST(Renewal, NegativeHorizonThrows) {
+  Rng rng(5);
+  const Exponential d(1.0);
+  EXPECT_THROW(sample_renewal_events(d, -1.0, rng), std::invalid_argument);
+}
+
+TEST(Renewal, PoissonCountMatchesRate) {
+  Rng rng(7);
+  const Exponential d(0.01);  // rate 0.01/s
+  const double horizon = 10000.0;
+  std::size_t total = 0;
+  constexpr int kTrials = 500;
+  for (int i = 0; i < kTrials; ++i) {
+    total += sample_renewal_events(d, horizon, rng).size();
+  }
+  // Expected 100 events per trial.
+  EXPECT_NEAR(static_cast<double>(total) / kTrials, 100.0, 2.0);
+}
+
+TEST(Renewal, MaxEventsCapsRunaway) {
+  Rng rng(11);
+  const Exponential d(1000.0);  // ~1000 events per unit time
+  const auto events = sample_renewal_events(d, 1e9, rng, 100);
+  EXPECT_EQ(events.size(), 100u);
+}
+
+TEST(Renewal, MonteCarloExpectationMatchesPoissonClosedForm) {
+  Rng rng(13);
+  const double lambda = 0.004;
+  const double horizon = 1000.0;
+  const Exponential d(lambda);
+  const double mc = expected_events_monte_carlo(d, horizon, rng, 4000);
+  EXPECT_NEAR(mc, expected_events_poisson(lambda, horizon), 0.2);
+}
+
+TEST(Renewal, HeavyTailedProcessHasFewerEventsThanRateSuggests) {
+  // For a Pareto renewal process, the few enormous gaps mean the realized
+  // event count over a short horizon is far below horizon/mean-gap for a
+  // matched exponential — the phenomenon that breaks MTBF estimation.
+  Rng rng(17);
+  const Pareto pareto(1.1, 10.0);   // mean = 110
+  const Exponential exp_d(1.0 / pareto.mean());
+  const double horizon = 500.0;
+  const double n_pareto =
+      expected_events_monte_carlo(pareto, horizon, rng, 3000);
+  const double n_exp = expected_events_monte_carlo(exp_d, horizon, rng, 3000);
+  EXPECT_GT(n_pareto, n_exp);  // short gaps dominate early
+}
+
+TEST(Renewal, ExpectedEventsPoissonValidation) {
+  EXPECT_DOUBLE_EQ(expected_events_poisson(0.5, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(expected_events_poisson(0.0, 10.0), 0.0);
+  EXPECT_THROW(expected_events_poisson(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(expected_events_poisson(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Renewal, ZeroTrialsThrows) {
+  Rng rng(19);
+  const Exponential d(1.0);
+  EXPECT_THROW(expected_events_monte_carlo(d, 1.0, rng, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudcr::stats

@@ -1,0 +1,82 @@
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cloudcr::stats {
+namespace {
+
+TEST(RegularizedGammaP, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(2, x) = 1 - e^{-x}(1 + x).
+  for (double x : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(2.0, x), 1.0 - std::exp(-x) * (1.0 + x),
+                1e-12);
+  }
+}
+
+TEST(RegularizedGammaP, Boundaries) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+  EXPECT_NEAR(regularized_gamma_p(3.0, 1e6), 1.0, 1e-12);
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(regularized_gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(RegularizedGammaP, StableForExtremeArguments) {
+  // The regime that previously produced NaN: x astronomically larger than a.
+  EXPECT_NEAR(regularized_gamma_p(5.0, 7.0e6), 1.0, 1e-12);
+  EXPECT_NEAR(regularized_gamma_p(4000.0, 1.0e9), 1.0, 1e-12);
+  // And the opposite corner: x tiny relative to a.
+  EXPECT_NEAR(regularized_gamma_p(4000.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(RegularizedGammaP, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 30.0; x += 0.5) {
+    const double p = regularized_gamma_p(7.5, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(RegularizedGammaP, MedianNearAForLargeA) {
+  // For large a, P(a, a) ~ 0.5 (within O(1/sqrt(a))).
+  EXPECT_NEAR(regularized_gamma_p(1000.0, 1000.0), 0.5, 0.02);
+}
+
+TEST(ErlangCdf, MatchesClosedFormForSmallK) {
+  // Erlang(1, r) is exponential.
+  EXPECT_NEAR(erlang_cdf(1, 0.01, 100.0), 1.0 - std::exp(-1.0), 1e-12);
+  // Erlang(2, r): 1 - e^{-rt}(1 + rt).
+  const double rt = 0.5 * 6.0;
+  EXPECT_NEAR(erlang_cdf(2, 0.5, 6.0), 1.0 - std::exp(-rt) * (1.0 + rt),
+              1e-12);
+}
+
+TEST(ErlangCdf, Validation) {
+  EXPECT_THROW(erlang_cdf(0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(erlang_cdf(1, 0.0, 1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(erlang_cdf(3, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_cdf(3, 1.0, -5.0), 0.0);
+}
+
+TEST(ErlangCdf, MonotoneInKAndT) {
+  // More required events -> lower probability by time t.
+  for (int k = 1; k < 10; ++k) {
+    EXPECT_GT(erlang_cdf(k, 0.1, 50.0), erlang_cdf(k + 1, 0.1, 50.0));
+  }
+  // Longer horizon -> higher probability.
+  double prev = 0.0;
+  for (double t = 10.0; t <= 200.0; t += 10.0) {
+    const double p = erlang_cdf(4, 0.05, t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace cloudcr::stats

@@ -1,0 +1,78 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace cloudcr::stats {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  const Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 6.0, 8.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 20.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Rng rng(3);
+  Summary whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-10.0, 10.0);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+
+  Summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(Summary, NumericallyStableForLargeOffsets) {
+  Summary s;
+  const double offset = 1e9;
+  for (double v : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(v);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace cloudcr::stats

@@ -1,0 +1,123 @@
+#include "storage/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudcr::storage {
+namespace {
+
+// The calibration must reproduce the paper's measurements exactly at the
+// published points (Fig 7, Tables 2-5).
+
+TEST(Calibration, Figure7LocalRamdiskEndpoints) {
+  EXPECT_DOUBLE_EQ(checkpoint_cost(DeviceKind::kLocalRamdisk, 10.0), 0.016);
+  EXPECT_DOUBLE_EQ(checkpoint_cost(DeviceKind::kLocalRamdisk, 240.0), 0.99);
+}
+
+TEST(Calibration, Figure7NfsEndpoints) {
+  EXPECT_DOUBLE_EQ(checkpoint_cost(DeviceKind::kSharedNfs, 10.0), 0.25);
+  EXPECT_DOUBLE_EQ(checkpoint_cost(DeviceKind::kSharedNfs, 240.0), 2.52);
+}
+
+TEST(Calibration, Table2SingleWriterAt160Mb) {
+  // The Section 4.2.2 worked example uses Cl=0.632 and Cs=1.67 at 160 MB.
+  EXPECT_DOUBLE_EQ(checkpoint_cost(DeviceKind::kLocalRamdisk, 160.0), 0.632);
+  EXPECT_DOUBLE_EQ(checkpoint_cost(DeviceKind::kSharedNfs, 160.0), 1.67);
+}
+
+TEST(Calibration, DmNfsPricesLikeNfsSingleWriter) {
+  for (double mem : {10.0, 80.0, 160.0, 240.0}) {
+    EXPECT_DOUBLE_EQ(checkpoint_cost(DeviceKind::kDmNfs, mem),
+                     checkpoint_cost(DeviceKind::kSharedNfs, mem));
+  }
+}
+
+TEST(Calibration, Table4OperationTimes) {
+  const struct {
+    double mem;
+    double seconds;
+  } rows[] = {{10.3, 0.33}, {22.3, 0.42}, {42.3, 0.60}, {46.3, 0.66},
+              {82.4, 1.46}, {86.4, 1.75}, {90.4, 2.09}, {94.4, 2.34},
+              {162.0, 3.68}, {174.0, 4.95}, {212.0, 5.47}, {240.0, 6.83}};
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(checkpoint_op_time(DeviceKind::kSharedNfs, row.mem),
+                     row.seconds)
+        << "at " << row.mem << " MB";
+  }
+}
+
+TEST(Calibration, Table5RestartCosts) {
+  const struct {
+    double mem;
+    double a;
+    double b;
+  } rows[] = {{10.0, 0.71, 0.37},  {20.0, 0.84, 0.49}, {40.0, 1.23, 0.54},
+              {80.0, 1.87, 0.86},  {160.0, 3.22, 1.45}, {240.0, 5.69, 2.40}};
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(restart_cost(MigrationType::kA, row.mem), row.a);
+    EXPECT_DOUBLE_EQ(restart_cost(MigrationType::kB, row.mem), row.b);
+  }
+}
+
+TEST(Calibration, MigrationAIsAlwaysDearerThanB) {
+  // Table 5's structural fact: the extra shared-disk hop makes type A more
+  // expensive at every memory size.
+  for (double mem = 10.0; mem <= 240.0; mem += 5.0) {
+    EXPECT_GT(restart_cost(MigrationType::kA, mem),
+              restart_cost(MigrationType::kB, mem))
+        << "at " << mem << " MB";
+  }
+}
+
+TEST(Calibration, CheckpointCostsGrowWithMemory) {
+  for (DeviceKind kind :
+       {DeviceKind::kLocalRamdisk, DeviceKind::kSharedNfs}) {
+    double prev = 0.0;
+    for (double mem = 10.0; mem <= 240.0; mem += 10.0) {
+      const double c = checkpoint_cost(kind, mem);
+      EXPECT_GT(c, prev) << device_name(kind) << " at " << mem;
+      prev = c;
+    }
+  }
+}
+
+TEST(Calibration, LocalCheaperThanNfsPerCheckpoint) {
+  for (double mem = 10.0; mem <= 240.0; mem += 10.0) {
+    EXPECT_LT(checkpoint_cost(DeviceKind::kLocalRamdisk, mem),
+              checkpoint_cost(DeviceKind::kSharedNfs, mem));
+  }
+}
+
+TEST(Calibration, SharedOpTimeExceedsWallclockCost) {
+  // Table 4 operation times are larger than the Fig 7 wall-clock increments:
+  // the NFS server stays busy longer than the task is blocked.
+  for (double mem = 20.0; mem <= 240.0; mem += 20.0) {
+    EXPECT_GE(checkpoint_op_time(DeviceKind::kSharedNfs, mem),
+              checkpoint_cost(DeviceKind::kSharedNfs, mem));
+  }
+}
+
+TEST(Calibration, MigrationForDevice) {
+  EXPECT_EQ(migration_for_device(DeviceKind::kLocalRamdisk),
+            MigrationType::kA);
+  EXPECT_EQ(migration_for_device(DeviceKind::kSharedNfs), MigrationType::kB);
+  EXPECT_EQ(migration_for_device(DeviceKind::kDmNfs), MigrationType::kB);
+}
+
+TEST(Calibration, DeviceNames) {
+  EXPECT_STREQ(device_name(DeviceKind::kLocalRamdisk), "local-ramdisk");
+  EXPECT_STREQ(device_name(DeviceKind::kSharedNfs), "nfs");
+  EXPECT_STREQ(device_name(DeviceKind::kDmNfs), "dm-nfs");
+  EXPECT_STREQ(migration_name(MigrationType::kA), "A");
+  EXPECT_STREQ(migration_name(MigrationType::kB), "B");
+}
+
+TEST(Calibration, ConcurrentCostTablesMatchPaper) {
+  EXPECT_DOUBLE_EQ(calibration::concurrent_cost_nfs()(1.0), 1.67);
+  EXPECT_DOUBLE_EQ(calibration::concurrent_cost_nfs()(5.0), 8.95);
+  EXPECT_DOUBLE_EQ(calibration::concurrent_cost_dmnfs()(1.0), 1.67);
+  EXPECT_DOUBLE_EQ(calibration::concurrent_cost_dmnfs()(5.0), 1.74);
+  EXPECT_DOUBLE_EQ(calibration::concurrent_cost_local_ramdisk()(1.0), 0.632);
+}
+
+}  // namespace
+}  // namespace cloudcr::storage

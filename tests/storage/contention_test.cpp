@@ -1,0 +1,60 @@
+#include "storage/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "storage/calibration.hpp"
+
+namespace cloudcr::storage {
+namespace {
+
+TEST(FlatContention, AlwaysOne) {
+  const FlatContention c;
+  for (std::size_t w : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        std::size_t{100}}) {
+    EXPECT_DOUBLE_EQ(c.multiplier(w), 1.0);
+  }
+}
+
+TEST(LinearContention, RejectsNegativeSlope) {
+  EXPECT_THROW(LinearContention(-0.1), std::invalid_argument);
+}
+
+TEST(LinearContention, SingleWriterIsUnit) {
+  const LinearContention c(1.0);
+  EXPECT_DOUBLE_EQ(c.multiplier(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.multiplier(0), 1.0);  // defensive
+}
+
+TEST(LinearContention, GrowsLinearly) {
+  const LinearContention c(0.5);
+  EXPECT_DOUBLE_EQ(c.multiplier(2), 1.5);
+  EXPECT_DOUBLE_EQ(c.multiplier(3), 2.0);
+  EXPECT_DOUBLE_EQ(c.multiplier(5), 3.0);
+}
+
+TEST(LinearContention, MonotoneInWriters) {
+  const LinearContention c(kNfsContentionSlope);
+  double prev = 0.0;
+  for (std::size_t w = 1; w <= 10; ++w) {
+    const double m = c.multiplier(w);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(LinearContention, DefaultSlopeTracksTable2Shape) {
+  // Table 2's NFS avg row: {1.67, 2.665, 5.38, 6.25, 8.95}. With slope 1 the
+  // model predicts 1.67 * X; verify the prediction stays within ~35% of the
+  // measured values across the table (shape match, not exact fit).
+  const LinearContention c(kNfsContentionSlope);
+  const double base = 1.67;
+  const auto& measured = calibration::concurrent_cost_nfs();
+  for (int x = 1; x <= 5; ++x) {
+    const double predicted = base * c.multiplier(static_cast<std::size_t>(x));
+    const double actual = measured(static_cast<double>(x));
+    EXPECT_LT(std::abs(predicted - actual) / actual, 0.35) << "X=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace cloudcr::storage

@@ -1,0 +1,57 @@
+#include "storage/piecewise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudcr::storage {
+namespace {
+
+TEST(PiecewiseLinear, RejectsEmptyAndUnsorted) {
+  EXPECT_THROW(PiecewiseLinear({}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({{1.0, 0.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({{2.0, 0.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, SingleKnotIsConstant) {
+  const PiecewiseLinear f({{5.0, 3.0}});
+  EXPECT_DOUBLE_EQ(f(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(5.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 3.0);
+}
+
+TEST(PiecewiseLinear, ExactAtKnots) {
+  const PiecewiseLinear f({{0.0, 1.0}, {10.0, 2.0}, {20.0, 10.0}});
+  EXPECT_DOUBLE_EQ(f(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(20.0), 10.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots) {
+  const PiecewiseLinear f({{0.0, 0.0}, {10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(f(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(f(2.5), 25.0);
+}
+
+TEST(PiecewiseLinear, ExtrapolatesWithEdgeSlopes) {
+  const PiecewiseLinear f({{10.0, 10.0}, {20.0, 30.0}});
+  // Slope 2 on both sides.
+  EXPECT_DOUBLE_EQ(f(0.0), -10.0);
+  EXPECT_DOUBLE_EQ(f(30.0), 50.0);
+}
+
+TEST(PiecewiseLinear, MultiSegmentSelection) {
+  const PiecewiseLinear f({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+  EXPECT_DOUBLE_EQ(f(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(1.5), 0.5);
+}
+
+TEST(PiecewiseLinear, KnotsAccessor) {
+  const PiecewiseLinear f({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(f.knots().size(), 2u);
+  EXPECT_DOUBLE_EQ(f.min_x(), 1.0);
+  EXPECT_DOUBLE_EQ(f.max_x(), 3.0);
+}
+
+}  // namespace
+}  // namespace cloudcr::storage

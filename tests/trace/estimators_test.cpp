@@ -1,0 +1,165 @@
+#include "trace/estimators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace cloudcr::trace {
+namespace {
+
+Trace controlled_trace() {
+  // Hand-built trace: priority 1 tasks fail often; priority 12 never.
+  Trace trace;
+  JobRecord job;
+  job.id = 1;
+  job.structure = JobStructure::kBagOfTasks;
+
+  TaskRecord harassed;
+  harassed.priority = 1;
+  harassed.length_s = 100.0;
+  harassed.failure_dates = {20.0, 40.0};  // intervals 20, 20, tail 60
+
+  TaskRecord safe;
+  safe.priority = 12;
+  safe.length_s = 400.0;  // one censored interval of 400
+
+  job.tasks = {harassed, safe};
+  trace.jobs.push_back(job);
+  return trace;
+}
+
+TEST(Estimators, MnofAndMtbfOnControlledInput) {
+  const auto trace = controlled_trace();
+  const auto groups = estimate_by_priority(trace);
+  EXPECT_EQ(groups[0].task_count, 1u);
+  EXPECT_DOUBLE_EQ(groups[0].mnof, 2.0);
+  EXPECT_NEAR(groups[0].mtbf, (20.0 + 20.0 + 60.0) / 3.0, 1e-12);
+  EXPECT_EQ(groups[11].task_count, 1u);
+  EXPECT_DOUBLE_EQ(groups[11].mnof, 0.0);
+  EXPECT_DOUBLE_EQ(groups[11].mtbf, 400.0);
+}
+
+TEST(Estimators, LengthLimitExcludesLongTasks) {
+  const auto trace = controlled_trace();
+  const auto groups = estimate_by_priority(trace, 200.0);
+  EXPECT_EQ(groups[0].task_count, 1u);   // 100 s task kept
+  EXPECT_EQ(groups[11].task_count, 0u);  // 400 s task dropped
+}
+
+TEST(Estimators, StructureFilterSeparatesStAndBot) {
+  Trace trace = controlled_trace();
+  JobRecord st_job;
+  st_job.id = 2;
+  st_job.structure = JobStructure::kSequentialTasks;
+  TaskRecord t;
+  t.priority = 1;
+  t.length_s = 50.0;
+  t.failure_dates = {10.0};
+  st_job.tasks = {t};
+  trace.jobs.push_back(st_job);
+
+  const auto bot = estimate_by_priority(trace, kNoLengthLimit,
+                                        StructureFilter::kBagOfTasksOnly);
+  const auto st = estimate_by_priority(trace, kNoLengthLimit,
+                                       StructureFilter::kSequentialOnly);
+  EXPECT_EQ(bot[0].task_count, 1u);
+  EXPECT_EQ(st[0].task_count, 1u);
+  EXPECT_DOUBLE_EQ(st[0].mnof, 1.0);
+}
+
+TEST(Estimators, OverallAggregatesGroups) {
+  const auto trace = controlled_trace();
+  const auto all = estimate_overall(trace);
+  EXPECT_EQ(all.task_count, 2u);
+  EXPECT_DOUBLE_EQ(all.mnof, 1.0);  // 2 failures over 2 tasks
+}
+
+TEST(Estimators, IntervalsByPriorityCollectsEverything) {
+  const auto trace = controlled_trace();
+  const auto by_prio = intervals_by_priority(trace);
+  ASSERT_TRUE(by_prio.contains(1));
+  ASSERT_TRUE(by_prio.contains(12));
+  EXPECT_EQ(by_prio.at(1).size(), 3u);
+  EXPECT_EQ(by_prio.at(12).size(), 1u);
+}
+
+TEST(Estimators, FailureIntervalsExcludeCensoredTails) {
+  const auto trace = controlled_trace();
+  const auto gaps = failure_intervals(trace);
+  // Only the two real gaps of the harassed task; no censored tails.
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 20.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 20.0);
+}
+
+TEST(Estimators, UninterruptedPoolIncludesCensoredTails) {
+  const auto trace = controlled_trace();
+  // harassed: 20, 20, 60 (tail); safe: 400 (tail) -> four intervals total.
+  const auto pool = uninterrupted_interval_pool(trace);
+  EXPECT_EQ(pool.size(), 4u);
+  const auto short_pool = uninterrupted_interval_pool(trace, 100.0);
+  EXPECT_EQ(short_pool.size(), 3u);  // the 400 s tail is dropped
+}
+
+TEST(Estimators, FailureIntervalsRespectLimit) {
+  Trace trace;
+  JobRecord job;
+  TaskRecord t;
+  t.priority = 1;
+  t.length_s = 5000.0;
+  t.failure_dates = {100.0, 3000.0};  // gaps 100 and 2900
+  job.tasks = {t};
+  trace.jobs.push_back(job);
+  EXPECT_EQ(failure_intervals(trace).size(), 2u);
+  EXPECT_EQ(failure_intervals(trace, 1000.0).size(), 1u);
+}
+
+TEST(Estimators, OracleValuesMatchTaskHistory) {
+  const auto trace = controlled_trace();
+  const auto& harassed = trace.jobs[0].tasks[0];
+  const auto& safe = trace.jobs[0].tasks[1];
+  EXPECT_DOUBLE_EQ(oracle_mnof(harassed), 2.0);
+  EXPECT_NEAR(oracle_mtbf(harassed), 100.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(oracle_mnof(safe), 0.0);
+  EXPECT_DOUBLE_EQ(oracle_mtbf(safe), 400.0);
+}
+
+// The headline structural property (Table 7): on a generated trace, MTBF
+// inflates sharply when long tasks enter the estimation while MNOF moves far
+// less. This is the fact that makes Formula (3) robust and Young's fragile.
+TEST(Estimators, Table7Structure_MtbfInflatesMnofStays) {
+  GeneratorConfig cfg;
+  cfg.seed = 31;
+  cfg.horizon_s = 86400.0;
+  cfg.arrival_rate = 0.1;
+  cfg.sample_job_filter = false;
+  const auto trace = TraceGenerator(cfg).generate();
+
+  const auto short_groups = estimate_by_priority(trace, 1000.0);
+  const auto all_groups = estimate_by_priority(trace, kNoLengthLimit);
+
+  // Aggregate over the busy priorities to avoid small-sample noise.
+  double short_mtbf = 0.0, all_mtbf = 0.0;
+  double short_mnof = 0.0, all_mnof = 0.0;
+  int cells = 0;
+  for (int p : {1, 2, 3}) {
+    const auto& s = short_groups[static_cast<std::size_t>(p - 1)];
+    const auto& a = all_groups[static_cast<std::size_t>(p - 1)];
+    if (s.task_count < 50 || a.task_count < 50) continue;
+    short_mtbf += s.mtbf;
+    all_mtbf += a.mtbf;
+    short_mnof += s.mnof;
+    all_mnof += a.mnof;
+    ++cells;
+  }
+  ASSERT_GT(cells, 0);
+  // MTBF at least doubles with the unrestricted set...
+  EXPECT_GT(all_mtbf, 2.0 * short_mtbf);
+  // ...while MNOF grows by far less than MTBF does (relative inflation).
+  const double mtbf_inflation = all_mtbf / short_mtbf;
+  const double mnof_inflation = all_mnof / short_mnof;
+  EXPECT_LT(mnof_inflation, 0.5 * mtbf_inflation);
+}
+
+}  // namespace
+}  // namespace cloudcr::trace

@@ -1,0 +1,154 @@
+#include "trace/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cloudcr::trace {
+namespace {
+
+TEST(FailureModel, RejectsBadPriority) {
+  const auto m = FailureModel::google_calibration();
+  EXPECT_THROW((void)m.profile(0), std::out_of_range);
+  EXPECT_THROW((void)m.profile(13), std::out_of_range);
+  stats::Rng rng(1);
+  EXPECT_THROW((void)m.sample_failure_dates(0, rng), std::out_of_range);
+}
+
+TEST(FailureModel, DatesAreSortedAndPositive) {
+  const auto m = FailureModel::google_calibration();
+  stats::Rng rng(2);
+  for (int p = 1; p <= 12; ++p) {
+    for (int i = 0; i < 100; ++i) {
+      const auto dates = m.sample_failure_dates(p, rng);
+      EXPECT_TRUE(std::is_sorted(dates.begin(), dates.end()));
+      for (double d : dates) EXPECT_GT(d, 0.0);
+    }
+  }
+}
+
+TEST(FailureModel, SafePrioritiesRarelyFail) {
+  const auto m = FailureModel::google_calibration();
+  stats::Rng rng(3);
+  // Priorities 4, 8, 11, 12 are nearly safe in the calibration.
+  for (int p : {4, 8, 11, 12}) {
+    int harassed = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (!m.sample_failure_dates(p, rng).empty()) ++harassed;
+    }
+    EXPECT_LT(harassed, 120) << "priority " << p;
+  }
+}
+
+TEST(FailureModel, Priority10IsChurnHeavy) {
+  const auto m = FailureModel::google_calibration();
+  stats::Rng rng(4);
+  std::size_t total = 0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    total += m.sample_failure_dates(10, rng).size();
+  }
+  // Calibration: ph=0.95, mean burst 10 -> ~9.5 kills per task.
+  EXPECT_NEAR(static_cast<double>(total) / kN, 9.5, 1.0);
+}
+
+TEST(FailureModel, EmpiricalKillCountMatchesClosedForm) {
+  const auto m = FailureModel::google_calibration();
+  for (int p : {1, 2, 7, 10}) {
+    stats::Rng rng(100 + static_cast<unsigned>(p));
+    const double horizon = 1000.0;
+    std::size_t total = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+      const auto dates = m.sample_failure_dates(p, rng);
+      total += static_cast<std::size_t>(
+          std::upper_bound(dates.begin(), dates.end(), horizon) -
+          dates.begin());
+    }
+    const double empirical = static_cast<double>(total) / kN;
+    const double analytic = m.expected_failures(p, horizon);
+    EXPECT_NEAR(empirical, analytic, 0.05 * std::max(1.0, analytic))
+        << "priority " << p;
+  }
+}
+
+TEST(FailureModel, ExpectedFailuresMonotoneInHorizon) {
+  const auto m = FailureModel::google_calibration();
+  for (int p = 1; p <= 12; ++p) {
+    double prev = -1.0;
+    for (double h : {0.0, 100.0, 500.0, 1000.0, 5000.0, 50000.0}) {
+      const double e = m.expected_failures(p, h);
+      EXPECT_GE(e, prev) << "priority " << p << " horizon " << h;
+      prev = e;
+    }
+  }
+}
+
+TEST(FailureModel, ExpectedFailuresSaturatesAtBurstMean) {
+  // For huge horizons E(Y) -> p_harassed * mean_kills (every kill lands).
+  const auto m = FailureModel::google_calibration();
+  const auto& prof = m.profile(1);
+  const double e = m.expected_failures(1, 1e9);
+  EXPECT_NEAR(e, prof.p_harassed * prof.mean_kills, 0.01);
+}
+
+TEST(FailureModel, ZeroHorizonHasNoFailures) {
+  const auto m = FailureModel::google_calibration();
+  EXPECT_DOUBLE_EQ(m.expected_failures(1, 0.0), 0.0);
+}
+
+TEST(FailureModel, PriorityChangeSplitsProcess) {
+  const auto m = FailureModel::google_calibration();
+  stats::Rng rng(7);
+  // From churn-heavy (10) to safe (12): after the change, few events.
+  int after = 0, before = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto dates =
+        m.sample_failure_dates_with_change(10, 12, 500.0, rng);
+    EXPECT_TRUE(std::is_sorted(dates.begin(), dates.end()));
+    for (double d : dates) {
+      (d < 500.0 ? before : after)++;
+    }
+  }
+  EXPECT_GT(before, 10 * std::max(after, 1));
+}
+
+TEST(FailureModel, PriorityChangeRejectsNegativeTime) {
+  const auto m = FailureModel::google_calibration();
+  stats::Rng rng(8);
+  EXPECT_THROW((void)m.sample_failure_dates_with_change(1, 2, -1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(FailureModel, LowPrioritiesFailMoreThanMidPriorities) {
+  const auto m = FailureModel::google_calibration();
+  // Structural fact from Fig 4: priority 1 fails more than priority 9
+  // (priority 10 is the deliberate exception).
+  EXPECT_GT(m.expected_failures(1, 2000.0), m.expected_failures(9, 2000.0));
+  EXPECT_GT(m.expected_failures(2, 2000.0), m.expected_failures(9, 2000.0));
+}
+
+class FailureModelPrioritySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailureModelPrioritySweep, DeterministicGivenSeed) {
+  const auto m = FailureModel::google_calibration();
+  stats::Rng a(99), b(99);
+  const auto da = m.sample_failure_dates(GetParam(), a);
+  const auto db = m.sample_failure_dates(GetParam(), b);
+  EXPECT_EQ(da, db);
+}
+
+TEST_P(FailureModelPrioritySweep, ProfileParametersAreSane) {
+  const auto m = FailureModel::google_calibration();
+  const auto& prof = m.profile(GetParam());
+  EXPECT_GE(prof.p_harassed, 0.0);
+  EXPECT_LE(prof.p_harassed, 1.0);
+  EXPECT_GE(prof.mean_kills, 1.0);
+  EXPECT_GT(prof.mean_gap_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPriorities, FailureModelPrioritySweep,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace cloudcr::trace

@@ -1,0 +1,122 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace cloudcr::trace {
+namespace {
+
+Trace sample_trace() {
+  GeneratorConfig cfg;
+  cfg.seed = 5;
+  cfg.horizon_s = 3600.0;
+  cfg.arrival_rate = 0.05;
+  cfg.sample_job_filter = false;
+  cfg.priority_change_midway = true;
+  return TraceGenerator(cfg).generate();
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = sample_trace();
+  ASSERT_GT(original.job_count(), 0u);
+
+  std::stringstream buf;
+  write_csv(buf, original);
+  const Trace loaded = read_csv(buf);
+
+  ASSERT_EQ(loaded.job_count(), original.job_count());
+  EXPECT_DOUBLE_EQ(loaded.horizon_s, original.horizon_s);
+  for (std::size_t j = 0; j < original.jobs.size(); ++j) {
+    const auto& a = original.jobs[j];
+    const auto& b = loaded.jobs[j];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.structure, b.structure);
+    EXPECT_DOUBLE_EQ(a.arrival_s, b.arrival_s);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+      const auto& ta = a.tasks[i];
+      const auto& tb = b.tasks[i];
+      EXPECT_EQ(ta.job_id, tb.job_id);
+      EXPECT_EQ(ta.index_in_job, tb.index_in_job);
+      EXPECT_DOUBLE_EQ(ta.length_s, tb.length_s);
+      EXPECT_DOUBLE_EQ(ta.memory_mb, tb.memory_mb);
+      EXPECT_DOUBLE_EQ(ta.input_size, tb.input_size);
+      EXPECT_EQ(ta.priority, tb.priority);
+      EXPECT_DOUBLE_EQ(ta.priority_change_time, tb.priority_change_time);
+      EXPECT_EQ(ta.new_priority, tb.new_priority);
+      ASSERT_EQ(ta.failure_dates.size(), tb.failure_dates.size());
+      for (std::size_t f = 0; f < ta.failure_dates.size(); ++f) {
+        EXPECT_NEAR(ta.failure_dates[f], tb.failure_dates[f],
+                    1e-9 * (1.0 + ta.failure_dates[f]));
+      }
+    }
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.horizon_s = 123.0;
+  std::stringstream buf;
+  write_csv(buf, empty);
+  const Trace loaded = read_csv(buf);
+  EXPECT_EQ(loaded.job_count(), 0u);
+  EXPECT_DOUBLE_EQ(loaded.horizon_s, 123.0);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream buf("not,a,header\n");
+  EXPECT_THROW(read_csv(buf), std::runtime_error);
+}
+
+namespace {
+constexpr char kTestHeader[] =
+    "job_id,structure,arrival_s,task_index,length_s,memory_mb,input_size,"
+    "priority,prio_change_time,new_priority,failure_dates";
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::stringstream buf;
+  buf << kTestHeader << "\n1,ST,0.0,0\n";
+  EXPECT_THROW(read_csv(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadStructure) {
+  std::stringstream buf;
+  buf << kTestHeader << "\n1,XX,0.0,0,10.0,64.0,90.0,1,-1,0,\n";
+  EXPECT_THROW(read_csv(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnsortedFailureDates) {
+  std::stringstream buf;
+  buf << kTestHeader << "\n1,ST,0.0,0,10.0,64.0,90.0,1,-1,0,5.0;2.0\n";
+  EXPECT_THROW(read_csv(buf), std::runtime_error);
+}
+
+TEST(TraceIo, ParsesInputSizeField) {
+  std::stringstream buf;
+  buf << kTestHeader << "\n7,BoT,1.5,0,420.0,64.0,93.25,2,-1,0,10.0;20.0\n";
+  const Trace t = read_csv(buf);
+  ASSERT_EQ(t.job_count(), 1u);
+  ASSERT_EQ(t.jobs[0].tasks.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.jobs[0].tasks[0].input_size, 93.25);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = testing::TempDir() + "/cloudcr_trace_test.csv";
+  write_csv_file(path, original);
+  const Trace loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.job_count(), original.job_count());
+  EXPECT_EQ(loaded.task_count(), original.task_count());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/trace.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cloudcr::trace

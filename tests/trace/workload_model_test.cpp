@@ -1,0 +1,182 @@
+#include "trace/workload_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudcr::trace {
+namespace {
+
+TEST(WorkloadModel, RejectsBadConfig) {
+  WorkloadConfig bad;
+  bad.bot_fraction = 1.5;
+  EXPECT_THROW(WorkloadModel{bad}, std::invalid_argument);
+
+  WorkloadConfig bad2;
+  bad2.max_tasks_per_job = 1;
+  EXPECT_THROW(WorkloadModel{bad2}, std::invalid_argument);
+
+  WorkloadConfig bad3;
+  bad3.priority_weights.fill(0.0);
+  EXPECT_THROW(WorkloadModel{bad3}, std::invalid_argument);
+
+  WorkloadConfig bad4;
+  bad4.priority_weights[3] = -1.0;
+  EXPECT_THROW(WorkloadModel{bad4}, std::invalid_argument);
+}
+
+TEST(WorkloadModel, TaskFieldsWithinConfiguredBounds) {
+  const WorkloadModel m;
+  const auto& cfg = m.config();
+  stats::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto t = m.sample_task(JobStructure::kSequentialTasks, rng);
+    EXPECT_GE(t.length_s, cfg.min_length_s);
+    if (t.length_s > cfg.max_length_s) {
+      // Long-running service task: lives in the service band instead.
+      EXPECT_GE(t.length_s, cfg.service_min_s);
+      EXPECT_LE(t.length_s, cfg.service_max_s);
+    }
+    EXPECT_GE(t.memory_mb, cfg.min_memory_mb);
+    EXPECT_LE(t.memory_mb, cfg.max_memory_mb);
+    EXPECT_GE(t.priority, kMinPriority);
+    EXPECT_LE(t.priority, kMaxPriority);
+  }
+}
+
+TEST(WorkloadModel, ServiceTaskFrequencyMatchesConfig) {
+  const WorkloadModel m;
+  stats::Rng rng(11);
+  int services = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (m.sample_task(JobStructure::kSequentialTasks, rng).length_s >=
+        m.config().service_min_s) {
+      ++services;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(services) / kN,
+              m.config().long_service_fraction, 0.005);
+}
+
+TEST(WorkloadModel, ServiceTasksCanBeDisabled) {
+  WorkloadConfig cfg;
+  cfg.long_service_fraction = 0.0;
+  const WorkloadModel m(cfg);
+  stats::Rng rng(12);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LE(m.sample_task(JobStructure::kBagOfTasks, rng).length_s,
+              cfg.max_length_s);
+  }
+}
+
+TEST(WorkloadModel, RejectsBadServiceRange) {
+  WorkloadConfig cfg;
+  cfg.long_service_fraction = 2.0;
+  EXPECT_THROW(WorkloadModel{cfg}, std::invalid_argument);
+  WorkloadConfig cfg2;
+  cfg2.service_min_s = 100.0;
+  cfg2.service_max_s = 50.0;
+  EXPECT_THROW(WorkloadModel{cfg2}, std::invalid_argument);
+}
+
+TEST(WorkloadModel, MostTasksAreShort) {
+  // Fig 8(b)/the paper's characterization: the bulk of tasks run minutes.
+  const WorkloadModel m;
+  stats::Rng rng(2);
+  int below_1000 = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (m.sample_task(JobStructure::kSequentialTasks, rng).length_s <= 1000.0) {
+      ++below_1000;
+    }
+  }
+  EXPECT_GT(below_1000, kN * 0.6);
+}
+
+TEST(WorkloadModel, BotTasksUseLessMemoryOnAverage) {
+  const WorkloadModel m;
+  stats::Rng rng(3);
+  double st = 0.0, bot = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    st += m.sample_task(JobStructure::kSequentialTasks, rng).memory_mb;
+    bot += m.sample_task(JobStructure::kBagOfTasks, rng).memory_mb;
+  }
+  EXPECT_LT(bot, st * 0.8);
+}
+
+TEST(WorkloadModel, BotFractionRespected) {
+  WorkloadConfig cfg;
+  cfg.bot_fraction = 0.3;
+  const WorkloadModel m(cfg);
+  stats::Rng rng(4);
+  int bot = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (m.sample_job(rng).structure == JobStructure::kBagOfTasks) ++bot;
+  }
+  EXPECT_NEAR(static_cast<double>(bot) / kN, 0.3, 0.02);
+}
+
+TEST(WorkloadModel, JobTaskCountsWithinCaps) {
+  const WorkloadModel m;
+  stats::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto job = m.sample_job(rng);
+    EXPECT_GE(job.tasks.size(), 1u);
+    EXPECT_LE(job.tasks.size(), m.config().max_tasks_per_job);
+    if (job.structure == JobStructure::kBagOfTasks) {
+      EXPECT_GE(job.tasks.size(), 2u);
+    }
+  }
+}
+
+TEST(WorkloadModel, JobTasksShareOnePriority) {
+  const WorkloadModel m;
+  stats::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const auto job = m.sample_job(rng);
+    for (const auto& t : job.tasks) {
+      EXPECT_EQ(t.priority, job.tasks.front().priority);
+    }
+  }
+}
+
+TEST(WorkloadModel, TaskIndicesAreSequential) {
+  const WorkloadModel m;
+  stats::Rng rng(7);
+  const auto job = m.sample_job(rng);
+  for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+    EXPECT_EQ(job.tasks[i].index_in_job, i);
+  }
+}
+
+TEST(WorkloadModel, PriorityFrequenciesTrackWeights) {
+  WorkloadConfig cfg;
+  cfg.priority_weights.fill(0.0);
+  cfg.priority_weights[0] = 0.5;   // priority 1
+  cfg.priority_weights[9] = 0.5;   // priority 10
+  const WorkloadModel m(cfg);
+  stats::Rng rng(8);
+  int p1 = 0, p10 = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const int p = m.sample_priority(rng);
+    EXPECT_TRUE(p == 1 || p == 10);
+    (p == 1 ? p1 : p10)++;
+  }
+  EXPECT_NEAR(static_cast<double>(p1) / kN, 0.5, 0.02);
+}
+
+TEST(WorkloadModel, DefaultPriorityMixSkewsLow) {
+  const WorkloadModel m;
+  stats::Rng rng(9);
+  int low = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (m.sample_priority(rng) <= 3) ++low;
+  }
+  EXPECT_GT(static_cast<double>(low) / kN, 0.4);
+}
+
+}  // namespace
+}  // namespace cloudcr::trace
