@@ -6,106 +6,99 @@
 //     workload;
 //  4. statistic robustness: Formula (3) with group MNOF vs Young with group
 //     MTBF vs both with oracle inputs.
+//
+// The whole ablation is one declarative scenario grid executed on the
+// BatchRunner thread pool; runs sharing a trace spec generate it once.
+
+#include <map>
 
 #include "bench_common.hpp"
 
 using namespace cloudcr;
 
-namespace {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
 
-double run(const trace::Trace& trace, const core::CheckpointPolicy& policy,
-           const sim::StatsPredictor& predictor, sim::PlacementMode placement,
-           storage::DeviceKind shared_kind,
-           core::AdaptationMode mode = core::AdaptationMode::kAdaptive) {
-  sim::SimConfig cfg;
-  cfg.placement = placement;
-  cfg.shared_kind = shared_kind;
-  cfg.adaptation = mode;
-  sim::Simulation sim(cfg, policy, predictor);
-  return sim.run(trace).average_wpr();
-}
+  auto day = bench::day_trace_spec();
+  args.apply(day);
+  auto changing = bench::day_trace_spec(/*priority_change=*/true);
+  args.apply(changing);
 
-}  // namespace
+  auto make = [&](const std::string& name, const std::string& policy,
+                  const std::string& predictor, sim::PlacementMode placement,
+                  storage::DeviceKind shared_kind,
+                  core::AdaptationMode mode = core::AdaptationMode::kAdaptive,
+                  bool priority_change = false) {
+    auto spec = bench::scenario(name, priority_change ? changing : day,
+                                policy, predictor);
+    spec.placement = placement;
+    spec.shared_device = shared_kind;
+    spec.adaptation = mode;
+    return spec;
+  };
 
-int main() {
-  const auto trace = bench::make_day_trace();
-  const auto changing = bench::make_day_trace(/*priority_change=*/true);
-  std::cout << "one-day traces: " << trace.job_count() << " / "
-            << changing.job_count() << " sample jobs\n";
+  const auto kAuto = sim::PlacementMode::kAutoSelect;
+  const auto kLocal = sim::PlacementMode::kForceLocal;
+  const auto kShared = sim::PlacementMode::kForceShared;
+  const auto kDmNfs = storage::DeviceKind::kDmNfs;
+  const auto kNfs = storage::DeviceKind::kSharedNfs;
 
-  const core::MnofPolicy formula3;
-  const core::YoungPolicy young;
-  const auto grouped = sim::make_grouped_predictor(trace);
-  const auto oracle = sim::make_oracle_predictor();
+  const std::vector<api::ScenarioSpec> specs = {
+      make("auto_dmnfs", "formula3", "grouped", kAuto, kDmNfs),
+      make("local", "formula3", "grouped", kLocal, kDmNfs),
+      make("shared_dmnfs", "formula3", "grouped", kShared, kDmNfs),
+      make("shared_nfs", "formula3", "grouped", kShared, kNfs),
+      make("adaptive_changing", "formula3", "grouped", kAuto, kDmNfs,
+           core::AdaptationMode::kAdaptive, /*priority_change=*/true),
+      make("static_changing", "formula3", "submission", kAuto, kDmNfs,
+           core::AdaptationMode::kStatic, /*priority_change=*/true),
+      make("young_grouped", "young", "grouped", kAuto, kDmNfs),
+      make("f3_oracle", "formula3", "oracle", kAuto, kDmNfs),
+      make("young_oracle", "young", "oracle", kAuto, kDmNfs),
+  };
+  const auto artifacts = bench::run_grid(specs, args);
+
+  std::map<std::string, double> wpr;
+  std::map<std::string, std::size_t> jobs;
+  for (const auto& a : artifacts) {
+    wpr[a.spec.name] = a.result.average_wpr();
+    jobs[a.spec.name] = a.trace_jobs;
+  }
+  std::cout << "one-day traces: " << jobs.at("auto_dmnfs") << " / "
+            << jobs.at("adaptive_changing") << " sample jobs\n";
 
   metrics::print_banner(std::cout, "Ablation 1: storage placement (avg WPR)");
   metrics::Table t1({"placement", "avg WPR"});
-  t1.add_row({"auto-select (Sec 4.2.2)",
-              metrics::fmt(run(trace, formula3, grouped,
-                               sim::PlacementMode::kAutoSelect,
-                               storage::DeviceKind::kDmNfs), 4)});
-  t1.add_row({"forced local ramdisk",
-              metrics::fmt(run(trace, formula3, grouped,
-                               sim::PlacementMode::kForceLocal,
-                               storage::DeviceKind::kDmNfs), 4)});
-  t1.add_row({"forced shared (DM-NFS)",
-              metrics::fmt(run(trace, formula3, grouped,
-                               sim::PlacementMode::kForceShared,
-                               storage::DeviceKind::kDmNfs), 4)});
+  t1.add_row({"auto-select (Sec 4.2.2)", metrics::fmt(wpr.at("auto_dmnfs"), 4)});
+  t1.add_row({"forced local ramdisk", metrics::fmt(wpr.at("local"), 4)});
+  t1.add_row({"forced shared (DM-NFS)", metrics::fmt(wpr.at("shared_dmnfs"), 4)});
   t1.print(std::cout);
 
   metrics::print_banner(std::cout,
                         "Ablation 2: DM-NFS vs single NFS under load");
   metrics::Table t2({"shared device", "avg WPR"});
-  t2.add_row({"DM-NFS (32 servers)",
-              metrics::fmt(run(trace, formula3, grouped,
-                               sim::PlacementMode::kForceShared,
-                               storage::DeviceKind::kDmNfs), 4)});
-  t2.add_row({"single NFS server",
-              metrics::fmt(run(trace, formula3, grouped,
-                               sim::PlacementMode::kForceShared,
-                               storage::DeviceKind::kSharedNfs), 4)});
+  t2.add_row({"DM-NFS (32 servers)", metrics::fmt(wpr.at("shared_dmnfs"), 4)});
+  t2.add_row({"single NFS server", metrics::fmt(wpr.at("shared_nfs"), 4)});
   t2.print(std::cout);
 
   metrics::print_banner(std::cout,
                         "Ablation 3: adaptation under priority changes");
-  const auto dyn_pred = sim::make_grouped_predictor(changing);
-  const auto sta_pred = sim::make_submission_priority_predictor(changing);
   metrics::Table t3({"controller", "avg WPR"});
   t3.add_row({"adaptive (Algorithm 1)",
-              metrics::fmt(run(changing, formula3, dyn_pred,
-                               sim::PlacementMode::kAutoSelect,
-                               storage::DeviceKind::kDmNfs,
-                               core::AdaptationMode::kAdaptive), 4)});
-  t3.add_row({"static",
-              metrics::fmt(run(changing, formula3, sta_pred,
-                               sim::PlacementMode::kAutoSelect,
-                               storage::DeviceKind::kDmNfs,
-                               core::AdaptationMode::kStatic), 4)});
+              metrics::fmt(wpr.at("adaptive_changing"), 4)});
+  t3.add_row({"static", metrics::fmt(wpr.at("static_changing"), 4)});
   t3.print(std::cout);
 
   metrics::print_banner(std::cout,
                         "Ablation 4: statistic robustness (avg WPR)");
   metrics::Table t4({"policy x estimate", "avg WPR"});
-  t4.add_row({"Formula (3) + group MNOF",
-              metrics::fmt(run(trace, formula3, grouped,
-                               sim::PlacementMode::kAutoSelect,
-                               storage::DeviceKind::kDmNfs), 4)});
-  t4.add_row({"Young + group MTBF",
-              metrics::fmt(run(trace, young, grouped,
-                               sim::PlacementMode::kAutoSelect,
-                               storage::DeviceKind::kDmNfs), 4)});
-  t4.add_row({"Formula (3) + oracle",
-              metrics::fmt(run(trace, formula3, oracle,
-                               sim::PlacementMode::kAutoSelect,
-                               storage::DeviceKind::kDmNfs), 4)});
-  t4.add_row({"Young + oracle",
-              metrics::fmt(run(trace, young, oracle,
-                               sim::PlacementMode::kAutoSelect,
-                               storage::DeviceKind::kDmNfs), 4)});
+  t4.add_row({"Formula (3) + group MNOF", metrics::fmt(wpr.at("auto_dmnfs"), 4)});
+  t4.add_row({"Young + group MTBF", metrics::fmt(wpr.at("young_grouped"), 4)});
+  t4.add_row({"Formula (3) + oracle", metrics::fmt(wpr.at("f3_oracle"), 4)});
+  t4.add_row({"Young + oracle", metrics::fmt(wpr.at("young_oracle"), 4)});
   t4.print(std::cout);
 
   std::cout << "expected: group estimation hurts Young far more than "
                "Formula (3); oracle inputs make them coincide\n";
-  return 0;
+  return args.export_artifacts(artifacts) ? 0 : 1;
 }

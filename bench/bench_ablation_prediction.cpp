@@ -9,9 +9,13 @@
 //  * unbiased noise sweep (sigma 0 .. 1 in log space),
 //  * the two real predictors (regression on input size, per-class history)
 //    trained on a separate day of history.
+//
+// The workload-length predictor is the one experiment knob that is a live
+// lambda rather than data, so these runs go through api::RunHooks.
 
-#include <cmath>
+#include <memory>
 
+#include "api/registry.hpp"
 #include "predict/workload_predictor.hpp"
 
 #include "bench_common.hpp"
@@ -21,32 +25,41 @@ using namespace cloudcr;
 namespace {
 
 double run_with_predictor(
-    const trace::Trace& trace, const sim::StatsPredictor& stats_pred,
+    const api::ScenarioSpec& spec, const trace::Trace& replay,
+    const sim::StatsPredictor& stats_pred,
     const std::function<double(const trace::TaskRecord&)>& length_pred) {
-  const core::MnofPolicy policy;
-  sim::SimConfig cfg;
-  cfg.placement = sim::PlacementMode::kForceShared;
-  cfg.shared_kind = storage::DeviceKind::kDmNfs;
-  cfg.length_predictor = length_pred;
-  sim::Simulation sim(cfg, policy, stats_pred);
-  return sim.run(trace).average_wpr();
+  api::RunHooks hooks;
+  hooks.replay_trace = &replay;
+  hooks.predictor_override = stats_pred;
+  hooks.length_predictor = length_pred;
+  return api::run_scenario(spec, hooks).result.average_wpr();
 }
 
 }  // namespace
 
-int main() {
-  const auto trace = bench::make_day_trace();
-  const auto stats_pred = sim::make_grouped_predictor(trace);
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*exports=*/false);
+
+  auto tspec = bench::day_trace_spec();
+  args.apply(tspec);
+  const auto spec = bench::scenario("ablation_prediction", tspec, "formula3",
+                                    "grouped");
+  // One shared replay trace and one shared grouped predictor across the
+  // whole sweep (the sweeps vary only the length predictor).
+  const auto trace = api::make_replay_trace(tspec);
+  const auto stats_pred = api::PredictorRegistry::instance().make(
+      "grouped", api::PredictorInputs{trace});
   std::cout << "one-day replay set: " << trace.job_count() << " jobs\n";
 
   metrics::print_banner(std::cout,
                         "systematic bias: planner sees factor * Te");
   metrics::Table t1({"bias factor", "avg WPR", "delta vs exact"});
-  const double exact_wpr = run_with_predictor(trace, stats_pred, nullptr);
+  const double exact_wpr = run_with_predictor(spec, trace, stats_pred,
+                                              nullptr);
   for (double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     const predict::BiasedPredictor p(factor);
     const double wpr = run_with_predictor(
-        trace, stats_pred,
+        spec, trace, stats_pred,
         [&p](const trace::TaskRecord& task) { return p.predict(task); });
     t1.add_row({metrics::fmt(factor, 2), metrics::fmt(wpr, 4),
                 metrics::fmt(wpr - exact_wpr, 4)});
@@ -60,7 +73,7 @@ int main() {
     const auto p = std::make_shared<predict::NoisyPredictor>(
         sigma, bench::kTraceSeed + 77);
     const double wpr = run_with_predictor(
-        trace, stats_pred,
+        spec, trace, stats_pred,
         [p](const trace::TaskRecord& task) { return p->predict(task); });
     t2.add_row({metrics::fmt(sigma, 2), metrics::fmt(wpr, 4),
                 metrics::fmt(wpr - exact_wpr, 4)});
@@ -69,13 +82,13 @@ int main() {
 
   metrics::print_banner(std::cout, "real predictors (trained on history)");
   // Train on a different day of history.
-  trace::GeneratorConfig hist_cfg;
-  hist_cfg.seed = bench::kTraceSeed + 999;
-  hist_cfg.horizon_s = bench::kDayHorizon;
-  hist_cfg.arrival_rate = bench::kArrivalRate;
-  hist_cfg.sample_job_filter = false;
-  hist_cfg.workload.long_service_fraction = 0.0;
-  const auto history = trace::TraceGenerator(hist_cfg).generate();
+  api::TraceSpec hist_spec;
+  hist_spec.seed = bench::kTraceSeed + 999;
+  hist_spec.horizon_s = bench::kDayHorizon;
+  hist_spec.arrival_rate = bench::kArrivalRate;
+  hist_spec.sample_job_filter = false;
+  hist_spec.long_service_fraction = 0.0;
+  const auto history = api::make_trace(hist_spec);
 
   std::vector<double> inputs, lengths;
   auto history_means = std::make_shared<predict::HistoryPredictor>();
@@ -93,13 +106,13 @@ int main() {
   metrics::Table t3({"predictor", "avg WPR", "delta vs exact"});
   t3.add_row({"exact (oracle Te)", metrics::fmt(exact_wpr, 4), "0.0000"});
   const double wpr_reg = run_with_predictor(
-      trace, stats_pred, [regression](const trace::TaskRecord& task) {
+      spec, trace, stats_pred, [regression](const trace::TaskRecord& task) {
         return regression->predict(task);
       });
   t3.add_row({"polynomial regression on input size",
               metrics::fmt(wpr_reg, 4), metrics::fmt(wpr_reg - exact_wpr, 4)});
   const double wpr_hist = run_with_predictor(
-      trace, stats_pred, [history_means](const trace::TaskRecord& task) {
+      spec, trace, stats_pred, [history_means](const trace::TaskRecord& task) {
         return history_means->predict(task);
       });
   t3.add_row({"per-class history mean", metrics::fmt(wpr_hist, 4),

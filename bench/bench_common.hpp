@@ -1,8 +1,13 @@
 #pragma once
 
 /// \file bench_common.hpp
-/// \brief Shared workload construction and reporting helpers for the bench
+/// \brief Shared scenario construction and reporting helpers for the bench
 /// binaries that regenerate the paper's tables and figures.
+///
+/// Benches describe their experiments as api::ScenarioSpec grids and execute
+/// them through api::BatchRunner / api::run_scenario — no bench constructs a
+/// sim::Simulation directly. Identical trace specs across a grid share one
+/// generated trace inside the BatchRunner.
 ///
 /// Scale note: the paper replays a one-month Google trace (~300k jobs). The
 /// reproduction runs each experiment at reduced but statistically stable
@@ -13,18 +18,22 @@
 /// preserved; absolute counts differ.
 
 #include <iostream>
+#include <limits>
+#include <locale>
 #include <map>
-#include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/batch.hpp"
+#include "api/runner.hpp"
+#include "api/scenario.hpp"
 #include "metrics/report.hpp"
 #include "metrics/wpr.hpp"
-#include "sim/predictors.hpp"
-#include "sim/simulation.hpp"
 #include "stats/empirical.hpp"
-#include "trace/estimators.hpp"
-#include "trace/generator.hpp"
+
+#include "bench_args.hpp"
 
 namespace cloudcr::bench {
 
@@ -35,85 +44,95 @@ inline constexpr std::uint64_t kTraceSeed = 20130917;  // SC'13 submission-ish
 /// The paper's job arrival density (~10k jobs/day).
 inline constexpr double kArrivalRate = 0.116;
 
-/// Restricts a trace to jobs whose every task is at most `limit_s` long
-/// (the paper's "restricted length" RL experiments).
-inline trace::Trace restrict_length(const trace::Trace& trace,
-                                    double limit_s) {
-  trace::Trace out;
-  out.horizon_s = trace.horizon_s;
-  for (const auto& job : trace.jobs) {
-    bool ok = true;
-    for (const auto& task : job.tasks) {
-      if (task.length_s > limit_s) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) out.jobs.push_back(job);
-  }
-  return out;
-}
-
 /// Longest task length in the paper's replayed sample jobs (Fig 8: job
 /// execution lengths cap at six hours). Longer (service-class) tasks exist
 /// in the trace and feed the statistics, but are not replayed — a 224-VM
 /// cluster cannot host month-long tasks without starving everything else.
 inline constexpr double kReplayMaxTaskLength = 21600.0;
 
-/// Week-scale sample-job trace *including* service-class tasks; use for
-/// estimation (Table 7 structure, Figs 4-5) — this is where the MTBF
-/// inflation lives.
-inline trace::Trace make_month_trace_full(bool priority_change = false) {
-  trace::GeneratorConfig cfg;
-  cfg.seed = kTraceSeed;
-  cfg.horizon_s = kWeekHorizon;
-  cfg.arrival_rate = kArrivalRate;
-  cfg.priority_change_midway = priority_change;
-  return trace::TraceGenerator(cfg).generate();
+/// Week-scale trace spec: the Fig 9/10 experiments. The replay set keeps
+/// jobs within the <= 6 h envelope; EstimationSource::kFull exposes the
+/// unrestricted trace (service tasks included) to the estimators.
+inline api::TraceSpec month_trace_spec(bool priority_change = false) {
+  api::TraceSpec t;
+  t.seed = kTraceSeed;
+  t.horizon_s = kWeekHorizon;
+  t.arrival_rate = kArrivalRate;
+  t.priority_change_midway = priority_change;
+  t.replay_max_task_length_s = kReplayMaxTaskLength;
+  return t;
 }
 
-/// Week-scale replay set: sample jobs whose tasks fit the paper's <= 6 h
-/// experiment envelope (Fig 8).
-inline trace::Trace make_month_trace(bool priority_change = false) {
-  return restrict_length(make_month_trace_full(priority_change),
-                         kReplayMaxTaskLength);
+/// One-day trace spec: the Fig 11-14 experiments.
+inline api::TraceSpec day_trace_spec(bool priority_change = false) {
+  api::TraceSpec t;
+  t.seed = kTraceSeed + 1;
+  t.horizon_s = kDayHorizon;
+  t.arrival_rate = kArrivalRate;
+  t.priority_change_midway = priority_change;
+  t.replay_max_task_length_s = kReplayMaxTaskLength;
+  return t;
 }
 
-/// One-day trace including service tasks (estimation side).
-inline trace::Trace make_day_trace_full(bool priority_change = false) {
-  trace::GeneratorConfig cfg;
-  cfg.seed = kTraceSeed + 1;
-  cfg.horizon_s = kDayHorizon;
-  cfg.arrival_rate = kArrivalRate;
-  cfg.priority_change_midway = priority_change;
-  return trace::TraceGenerator(cfg).generate();
+/// Scenario skeleton in the paper's deployed configuration: checkpoints on
+/// DM-NFS, the design whose worked examples price the checkpoint cost in the
+/// shared-disk regime (C ~ 1-2 s) and whose migration-type-B restarts
+/// require shared placement. The local-vs-shared trade-off itself is ablated
+/// in bench_ablation_design.
+inline api::ScenarioSpec scenario(
+    std::string name, api::TraceSpec trace, std::string policy,
+    std::string predictor,
+    api::EstimationSource estimation = api::EstimationSource::kReplay) {
+  api::ScenarioSpec s;
+  s.name = std::move(name);
+  s.trace = trace;
+  s.policy = std::move(policy);
+  s.predictor = std::move(predictor);
+  s.estimation = estimation;
+  s.placement = sim::PlacementMode::kForceShared;
+  s.shared_device = storage::DeviceKind::kDmNfs;
+  return s;
 }
 
-/// One-day replay set (the Fig 11-14 experiments).
-inline trace::Trace make_day_trace(bool priority_change = false) {
-  return restrict_length(make_day_trace_full(priority_change),
-                         kReplayMaxTaskLength);
+/// One Formula (3)/Young spec pair per restricted-length class: the replay
+/// set is the day trace restricted to RL and estimation uses the same length
+/// class ("MTBF (as well as MNOF) are estimated using corresponding short
+/// tasks" — the Fig 11-13 experiments). Pairs land adjacently: artifacts
+/// [2i] is F3 and [2i+1] is Young for rls[i].
+inline std::vector<api::ScenarioSpec> rl_scenario_pairs(
+    const std::string& prefix, const std::vector<double>& rls,
+    const BenchArgs& args) {
+  std::vector<api::ScenarioSpec> specs;
+  for (const double rl : rls) {
+    auto tspec = day_trace_spec();
+    args.apply(tspec);
+    tspec.replay_max_task_length_s = rl;
+    // Exact round-trip format: the tag feeds the "grouped:<limit>" predictor
+    // key, which must restrict estimation to the same length class as the
+    // replay set (an int cast would silently truncate a non-integral RL).
+    std::ostringstream tag_os;
+    tag_os.imbue(std::locale::classic());
+    tag_os.precision(std::numeric_limits<double>::max_digits10);
+    tag_os << rl;
+    const std::string tag = tag_os.str();
+    specs.push_back(
+        scenario(prefix + "_f3_rl" + tag, tspec, "formula3", "grouped:" + tag));
+    specs.push_back(
+        scenario(prefix + "_young_rl" + tag, tspec, "young", "grouped:" + tag));
+  }
+  return specs;
 }
 
-/// Replays `trace` under `policy` with the given predictor.
-///
-/// Checkpoints are placed on DM-NFS, the paper's deployed design: its
-/// worked examples consistently price the checkpoint cost in the
-/// shared-disk regime (C ~ 1-2 s), and migration-type-B restarts require
-/// shared placement. The local-vs-shared trade-off itself is ablated in
-/// bench_ablation_design.
-inline sim::SimResult replay(const trace::Trace& trace,
-                             const core::CheckpointPolicy& policy,
-                             const sim::StatsPredictor& predictor,
-                             core::AdaptationMode mode =
-                                 core::AdaptationMode::kAdaptive) {
-  sim::SimConfig cfg;
-  cfg.adaptation = mode;
-  cfg.placement = sim::PlacementMode::kForceShared;
-  cfg.shared_kind = storage::DeviceKind::kDmNfs;
-  sim::Simulation sim(cfg, policy, predictor);
-  return sim.run(trace);
+/// Runs a grid of scenarios on a thread pool (respecting --threads).
+inline std::vector<api::RunArtifact> run_grid(
+    const std::vector<api::ScenarioSpec>& specs, const BenchArgs& args,
+    const api::RunHooks& hooks = {}) {
+  api::BatchOptions options;
+  options.threads = args.threads_or(0);
+  return api::BatchRunner(options).run(specs, hooks);
 }
+
+// -- outcome massaging ------------------------------------------------------
 
 /// Splits outcomes by job structure.
 struct SplitOutcomes {

@@ -8,8 +8,11 @@
 
 using namespace cloudcr;
 
-int main() {
-  const auto trace = bench::make_month_trace_full();
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*exports=*/false);
+  auto tspec = bench::month_trace_spec();
+  args.apply(tspec);
+  const auto trace = api::make_trace(tspec);
   const auto by_priority = trace::intervals_by_priority(trace);
 
   metrics::print_banner(std::cout, "Figure 4: uninterrupted intervals by priority");

@@ -45,8 +45,11 @@ void analyze(const std::string& label, const std::vector<double>& samples,
 
 }  // namespace
 
-int main() {
-  const auto trace = bench::make_month_trace_full();
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*exports=*/false);
+  auto tspec = bench::month_trace_spec();
+  args.apply(tspec);
+  const auto trace = api::make_trace(tspec);
 
   // "Task failure intervals" = uninterrupted work intervals: burst gaps plus
   // the full uninterrupted stretch of tasks that never fail.

@@ -21,8 +21,11 @@ void print_cdf(const std::string& name, const std::vector<double>& samples,
 
 }  // namespace
 
-int main() {
-  const auto trace = bench::make_month_trace();
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*exports=*/false);
+  auto tspec = bench::month_trace_spec();
+  args.apply(tspec);
+  const auto trace = api::make_replay_trace(tspec);
   std::cout << "trace: " << trace.job_count() << " sample jobs\n";
 
   std::vector<double> mem_st, mem_bot, mem_mix;

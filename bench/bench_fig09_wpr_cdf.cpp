@@ -9,24 +9,27 @@
 
 using namespace cloudcr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
   // Statistics are estimated over the *whole* trace (service-class tasks
   // included) exactly as the paper computes its per-priority MNOF/MTBF
   // groups; only the short sample jobs are replayed. The inflated
   // unrestricted MTBF is what misleads Young's formula.
-  const auto full = bench::make_month_trace_full();
-  const auto trace = bench::restrict_length(full,
-                                            bench::kReplayMaxTaskLength);
-  std::cout << "trace: " << trace.job_count() << " replayed sample jobs of "
-            << full.job_count() << " total, " << trace.task_count()
+  auto tspec = bench::month_trace_spec();
+  args.apply(tspec);
+
+  const auto artifacts = bench::run_grid(
+      {bench::scenario("fig09_formula3", tspec, "formula3", "grouped",
+                       api::EstimationSource::kFull),
+       bench::scenario("fig09_young", tspec, "young", "grouped",
+                       api::EstimationSource::kFull)},
+      args);
+  const auto& res_f3 = artifacts[0].result;
+  const auto& res_young = artifacts[1].result;
+  std::cout << "trace: " << artifacts[0].trace_jobs
+            << " replayed sample jobs, " << artifacts[0].trace_tasks
             << " tasks\n";
-
-  const core::MnofPolicy formula3;
-  const core::YoungPolicy young;
-  const auto grouped = sim::make_grouped_predictor(full);
-
-  const auto res_f3 = bench::replay(trace, formula3, grouped);
-  const auto res_young = bench::replay(trace, young, grouped);
 
   const auto s_f3 = bench::split_by_structure(res_f3.outcomes);
   const auto s_young = bench::split_by_structure(res_young.outcomes);
@@ -56,5 +59,5 @@ int main() {
 
   std::cout << "paper: ST 0.945 vs 0.916; BoT 0.955 vs 0.915; "
                "ST<0.88: 7% vs 20%; BoT>0.95: 56.6% vs 46.5%\n";
-  return 0;
+  return args.export_artifacts(artifacts) ? 0 : 1;
 }

@@ -13,20 +13,44 @@ using namespace cloudcr;
 
 namespace {
 
+/// Buckets outcomes by priority 1..12; outcomes outside the Google priority
+/// range are counted and skipped rather than indexed out of bounds.
+std::array<stats::Summary, trace::kMaxPriority> bucket_by_priority(
+    const std::vector<metrics::JobOutcome>& outcomes,
+    std::size_t& out_of_range) {
+  std::array<stats::Summary, trace::kMaxPriority> buckets;
+  for (const auto& o : outcomes) {
+    if (o.priority < trace::kMinPriority || o.priority > trace::kMaxPriority) {
+      ++out_of_range;
+      continue;
+    }
+    buckets[static_cast<std::size_t>(o.priority - 1)].add(o.wpr());
+  }
+  return buckets;
+}
+
 void print_block(const std::string& label,
                  const std::vector<metrics::JobOutcome>& f3,
                  const std::vector<metrics::JobOutcome>& young) {
   metrics::print_banner(std::cout, label);
-  std::array<stats::Summary, 12> by_prio_f3, by_prio_young;
-  for (const auto& o : f3) {
-    by_prio_f3[static_cast<std::size_t>(o.priority - 1)].add(o.wpr());
+  // Both runs replay the same job set, so report the F3 count alone rather
+  // than summing the two passes (which would double-count each skipped job)
+  // — and flag it if the paired runs ever disagree.
+  std::size_t out_of_range = 0;
+  const auto by_prio_f3 = bucket_by_priority(f3, out_of_range);
+  std::size_t young_out_of_range = 0;
+  const auto by_prio_young = bucket_by_priority(young, young_out_of_range);
+  if (out_of_range > 0) {
+    std::cout << "# skipped " << out_of_range
+              << " jobs with priority outside [1, 12]\n";
   }
-  for (const auto& o : young) {
-    by_prio_young[static_cast<std::size_t>(o.priority - 1)].add(o.wpr());
+  if (young_out_of_range != out_of_range) {
+    std::cout << "# WARNING: paired runs skipped different counts (F3 "
+              << out_of_range << ", Young " << young_out_of_range << ")\n";
   }
   metrics::Table table({"priority", "F3 min", "F3 avg", "F3 max", "Y min",
                         "Y avg", "Y max", "jobs"});
-  for (int p = 1; p <= 12; ++p) {
+  for (int p = trace::kMinPriority; p <= trace::kMaxPriority; ++p) {
     const auto& a = by_prio_f3[static_cast<std::size_t>(p - 1)];
     const auto& b = by_prio_young[static_cast<std::size_t>(p - 1)];
     if (a.empty() && b.empty()) {
@@ -43,7 +67,7 @@ void print_block(const std::string& label,
   // Average advantage across populated priorities.
   double adv = 0.0;
   int cells = 0;
-  for (int p = 1; p <= 12; ++p) {
+  for (int p = trace::kMinPriority; p <= trace::kMaxPriority; ++p) {
     const auto& a = by_prio_f3[static_cast<std::size_t>(p - 1)];
     const auto& b = by_prio_young[static_cast<std::size_t>(p - 1)];
     if (a.count() < 20 || b.count() < 20) continue;
@@ -59,24 +83,27 @@ void print_block(const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
   // Estimation over the full trace, replay on the <= 6 h sample jobs (see
   // bench_fig09 for the rationale).
-  const auto full = bench::make_month_trace_full();
-  const auto trace = bench::restrict_length(full,
-                                            bench::kReplayMaxTaskLength);
-  std::cout << "trace: " << trace.job_count() << " replayed sample jobs\n";
+  auto tspec = bench::month_trace_spec();
+  args.apply(tspec);
 
-  const core::MnofPolicy formula3;
-  const core::YoungPolicy young;
-  const auto grouped = sim::make_grouped_predictor(full);
+  const auto artifacts = bench::run_grid(
+      {bench::scenario("fig10_formula3", tspec, "formula3", "grouped",
+                       api::EstimationSource::kFull),
+       bench::scenario("fig10_young", tspec, "young", "grouped",
+                       api::EstimationSource::kFull)},
+      args);
+  std::cout << "trace: " << artifacts[0].trace_jobs
+            << " replayed sample jobs\n";
 
-  const auto res_f3 = bench::replay(trace, formula3, grouped);
-  const auto res_young = bench::replay(trace, young, grouped);
-  const auto s_f3 = bench::split_by_structure(res_f3.outcomes);
-  const auto s_young = bench::split_by_structure(res_young.outcomes);
+  const auto s_f3 = bench::split_by_structure(artifacts[0].result.outcomes);
+  const auto s_young = bench::split_by_structure(artifacts[1].result.outcomes);
 
   print_block("Figure 10(a): sequential-task jobs", s_f3.st, s_young.st);
   print_block("Figure 10(b): bag-of-task jobs", s_f3.bot, s_young.bot);
-  return 0;
+  return args.export_artifacts(artifacts) ? 0 : 1;
 }

@@ -8,26 +8,31 @@
 
 using namespace cloudcr;
 
-int main() {
-  const auto day = bench::make_day_trace();
-  std::cout << "one-day trace: " << day.job_count() << " sample jobs\n";
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::vector<double> rls = {1000.0, 2000.0, 4000.0};
 
-  const core::MnofPolicy formula3;
-  const core::YoungPolicy young;
+  // All six runs execute on the thread pool at once.
+  const auto specs = bench::rl_scenario_pairs("fig11", rls, args);
+  const auto artifacts = bench::run_grid(specs, args);
+  std::cout << "one-day trace, restricted replay sets: ";
+  for (std::size_t i = 0; i < artifacts.size(); i += 2) {
+    std::cout << "RL=" << static_cast<int>(rls[i / 2]) << " -> "
+              << artifacts[i].trace_jobs << " jobs  ";
+  }
+  std::cout << "\n";
 
   for (const char* structure : {"ST", "BoT"}) {
     metrics::print_banner(
         std::cout, std::string("Figure 11: ") +
                        (structure[0] == 'S' ? "sequential-task jobs"
                                             : "bag-of-task jobs"));
-    for (double rl : {1000.0, 2000.0, 4000.0}) {
-      const auto restricted = bench::restrict_length(day, rl);
-      // Estimation restricted to the same length class.
-      const auto predictor = sim::make_grouped_predictor(restricted, rl);
-      const auto res_f3 = bench::replay(restricted, formula3, predictor);
-      const auto res_young = bench::replay(restricted, young, predictor);
-      const auto s_f3 = bench::split_by_structure(res_f3.outcomes);
-      const auto s_young = bench::split_by_structure(res_young.outcomes);
+    for (std::size_t i = 0; i < artifacts.size(); i += 2) {
+      const double rl = rls[i / 2];
+      const auto s_f3 =
+          bench::split_by_structure(artifacts[i].result.outcomes);
+      const auto s_young =
+          bench::split_by_structure(artifacts[i + 1].result.outcomes);
       const auto& f3 = structure[0] == 'S' ? s_f3.st : s_f3.bot;
       const auto& yg = structure[0] == 'S' ? s_young.st : s_young.bot;
 
@@ -45,5 +50,5 @@ int main() {
   }
   std::cout << "paper: 98% of jobs above WPR 0.9 under Formula (3); up to "
                "40% below 0.9 under Young's\n";
-  return 0;
+  return args.export_artifacts(artifacts) ? 0 : 1;
 }

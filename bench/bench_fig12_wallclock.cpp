@@ -12,16 +12,8 @@ using namespace cloudcr;
 
 namespace {
 
-void run_rl(double rl) {
-  const auto day = bench::make_day_trace();
-  const auto restricted = bench::restrict_length(day, rl);
-  const core::MnofPolicy formula3;
-  const core::YoungPolicy young;
-  const auto predictor = sim::make_grouped_predictor(restricted, rl);
-
-  const auto res_f3 = bench::replay(restricted, formula3, predictor);
-  const auto res_young = bench::replay(restricted, young, predictor);
-
+void report_rl(double rl, const sim::SimResult& res_f3,
+               const sim::SimResult& res_young) {
   metrics::print_banner(std::cout,
                         "Figure 12: wall-clock lengths, RL=" +
                             std::to_string(static_cast<int>(rl)) + " s");
@@ -65,10 +57,17 @@ void run_rl(double rl) {
 
 }  // namespace
 
-int main() {
-  run_rl(1000.0);
-  run_rl(4000.0);
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::vector<double> rls = {1000.0, 4000.0};
+
+  const auto specs = bench::rl_scenario_pairs("fig12", rls, args);
+  const auto artifacts = bench::run_grid(specs, args);
+
+  for (std::size_t i = 0; i < artifacts.size(); i += 2) {
+    report_rl(rls[i / 2], artifacts[i].result, artifacts[i + 1].result);
+  }
   std::cout << "paper: majority of jobs' wall-clock lengths incremented by "
                "50-100 s under Young's formula\n";
-  return 0;
+  return args.export_artifacts(artifacts) ? 0 : 1;
 }

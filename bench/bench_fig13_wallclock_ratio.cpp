@@ -8,19 +8,21 @@
 
 using namespace cloudcr;
 
-int main() {
-  const auto day = bench::make_day_trace();
-  const auto restricted = bench::restrict_length(day, 1000.0);
-  std::cout << "jobs (RL=1000): " << restricted.job_count() << "\n";
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
 
-  const core::MnofPolicy formula3;
-  const core::YoungPolicy young;
-  const auto predictor = sim::make_grouped_predictor(restricted, 1000.0);
+  auto tspec = bench::day_trace_spec();
+  args.apply(tspec);
+  tspec.replay_max_task_length_s = 1000.0;
 
-  const auto res_f3 = bench::replay(restricted, formula3, predictor);
-  const auto res_young = bench::replay(restricted, young, predictor);
-  const auto pairs = bench::pair_wallclocks(res_f3.outcomes,
-                                            res_young.outcomes);
+  const auto artifacts = bench::run_grid(
+      {bench::scenario("fig13_formula3", tspec, "formula3", "grouped:1000"),
+       bench::scenario("fig13_young", tspec, "young", "grouped:1000")},
+      args);
+  std::cout << "jobs (RL=1000): " << artifacts[0].trace_jobs << "\n";
+
+  const auto pairs = bench::pair_wallclocks(artifacts[0].result.outcomes,
+                                            artifacts[1].result.outcomes);
 
   std::size_t faster = 0, slower = 0, tied = 0;
   double gain = 0.0, loss = 0.0;
@@ -72,5 +74,5 @@ int main() {
     diff_series.emplace_back(static_cast<double>(idx), diffs[idx]);
   }
   metrics::print_series(std::cout, "sorted Tw(F3)-Tw(Young) (s)", diff_series);
-  return 0;
+  return args.export_artifacts(artifacts) ? 0 : 1;
 }

@@ -9,27 +9,36 @@
 
 using namespace cloudcr;
 
-int main() {
-  const auto day = bench::make_day_trace(/*priority_change=*/true);
-  std::cout << "one-day trace with mid-execution priority changes: "
-            << day.job_count() << " sample jobs\n";
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
 
-  const core::MnofPolicy policy;
+  auto changing = bench::day_trace_spec(/*priority_change=*/true);
+  args.apply(changing);
   // Per-priority statistics come from *historical* (change-free) behaviour:
   // grouping the change trace by submission priority would blur the groups
   // (a task submitted calm but stormy after its change would pollute the
   // calm group). The paper estimates MNOF per priority from history and
   // looks it up when the priority changes.
-  const auto history = bench::make_day_trace(/*priority_change=*/false);
-  // Dynamic: statistics follow the *current* priority; controller adaptive.
-  const auto dynamic_pred = sim::make_grouped_predictor(history);
-  // Static: statistics frozen at the submission priority; controller static.
-  const auto static_pred = sim::make_submission_priority_predictor(history);
+  auto history = bench::day_trace_spec(/*priority_change=*/false);
+  args.apply(history);
 
-  const auto res_dyn = bench::replay(day, policy, dynamic_pred,
-                                     core::AdaptationMode::kAdaptive);
-  const auto res_sta = bench::replay(day, policy, static_pred,
-                                     core::AdaptationMode::kStatic);
+  // Dynamic: statistics follow the *current* priority; controller adaptive.
+  auto dynamic_spec = bench::scenario("fig14_dynamic", changing, "formula3",
+                                      "grouped",
+                                      api::EstimationSource::kHistory);
+  dynamic_spec.history = history;
+  // Static: statistics frozen at the submission priority; controller static.
+  auto static_spec = bench::scenario("fig14_static", changing, "formula3",
+                                     "submission",
+                                     api::EstimationSource::kHistory);
+  static_spec.history = history;
+  static_spec.adaptation = core::AdaptationMode::kStatic;
+
+  const auto artifacts = bench::run_grid({dynamic_spec, static_spec}, args);
+  const auto& res_dyn = artifacts[0].result;
+  const auto& res_sta = artifacts[1].result;
+  std::cout << "one-day trace with mid-execution priority changes: "
+            << artifacts[0].trace_jobs << " sample jobs\n";
 
   metrics::print_banner(std::cout, "Figure 14(a): distribution of WPR");
   bench::print_wpr_cdf("Dynamic Algorithm", res_dyn.outcomes);
@@ -75,5 +84,5 @@ int main() {
   rt.print(std::cout);
 
   std::cout << "paper: worst WPR ~0.8 (dynamic) vs ~0.5 (static)\n";
-  return 0;
+  return args.export_artifacts(artifacts) ? 0 : 1;
 }

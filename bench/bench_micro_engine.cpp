@@ -4,11 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/batch.hpp"
+#include "api/registry.hpp"
+#include "api/runner.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
-#include "sim/predictors.hpp"
-#include "sim/simulation.hpp"
-#include "trace/generator.hpp"
 
 namespace {
 
@@ -60,21 +60,52 @@ void BM_EngineCascade(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCascade)->Arg(10000);
 
+api::ScenarioSpec hour_scenario() {
+  api::ScenarioSpec spec;
+  spec.name = "micro_hour";
+  spec.trace.seed = 7;
+  spec.trace.horizon_s = 3600.0;
+  spec.trace.arrival_rate = 0.116;
+  return spec;
+}
+
 void BM_HourOfCloudSimulation(benchmark::State& state) {
-  trace::GeneratorConfig cfg;
-  cfg.seed = 7;
-  cfg.horizon_s = 3600.0;
-  cfg.arrival_rate = 0.116;
-  const auto trace = trace::TraceGenerator(cfg).generate();
-  const core::MnofPolicy policy;
-  const auto predictor = sim::make_grouped_predictor(trace);
+  const api::ScenarioRunner runner(hour_scenario());
+  // Generate the trace and the grouped estimates once; the loop measures
+  // the replay alone.
+  const auto trace = api::make_replay_trace(runner.spec().trace);
+  api::RunHooks hooks;
+  hooks.replay_trace = &trace;
+  hooks.predictor_override = api::PredictorRegistry::instance().make(
+      "grouped", api::PredictorInputs{trace});
   for (auto _ : state) {
-    sim::SimConfig scfg;
-    sim::Simulation sim(scfg, policy, predictor);
-    benchmark::DoNotOptimize(sim.run(trace).outcomes.size());
+    benchmark::DoNotOptimize(runner.run(hooks).result.outcomes.size());
   }
 }
 BENCHMARK(BM_HourOfCloudSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_BatchRunnerHourGrid(benchmark::State& state) {
+  // Scaling probe for the thread pool: the same one-hour scenario at four
+  // policy points, serial vs parallel.
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::vector<api::ScenarioSpec> specs;
+  for (const char* policy : {"formula3", "young", "daly", "none"}) {
+    auto spec = hour_scenario();
+    spec.name = std::string("micro_grid_") + policy;
+    spec.policy = policy;
+    specs.push_back(spec);
+  }
+  api::BatchOptions options;
+  options.threads = threads;
+  const api::BatchRunner runner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(specs).size());
+  }
+}
+BENCHMARK(BM_BatchRunnerHourGrid)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

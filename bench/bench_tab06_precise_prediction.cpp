@@ -3,21 +3,26 @@
 // Formula 3) and mean interval (for Young's formula). Paper finding: with
 // exact inputs the two formulas nearly coincide (avg WPR ~0.95 vs ~0.94).
 
+#include <cmath>
+
 #include "bench_common.hpp"
 
 using namespace cloudcr;
 
-int main() {
-  const auto trace = bench::make_month_trace();
-  std::cout << "trace: " << trace.job_count() << " sample jobs, "
-            << trace.task_count() << " tasks\n";
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
 
-  const core::MnofPolicy formula3;
-  const core::YoungPolicy young;
-  const auto oracle = sim::make_oracle_predictor();
+  auto tspec = bench::month_trace_spec();
+  args.apply(tspec);
 
-  const auto res_f3 = bench::replay(trace, formula3, oracle);
-  const auto res_young = bench::replay(trace, young, oracle);
+  const auto artifacts = bench::run_grid(
+      {bench::scenario("tab06_formula3", tspec, "formula3", "oracle"),
+       bench::scenario("tab06_young", tspec, "young", "oracle")},
+      args);
+  const auto& res_f3 = artifacts[0].result;
+  const auto& res_young = artifacts[1].result;
+  std::cout << "trace: " << artifacts[0].trace_jobs << " sample jobs, "
+            << artifacts[0].trace_tasks << " tasks\n";
 
   const auto split_f3 = bench::split_by_structure(res_f3.outcomes);
   const auto split_young = bench::split_by_structure(res_young.outcomes);
@@ -48,5 +53,5 @@ int main() {
                                      metrics::average_wpr(res_young.outcomes)),
                             4)
             << ")\n";
-  return 0;
+  return args.export_artifacts(artifacts) ? 0 : 1;
 }

@@ -32,13 +32,12 @@ void print_block(const trace::Trace& trace, double limit,
 
 }  // namespace
 
-int main() {
-  trace::GeneratorConfig cfg;
-  cfg.seed = bench::kTraceSeed;
-  cfg.horizon_s = bench::kWeekHorizon;
-  cfg.arrival_rate = bench::kArrivalRate;
-  cfg.sample_job_filter = false;  // Table 7 is estimated over the full trace
-  const auto trace = trace::TraceGenerator(cfg).generate();
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*exports=*/false);
+  auto tspec = bench::month_trace_spec();
+  args.apply(tspec);
+  tspec.sample_job_filter = false;  // Table 7 is estimated over the full trace
+  const auto trace = api::make_trace(tspec);
   std::cout << "trace: " << trace.job_count() << " jobs, "
             << trace.task_count() << " tasks (no sample-job filter)\n";
 

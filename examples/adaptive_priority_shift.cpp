@@ -4,11 +4,16 @@
 // priority-10 churn class (killed every ~40 s); the static plan loses large
 // rollbacks on every kill while the adaptive plan tightens its interval
 // immediately.
+//
+// The story trace and its hand-written failure history are the canonical
+// use case for api::RunHooks: the scenario stays declarative (policy,
+// placement, adaptation) while the two non-serializable pieces ride in as
+// hooks.
 
 #include <iostream>
 
+#include "api/runner.hpp"
 #include "metrics/report.hpp"
-#include "sim/simulation.hpp"
 #include "trace/failure_model.hpp"
 
 using namespace cloudcr;
@@ -52,17 +57,19 @@ core::FailureStats history(int priority) {
 
 metrics::JobOutcome run(const trace::Trace& t, core::AdaptationMode mode,
                         bool follow_current_priority) {
-  const core::MnofPolicy policy;
-  sim::SimConfig cfg;
-  cfg.placement = sim::PlacementMode::kForceShared;  // C ~ 1.7 s at 160 MB
-  cfg.adaptation = mode;
-  sim::Simulation sim(
-      cfg, policy,
+  api::ScenarioSpec spec;
+  spec.name = follow_current_priority ? "story_adaptive" : "story_static";
+  spec.policy = "formula3";
+  spec.placement = sim::PlacementMode::kForceShared;  // C ~ 1.7 s at 160 MB
+  spec.adaptation = mode;
+
+  api::RunHooks hooks;
+  hooks.replay_trace = &t;
+  hooks.predictor_override =
       [follow_current_priority](const trace::TaskRecord& task, int current) {
         return history(follow_current_priority ? current : task.priority);
-      });
-  const auto res = sim.run(t);
-  return res.outcomes.at(0);
+      };
+  return api::run_scenario(spec, hooks).result.outcomes.at(0);
 }
 
 }  // namespace

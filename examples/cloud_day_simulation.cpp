@@ -2,20 +2,21 @@
 // paper's 32-host / 224-VM cluster and report the fault-tolerance accounting
 // under a chosen checkpoint policy.
 //
-// Usage: cloud_day_simulation [policy] [seed]
-//   policy: formula3 (default) | young | daly | none
-//   seed:   trace seed (default 42)
+// Usage: cloud_day_simulation [policy] [seed] [out.json]
+//   policy:   any api::PolicyRegistry name — formula3 (default), young,
+//             daly, none, fixed:45, ...
+//   seed:     trace seed (default 42)
+//   out.json: optional RunArtifact export path
 
 #include <cstdlib>
 #include <iostream>
-#include <memory>
+#include <stdexcept>
 #include <string>
 
+#include "api/artifact_io.hpp"
+#include "api/registry.hpp"
+#include "api/runner.hpp"
 #include "metrics/report.hpp"
-#include "sim/predictors.hpp"
-#include "sim/simulation.hpp"
-#include "stats/empirical.hpp"
-#include "trace/generator.hpp"
 
 using namespace cloudcr;
 
@@ -24,38 +25,34 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
 
-  std::unique_ptr<core::CheckpointPolicy> policy;
-  if (policy_name == "formula3") {
-    policy = std::make_unique<core::MnofPolicy>();
-  } else if (policy_name == "young") {
-    policy = std::make_unique<core::YoungPolicy>();
-  } else if (policy_name == "daly") {
-    policy = std::make_unique<core::DalyPolicy>();
-  } else if (policy_name == "none") {
-    policy = std::make_unique<core::NoCheckpointPolicy>();
-  } else {
-    std::cerr << "unknown policy '" << policy_name
-              << "' (want formula3|young|daly|none)\n";
+  // Validate the registry key up front: contains() would accept "fixed"
+  // without its interval argument, but make() rejects it with the message we
+  // want to show.
+  try {
+    (void)api::PolicyRegistry::instance().make(policy_name);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
     return 1;
   }
 
   // One day of sample jobs at the paper's arrival density; service-class
   // tasks are kept out of the replay (a 224-VM cluster cannot host them).
-  trace::GeneratorConfig cfg;
-  cfg.seed = seed;
-  cfg.horizon_s = 86400.0;
-  cfg.arrival_rate = 0.116;
-  cfg.workload.long_service_fraction = 0.0;
-  const auto trace = trace::TraceGenerator(cfg).generate();
-  std::cout << "generated " << trace.job_count() << " sample jobs ("
-            << trace.task_count() << " tasks) over one day\n";
+  api::ScenarioSpec spec;
+  spec.name = "cloud_day_" + policy_name;
+  spec.trace.seed = seed;
+  spec.trace.horizon_s = 86400.0;
+  spec.trace.arrival_rate = 0.116;
+  spec.trace.long_service_fraction = 0.0;
+  spec.policy = policy_name;
+  spec.predictor = "grouped";
+  spec.placement = sim::PlacementMode::kAutoSelect;
 
-  sim::SimConfig scfg;
-  scfg.placement = sim::PlacementMode::kAutoSelect;
-  sim::Simulation sim(scfg, *policy, sim::make_grouped_predictor(trace));
-  const auto res = sim.run(trace);
+  const auto artifact = api::run_scenario(spec);
+  const auto& res = artifact.result;
+  std::cout << "generated " << artifact.trace_jobs << " sample jobs ("
+            << artifact.trace_tasks << " tasks) over one day\n";
 
-  metrics::print_banner(std::cout, "results: policy = " + policy->name());
+  metrics::print_banner(std::cout, "results: policy = " + spec.policy);
   metrics::Table table({"metric", "value"});
   table.add_row({"completed jobs", std::to_string(res.outcomes.size())});
   table.add_row({"incomplete jobs", std::to_string(res.incomplete_jobs)});
@@ -65,6 +62,8 @@ int main(int argc, char** argv) {
   table.add_row({"average WPR", metrics::fmt(res.average_wpr(), 4)});
   table.add_row({"lowest WPR",
                  metrics::fmt(metrics::lowest_wpr(res.outcomes), 4)});
+  table.add_row({"replay wall time (s)",
+                 metrics::fmt(artifact.wall_time_s, 2)});
   table.print(std::cout);
 
   if (!res.outcomes.empty()) {
@@ -88,6 +87,15 @@ int main(int argc, char** argv) {
     bd.add_row({"queueing", metrics::fmt(queue / 3600.0, 1),
                 metrics::fmt(queue / work, 4)});
     bd.print(std::cout);
+  }
+
+  if (argc > 3) {
+    if (api::write_artifacts_json_file(argv[3], {artifact})) {
+      std::cout << "artifact written to " << argv[3] << "\n";
+    } else {
+      std::cerr << "cannot write " << argv[3] << "\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,165 @@
+#include "api/batch.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "api/scenario.hpp"
+
+namespace cloudcr::api {
+
+namespace {
+
+/// Serializes the trace-shaping fields of a TraceSpec into a cache key.
+/// Reuses the scenario serializer so the key tracks the spec definition. The
+/// replay length limit does not shape *generation*, so the full-trace key
+/// normalizes it away — specs differing only in the replay limit share one
+/// generated trace.
+std::string trace_key(const TraceSpec& spec, bool restricted) {
+  ScenarioSpec probe;
+  probe.trace = spec;
+  if (!restricted) probe.trace.replay_max_task_length_s = trace::kNoLengthLimit;
+  std::ostringstream os;
+  os << (restricted ? "replay|" : "full|") << serialize(probe);
+  return os.str();
+}
+
+/// Memoizing trace store. The first worker to request a key generates the
+/// trace (outside the lock, via a shared_future, so other keys proceed
+/// concurrently); later workers block on the same future. Traces are
+/// immutable after generation and safely shared across threads.
+class TraceCache {
+ public:
+  std::shared_ptr<const trace::Trace> get_replay(const TraceSpec& spec) {
+    if (std::isinf(spec.replay_max_task_length_s)) return get_full(spec);
+    // Restrict the (shared) full trace rather than regenerating it, so specs
+    // differing only in the replay limit pay generation once.
+    return get(trace_key(spec, true), [this, &spec] {
+      return trace::restrict_length(*get_full(spec),
+                                    spec.replay_max_task_length_s);
+    });
+  }
+
+  std::shared_ptr<const trace::Trace> get_full(const TraceSpec& spec) {
+    return get(trace_key(spec, false), [&spec] { return make_trace(spec); });
+  }
+
+ private:
+  using TracePtr = std::shared_ptr<const trace::Trace>;
+
+  template <typename Factory>
+  TracePtr get(const std::string& key, Factory&& factory) {
+    std::promise<TracePtr> promise;
+    std::shared_future<TracePtr> future;
+    bool creator = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto it = futures_.find(key);
+      if (it == futures_.end()) {
+        future = promise.get_future().share();
+        futures_.emplace(key, future);
+        creator = true;
+      } else {
+        future = it->second;
+      }
+    }
+    if (creator) {
+      try {
+        promise.set_value(std::make_shared<const trace::Trace>(factory()));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    return future.get();
+  }
+
+  std::mutex mutex_;
+  std::map<std::string, std::shared_future<TracePtr>> futures_;
+};
+
+}  // namespace
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options) {}
+
+std::vector<RunArtifact> BatchRunner::run(
+    const std::vector<ScenarioSpec>& specs, const RunHooks& hooks) const {
+  std::vector<RunArtifact> artifacts(specs.size());
+  if (specs.empty()) return artifacts;
+
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > specs.size()) threads = specs.size();
+
+  TraceCache cache;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    while (true) {
+      // Fail fast: once any spec has thrown, the batch outcome is decided —
+      // don't run the remaining (potentially long) simulations.
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      try {
+        const ScenarioSpec& spec = specs[i];
+        RunHooks run_hooks = hooks;
+
+        // Pin the shared traces this spec needs for the duration of the run.
+        std::shared_ptr<const trace::Trace> replay, estimation;
+        if (options_.share_traces) {
+          if (run_hooks.replay_trace == nullptr) {
+            replay = cache.get_replay(spec.trace);
+            run_hooks.replay_trace = replay.get();
+          }
+          if (!run_hooks.predictor_override &&
+              run_hooks.estimation_trace == nullptr) {
+            switch (spec.estimation) {
+              case EstimationSource::kReplay:
+                run_hooks.estimation_trace = run_hooks.replay_trace;
+                break;
+              case EstimationSource::kFull:
+                estimation = cache.get_full(spec.trace);
+                run_hooks.estimation_trace = estimation.get();
+                break;
+              case EstimationSource::kHistory:
+                estimation = cache.get_replay(spec.history);
+                run_hooks.estimation_trace = estimation.get();
+                break;
+            }
+          }
+        }
+        artifacts[i] = run_scenario(spec, run_hooks);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return artifacts;
+}
+
+}  // namespace cloudcr::api

@@ -1,0 +1,165 @@
+#include "api/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "api/scenario.hpp"
+#include "sim/predictors.hpp"
+
+namespace cloudcr::api {
+
+namespace {
+
+[[noreturn]] void throw_unknown(const std::string& kind,
+                                const std::string& name,
+                                const std::vector<std::string>& known) {
+  std::ostringstream os;
+  os << "unknown " << kind << " '" << name << "' (registered:";
+  for (const auto& n : known) os << ' ' << n;
+  os << ")";
+  throw std::invalid_argument(os.str());
+}
+
+/// Built-ins get the estimation length limit from the key argument when
+/// present; no argument means unlimited.
+double effective_limit(const std::string& arg) {
+  if (arg.empty()) return trace::kNoLengthLimit;
+  return parse_checked_double("predictor length limit", arg);
+}
+
+}  // namespace
+
+RegistryKey split_key(const std::string& key) {
+  const auto colon = key.find(':');
+  if (colon == std::string::npos) return {key, ""};
+  return {key.substr(0, colon), key.substr(colon + 1)};
+}
+
+// -- PolicyRegistry ---------------------------------------------------------
+
+PolicyRegistry::PolicyRegistry() {
+  add("formula3", [](const std::string& arg) -> core::PolicyPtr {
+    if (arg.empty()) return std::make_unique<core::MnofPolicy>();
+    if (arg == "exact") {
+      return std::make_unique<core::MnofPolicy>(/*integer_rounding=*/false);
+    }
+    throw std::invalid_argument("policy formula3: unknown argument '" + arg +
+                                "' (want none or 'exact')");
+  });
+  add("young", [](const std::string&) -> core::PolicyPtr {
+    return std::make_unique<core::YoungPolicy>();
+  });
+  add("daly", [](const std::string&) -> core::PolicyPtr {
+    return std::make_unique<core::DalyPolicy>();
+  });
+  add("none", [](const std::string&) -> core::PolicyPtr {
+    return std::make_unique<core::NoCheckpointPolicy>();
+  });
+  add("fixed", [](const std::string& arg) -> core::PolicyPtr {
+    if (arg.empty()) {
+      throw std::invalid_argument(
+          "policy fixed: an interval is required, e.g. 'fixed:45'");
+    }
+    const double interval_s = parse_checked_double("policy fixed", arg);
+    if (interval_s <= 0.0) {
+      throw std::invalid_argument("policy fixed: interval must be > 0, got '" +
+                                  arg + "'");
+    }
+    return std::make_unique<core::FixedIntervalPolicy>(interval_s);
+  });
+}
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+PolicyRegistry PolicyRegistry::with_builtins() { return PolicyRegistry(); }
+
+void PolicyRegistry::add(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(split_key(name).name) > 0;
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+core::PolicyPtr PolicyRegistry::make(const std::string& key) const {
+  const auto [name, arg] = split_key(key);
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) throw_unknown("policy", name, names());
+  return factory(arg);
+}
+
+// -- PredictorRegistry ------------------------------------------------------
+
+PredictorRegistry::PredictorRegistry() {
+  add("oracle", [](const PredictorInputs&, const std::string&) {
+    return sim::make_oracle_predictor();
+  });
+  add("grouped", [](const PredictorInputs& inputs, const std::string& arg) {
+    return sim::make_grouped_predictor(inputs.estimation_trace,
+                                       effective_limit(arg));
+  });
+  add("submission", [](const PredictorInputs& inputs, const std::string& arg) {
+    return sim::make_submission_priority_predictor(inputs.estimation_trace,
+                                                   effective_limit(arg));
+  });
+}
+
+PredictorRegistry& PredictorRegistry::instance() {
+  static PredictorRegistry registry;
+  return registry;
+}
+
+PredictorRegistry PredictorRegistry::with_builtins() {
+  return PredictorRegistry();
+}
+
+void PredictorRegistry::add(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+bool PredictorRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(split_key(name).name) > 0;
+}
+
+std::vector<std::string> PredictorRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+sim::StatsPredictor PredictorRegistry::make(
+    const std::string& key, const PredictorInputs& inputs) const {
+  const auto [name, arg] = split_key(key);
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) throw_unknown("predictor", name, names());
+  return factory(inputs, arg);
+}
+
+}  // namespace cloudcr::api

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file registry.hpp
+/// \brief String-keyed factories for checkpoint policies and failure-stats
+/// predictors.
+///
+/// A ScenarioSpec names its policy and predictor ("formula3", "fixed:45",
+/// "grouped:1000", "oracle"); the registries turn those names into live
+/// objects. New strategies register themselves once and become available to
+/// every bench, example, and batch run without touching any call site:
+///
+///   api::PolicyRegistry::instance().add(
+///       "lazy", [](const std::string&) {
+///         return std::make_unique<MyLazyPolicy>(); });
+///
+/// A key has the form `name` or `name:arg`; the part after the first ':' is
+/// passed verbatim to the factory (FixedIntervalPolicy's interval, a grouped
+/// predictor's length limit, ...).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "sim/config.hpp"
+#include "trace/estimators.hpp"
+#include "trace/records.hpp"
+
+namespace cloudcr::api {
+
+/// Splits "name:arg" into {name, arg} ("" when no ':' is present).
+struct RegistryKey {
+  std::string name;
+  std::string arg;
+};
+RegistryKey split_key(const std::string& key);
+
+/// Factories for core::CheckpointPolicy. Thread-safe; the singleton comes
+/// pre-seeded with the built-ins: formula3, formula3:exact, young, daly,
+/// none, fixed:<seconds>.
+class PolicyRegistry {
+ public:
+  using Factory = std::function<core::PolicyPtr(const std::string& arg)>;
+
+  /// Process-wide registry used by ScenarioRunner.
+  static PolicyRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds the policy for a spec key like "young" or "fixed:45".
+  /// Throws std::invalid_argument for unknown names (the message lists the
+  /// registered ones) or factory-rejected arguments.
+  [[nodiscard]] core::PolicyPtr make(const std::string& key) const;
+
+  /// Fresh registry with the built-ins only (for tests).
+  static PolicyRegistry with_builtins();
+
+ private:
+  PolicyRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Context handed to predictor factories: the trace the statistics are
+/// estimated from. A built-in's estimation length limit is passed through
+/// the "name:arg" key ("grouped:1000").
+struct PredictorInputs {
+  const trace::Trace& estimation_trace;
+};
+
+/// Factories for sim::StatsPredictor. Thread-safe; the singleton comes
+/// pre-seeded with the built-ins: oracle, grouped[:limit],
+/// submission[:limit].
+class PredictorRegistry {
+ public:
+  using Factory = std::function<sim::StatsPredictor(const PredictorInputs&,
+                                                    const std::string& arg)>;
+
+  static PredictorRegistry& instance();
+
+  void add(const std::string& name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds the predictor for a spec key like "grouped" or "grouped:1000"
+  /// (for the built-ins, a numeric arg sets the estimation length limit).
+  /// Throws std::invalid_argument for unknown names or malformed arguments.
+  [[nodiscard]] sim::StatsPredictor make(const std::string& key,
+                                         const PredictorInputs& inputs) const;
+
+  static PredictorRegistry with_builtins();
+
+ private:
+  PredictorRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace cloudcr::api

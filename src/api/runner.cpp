@@ -1,0 +1,100 @@
+#include "api/runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "sim/simulation.hpp"
+#include "trace/generator.hpp"
+
+namespace cloudcr::api {
+
+trace::Trace make_trace(const TraceSpec& spec) {
+  return trace::TraceGenerator(to_generator_config(spec)).generate();
+}
+
+trace::Trace make_replay_trace(const TraceSpec& spec) {
+  auto full = make_trace(spec);
+  if (std::isinf(spec.replay_max_task_length_s)) return full;
+  return trace::restrict_length(full, spec.replay_max_task_length_s);
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
+  // The unrestricted trace of spec_.trace, generated at most once per run:
+  // both the replay set (restricted view) and kFull estimation derive from
+  // it, and generation is the expensive step.
+  std::optional<trace::Trace> owned_full;
+  auto full_trace = [this, &owned_full]() -> const trace::Trace& {
+    if (!owned_full) owned_full = make_trace(spec_.trace);
+    return *owned_full;
+  };
+
+  // Replay set: borrowed from the hooks or generated from the spec.
+  std::optional<trace::Trace> owned_replay;
+  const trace::Trace* replay = hooks.replay_trace;
+  if (replay == nullptr) {
+    if (std::isinf(spec_.trace.replay_max_task_length_s)) {
+      replay = &full_trace();
+    } else {
+      owned_replay = trace::restrict_length(
+          full_trace(), spec_.trace.replay_max_task_length_s);
+      replay = &*owned_replay;
+    }
+  }
+
+  // Predictor: override > hook trace > the spec's estimation source. The
+  // estimation trace lives at function scope: a registered factory may
+  // return a predictor that keeps the PredictorInputs reference, so it must
+  // survive until the simulation finishes.
+  std::optional<trace::Trace> owned_estimation;
+  sim::StatsPredictor predictor = hooks.predictor_override;
+  if (!predictor) {
+    const trace::Trace* estimation = hooks.estimation_trace;
+    if (estimation == nullptr) {
+      switch (spec_.estimation) {
+        case EstimationSource::kReplay:
+          estimation = replay;
+          break;
+        case EstimationSource::kFull:
+          estimation = &full_trace();
+          break;
+        case EstimationSource::kHistory:
+          owned_estimation = make_replay_trace(spec_.history);
+          estimation = &*owned_estimation;
+          break;
+      }
+    }
+    predictor = PredictorRegistry::instance().make(
+        spec_.predictor, PredictorInputs{*estimation});
+  }
+
+  // The policy must outlive the Simulation (held by reference); it lives on
+  // this frame for the whole replay.
+  const core::PolicyPtr policy = PolicyRegistry::instance().make(spec_.policy);
+
+  sim::SimConfig config = to_sim_config(spec_);
+  config.length_predictor = hooks.length_predictor;
+
+  RunArtifact artifact;
+  artifact.spec = spec_;
+  artifact.trace_jobs = replay->job_count();
+  artifact.trace_tasks = replay->task_count();
+
+  const auto start = std::chrono::steady_clock::now();
+  sim::Simulation simulation(std::move(config), *policy, std::move(predictor));
+  artifact.result = simulation.run(*replay);
+  artifact.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return artifact;
+}
+
+RunArtifact run_scenario(const ScenarioSpec& spec, const RunHooks& hooks) {
+  return ScenarioRunner(spec).run(hooks);
+}
+
+}  // namespace cloudcr::api

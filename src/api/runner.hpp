@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file runner.hpp
+/// \brief Executes one ScenarioSpec end-to-end and returns a RunArtifact.
+///
+/// The runner owns every lifetime the raw simulation layer leaves to the
+/// caller: it builds the policy from the PolicyRegistry (and keeps it alive
+/// across the replay — Simulation holds the policy by reference, which made
+/// the old hand-wired call sites dangling-reference-prone), generates or
+/// borrows the traces, builds the predictor, and times the run.
+///
+/// Everything a run needs is in the spec; RunHooks exists for the few
+/// experiment shapes that are genuinely not serializable (a hand-crafted
+/// story trace, a custom failure-history lambda, a workload-length
+/// predictor) and for batch-level trace sharing.
+
+#include <cstddef>
+#include <functional>
+
+#include "api/scenario.hpp"
+#include "sim/result.hpp"
+#include "trace/records.hpp"
+
+namespace cloudcr::api {
+
+/// Everything one run produced: the spec echo (for provenance — artifacts
+/// are self-describing and re-runnable), the aggregated simulation result,
+/// replay-set shape, and wall time.
+struct RunArtifact {
+  ScenarioSpec spec;
+  sim::SimResult result;
+  std::size_t trace_jobs = 0;   ///< jobs in the replay set
+  std::size_t trace_tasks = 0;  ///< tasks in the replay set
+  double wall_time_s = 0.0;     ///< host wall time of the replay
+};
+
+/// Non-serializable extension points. All pointers are borrowed and must
+/// outlive the run() call.
+struct RunHooks {
+  /// Replay this trace instead of generating one from spec.trace.
+  const trace::Trace* replay_trace = nullptr;
+
+  /// Estimate failure statistics from this trace instead of the one implied
+  /// by spec.estimation.
+  const trace::Trace* estimation_trace = nullptr;
+
+  /// Bypass the PredictorRegistry entirely (custom failure histories).
+  sim::StatsPredictor predictor_override;
+
+  /// Workload-length predictor handed to the planner (SimConfig's
+  /// length_predictor hook; the ablation_prediction sweeps).
+  std::function<double(const trace::TaskRecord&)> length_predictor;
+};
+
+/// Generates the unrestricted trace of `spec` (estimation view).
+trace::Trace make_trace(const TraceSpec& spec);
+
+/// Generates the replay set of `spec`: the unrestricted trace filtered to
+/// jobs within replay_max_task_length_s.
+trace::Trace make_replay_trace(const TraceSpec& spec);
+
+/// Runs one scenario. Deterministic: the artifact depends only on the spec
+/// (and hooks), never on thread schedule or host state.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec);
+
+  [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
+
+  /// Builds policy, traces, and predictor, replays, and returns the
+  /// artifact. Reusable and const: each call builds a fresh Simulation.
+  [[nodiscard]] RunArtifact run(const RunHooks& hooks = {}) const;
+
+ private:
+  ScenarioSpec spec_;
+};
+
+/// One-shot convenience wrapper around ScenarioRunner.
+RunArtifact run_scenario(const ScenarioSpec& spec, const RunHooks& hooks = {});
+
+}  // namespace cloudcr::api

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file scenario.hpp
+/// \brief Declarative description of one paired-trace experiment.
+///
+/// The paper's evaluation is a grid: policy x predictor x placement x
+/// adaptation x shared device x horizon. A ScenarioSpec captures one cell of
+/// that grid as plain, serializable data — no live objects, no lambdas — so
+/// experiments can be enumerated, logged, re-run bit-identically, and
+/// distributed across a thread pool (api::BatchRunner). Policies and
+/// predictors are referenced by registry name (api::PolicyRegistry /
+/// api::PredictorRegistry), so new strategies plug in without touching any
+/// call site.
+
+#include <cstdint>
+#include <string>
+
+#include "core/controller.hpp"
+#include "sim/config.hpp"
+#include "storage/calibration.hpp"
+#include "trace/estimators.hpp"
+#include "trace/generator.hpp"
+
+namespace cloudcr::api {
+
+/// Trace-generation parameters for one run: everything the synthetic
+/// generator needs plus the replay-side length restriction the paper applies
+/// to its sample jobs (Fig 8's <= 6 h envelope, Fig 11's RL classes).
+struct TraceSpec {
+  std::uint64_t seed = 42;
+  double horizon_s = 86400.0;
+  double arrival_rate = 0.116;
+  std::size_t max_jobs = 0;  ///< hard cap (0 = unlimited)
+  bool sample_job_filter = true;
+  bool priority_change_midway = false;
+
+  /// Fraction of long-running service tasks; negative keeps the workload
+  /// model's default (0.03).
+  double long_service_fraction = -1.0;
+
+  /// Jobs whose longest task exceeds this are excluded from the *replay*
+  /// set (estimation may still see them via EstimationSource::kFull).
+  double replay_max_task_length_s = trace::kNoLengthLimit;
+};
+
+/// Which trace feeds the failure-statistics estimation.
+enum class EstimationSource : std::uint8_t {
+  kReplay,   ///< the (length-restricted) replay set itself
+  kFull,     ///< the unrestricted generation of the same TraceSpec — this is
+             ///< how the paper's Fig 9/10 estimates include service-class
+             ///< tasks whose Pareto tails inflate MTBF
+  kHistory,  ///< a separate trace described by ScenarioSpec::history
+             ///< (the Fig 14 change-free history)
+};
+
+/// One fully-described experiment run.
+struct ScenarioSpec {
+  /// Free-form label echoed into artifacts ("fig09_formula3", ...).
+  std::string name;
+
+  TraceSpec trace;
+
+  /// Policy registry key, optionally with an argument: "formula3", "young",
+  /// "daly", "none", "fixed:45".
+  std::string policy = "formula3";
+
+  /// Predictor registry key, optionally with a length-limit argument:
+  /// "oracle", "grouped", "grouped:1000", "submission".
+  std::string predictor = "grouped";
+
+  EstimationSource estimation = EstimationSource::kReplay;
+
+  /// Estimation trace when estimation == kHistory; ignored otherwise.
+  TraceSpec history;
+
+  sim::PlacementMode placement = sim::PlacementMode::kAutoSelect;
+  core::AdaptationMode adaptation = core::AdaptationMode::kAdaptive;
+  storage::DeviceKind shared_device = storage::DeviceKind::kDmNfs;
+  double storage_noise = 0.0;
+
+  /// Seed for the run's stochastic components (storage noise, DM-NFS server
+  /// selection) — independent of the trace seed, as in SimConfig.
+  std::uint64_t sim_seed = 0x5eed;
+  double detection_delay_s = 0.0;
+
+  sim::ClusterConfig cluster = {};
+};
+
+// -- enum token helpers (used by the serializer and CLI frontends) ----------
+
+/// "auto" | "local" | "shared".
+const char* placement_token(sim::PlacementMode mode) noexcept;
+sim::PlacementMode parse_placement(const std::string& token);
+
+/// "adaptive" | "static".
+const char* adaptation_token(core::AdaptationMode mode) noexcept;
+core::AdaptationMode parse_adaptation(const std::string& token);
+
+/// "local_ramdisk" | "shared_nfs" | "dm_nfs".
+const char* device_token(storage::DeviceKind kind) noexcept;
+storage::DeviceKind parse_device(const std::string& token);
+
+/// "replay" | "full" | "history".
+const char* estimation_token(EstimationSource source) noexcept;
+EstimationSource parse_estimation(const std::string& token);
+
+// -- checked number parsing --------------------------------------------------
+// Shared by the serializer, the registries, and the bench CLI so validation
+// (trailing garbage, unsigned wraparound of negative input) lives in one
+// place.
+
+/// Parses a double, rejecting empty input and trailing garbage. Throws
+/// std::invalid_argument naming `label`.
+double parse_checked_double(const std::string& label, const std::string& text);
+
+/// Parses an unsigned integer, additionally rejecting signs (strtoull would
+/// silently wrap negative input). Throws std::invalid_argument.
+std::uint64_t parse_checked_u64(const std::string& label,
+                                const std::string& text);
+
+// -- serialization -----------------------------------------------------------
+
+/// Serializes a spec as newline-separated `key=value` pairs. Doubles are
+/// printed with max_digits10 precision so parse(serialize(s)) reproduces
+/// every field bit-exactly.
+std::string serialize(const ScenarioSpec& spec);
+
+/// Inverse of serialize(). Unlisted keys keep their defaults; unknown keys
+/// or malformed values throw std::invalid_argument.
+ScenarioSpec parse_scenario(const std::string& text);
+
+/// Field-wise equality (doubles compared bit-exactly).
+bool operator==(const TraceSpec& a, const TraceSpec& b) noexcept;
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) noexcept;
+inline bool operator!=(const TraceSpec& a, const TraceSpec& b) noexcept {
+  return !(a == b);
+}
+inline bool operator!=(const ScenarioSpec& a, const ScenarioSpec& b) noexcept {
+  return !(a == b);
+}
+
+// -- lowering to the simulation layer ---------------------------------------
+
+/// Generator config for the *unrestricted* trace of `spec` (the replay
+/// length restriction is applied separately by api::make_replay_trace).
+trace::GeneratorConfig to_generator_config(const TraceSpec& spec);
+
+/// SimConfig carrying every scenario field the simulator consumes (the
+/// length-predictor hook, which is not serializable, is supplied at run time
+/// through api::RunHooks).
+sim::SimConfig to_sim_config(const ScenarioSpec& spec);
+
+}  // namespace cloudcr::api

@@ -1,0 +1,105 @@
+#include "metrics/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace cloudcr::metrics {
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_double(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+void write_outcome_json(std::ostream& os, const JobOutcome& o) {
+  os << "{\"job_id\":" << o.job_id
+     << ",\"structure\":" << (o.bag_of_tasks ? "\"BoT\"" : "\"ST\"")
+     << ",\"priority\":" << o.priority
+     << ",\"wpr\":" << json_double(o.wpr())
+     << ",\"workload_s\":" << json_double(o.workload_s)
+     << ",\"wallclock_s\":" << json_double(o.wallclock_s)
+     << ",\"task_wallclock_s\":" << json_double(o.task_wallclock_s)
+     << ",\"queue_s\":" << json_double(o.queue_s)
+     << ",\"checkpoint_s\":" << json_double(o.checkpoint_s)
+     << ",\"rollback_s\":" << json_double(o.rollback_s)
+     << ",\"restart_s\":" << json_double(o.restart_s)
+     << ",\"checkpoints\":" << o.checkpoints
+     << ",\"failures\":" << o.failures
+     << ",\"max_task_length_s\":" << json_double(o.max_task_length_s) << "}";
+}
+
+std::string outcome_csv_header() {
+  return "job_id,structure,priority,wpr,workload_s,wallclock_s,"
+         "task_wallclock_s,queue_s,checkpoint_s,rollback_s,restart_s,"
+         "checkpoints,failures,max_task_length_s";
+}
+
+std::string csv_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+void write_outcome_csv(std::ostream& os, const JobOutcome& o) {
+  os << o.job_id << ',' << (o.bag_of_tasks ? "BoT" : "ST") << ','
+     << o.priority << ',' << csv_double(o.wpr()) << ','
+     << csv_double(o.workload_s) << ',' << csv_double(o.wallclock_s) << ','
+     << csv_double(o.task_wallclock_s) << ',' << csv_double(o.queue_s) << ','
+     << csv_double(o.checkpoint_s) << ',' << csv_double(o.rollback_s) << ','
+     << csv_double(o.restart_s) << ',' << o.checkpoints << ',' << o.failures
+     << ',' << csv_double(o.max_task_length_s) << '\n';
+}
+
+void write_outcomes_csv(std::ostream& os,
+                        const std::vector<JobOutcome>& outcomes) {
+  os << outcome_csv_header() << '\n';
+  for (const auto& o : outcomes) write_outcome_csv(os, o);
+}
+
+}  // namespace cloudcr::metrics

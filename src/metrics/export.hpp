@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file export.hpp
+/// \brief Machine-readable result export: JSON fragments and CSV rows.
+///
+/// Benches print ASCII tables for humans (report.hpp); this module emits the
+/// same accounting as JSON/CSV so result files can feed plotting and
+/// regression-tracking pipelines directly. The JSON writer is deliberately
+/// minimal — flat objects, no external dependency — and numeric output is
+/// locale-independent.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/wpr.hpp"
+
+namespace cloudcr::metrics {
+
+/// Escapes a string for embedding in a JSON document (quotes added).
+std::string json_quote(const std::string& s);
+
+/// Formats a double as a JSON number; non-finite values become quoted
+/// strings ("inf", "-inf", "nan") since JSON has no literals for them.
+std::string json_double(double v);
+
+/// One JobOutcome as a flat JSON object (no trailing newline).
+void write_outcome_json(std::ostream& os, const JobOutcome& outcome);
+
+/// Formats a double as a bare CSV cell ("nan"/"inf"/"-inf" unquoted,
+/// locale-independent, round-trip precision).
+std::string csv_double(double v);
+
+/// Column header shared by write_outcome_csv.
+std::string outcome_csv_header();
+
+/// One JobOutcome as a CSV row matching outcome_csv_header().
+void write_outcome_csv(std::ostream& os, const JobOutcome& outcome);
+
+/// All outcomes as a CSV document (header + one row each).
+void write_outcomes_csv(std::ostream& os,
+                        const std::vector<JobOutcome>& outcomes);
+
+}  // namespace cloudcr::metrics

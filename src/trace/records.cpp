@@ -68,4 +68,16 @@ std::size_t Trace::task_count() const {
   return n;
 }
 
+Trace restrict_length(const Trace& trace, double limit_s) {
+  Trace out;
+  out.horizon_s = trace.horizon_s;
+  for (const auto& job : trace.jobs) {
+    const bool ok = std::all_of(
+        job.tasks.begin(), job.tasks.end(),
+        [limit_s](const TaskRecord& task) { return task.length_s <= limit_s; });
+    if (ok) out.jobs.push_back(job);
+  }
+  return out;
+}
+
 }  // namespace cloudcr::trace

@@ -118,4 +118,9 @@ struct Trace {
   [[nodiscard]] std::size_t task_count() const;
 };
 
+/// Restricts a trace to jobs whose every task is at most `limit_s` long
+/// (the paper's "restricted length" RL experiments and the <= 6 h replay
+/// envelope of Fig 8). An infinite limit returns the trace unchanged.
+Trace restrict_length(const Trace& trace, double limit_s);
+
 }  // namespace cloudcr::trace

@@ -1,0 +1,145 @@
+// PolicyRegistry / PredictorRegistry: builtin coverage, key-argument
+// parsing, unknown-name diagnostics, and custom registration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "api/registry.hpp"
+#include "api/runner.hpp"
+
+namespace cloudcr::api {
+namespace {
+
+TEST(SplitKey, SeparatesNameAndArgument) {
+  EXPECT_EQ(split_key("formula3").name, "formula3");
+  EXPECT_EQ(split_key("formula3").arg, "");
+  EXPECT_EQ(split_key("fixed:45").name, "fixed");
+  EXPECT_EQ(split_key("fixed:45").arg, "45");
+  EXPECT_EQ(split_key("a:b:c").name, "a");
+  EXPECT_EQ(split_key("a:b:c").arg, "b:c");
+}
+
+TEST(PolicyRegistry, BuiltinsProduceCorrectPolicies) {
+  auto& registry = PolicyRegistry::instance();
+  EXPECT_EQ(registry.make("formula3")->name(), "formula3");
+  EXPECT_EQ(registry.make("formula3:exact")->name(), "formula3");
+  EXPECT_EQ(registry.make("young")->name(), "young");
+  EXPECT_EQ(registry.make("daly")->name(), "daly");
+  EXPECT_EQ(registry.make("none")->name(), "none");
+  EXPECT_EQ(registry.make("fixed:45")->name(), "fixed(45s)");
+}
+
+TEST(PolicyRegistry, FixedParsesItsInterval) {
+  const auto policy = PolicyRegistry::instance().make("fixed:120");
+  core::PolicyContext ctx;
+  ctx.total_work_s = 1000.0;
+  ctx.remaining_work_s = 1000.0;
+  ctx.checkpoint_cost_s = 1.0;
+  ctx.stats = {1.0, 100.0};
+  EXPECT_DOUBLE_EQ(policy->next_interval(ctx), 120.0);
+}
+
+TEST(PolicyRegistry, UnknownNameListsRegisteredOnes) {
+  try {
+    (void)PolicyRegistry::instance().make("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("nope"), std::string::npos);
+    EXPECT_NE(message.find("formula3"), std::string::npos);
+    EXPECT_NE(message.find("young"), std::string::npos);
+  }
+}
+
+TEST(PolicyRegistry, MalformedArgumentsThrow) {
+  auto& registry = PolicyRegistry::instance();
+  EXPECT_THROW((void)registry.make("fixed"), std::invalid_argument);
+  EXPECT_THROW((void)registry.make("fixed:abc"), std::invalid_argument);
+  EXPECT_THROW((void)registry.make("fixed:-5"), std::invalid_argument);
+  EXPECT_THROW((void)registry.make("formula3:bogus"), std::invalid_argument);
+}
+
+TEST(PolicyRegistry, ContainsAndNames) {
+  const auto registry = PolicyRegistry::with_builtins();
+  EXPECT_TRUE(registry.contains("daly"));
+  EXPECT_TRUE(registry.contains("fixed:45"));  // name part is looked up
+  EXPECT_FALSE(registry.contains("nope"));
+  const auto names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_NE(std::find(names.begin(), names.end(), "formula3"), names.end());
+}
+
+TEST(PolicyRegistry, CustomRegistrationPlugsIn) {
+  auto registry = PolicyRegistry::with_builtins();
+  registry.add("always_100", [](const std::string&) -> core::PolicyPtr {
+    return std::make_unique<core::FixedIntervalPolicy>(100.0);
+  });
+  EXPECT_TRUE(registry.contains("always_100"));
+  EXPECT_EQ(registry.make("always_100")->name(), "fixed(100s)");
+}
+
+trace::Trace tiny_trace() {
+  TraceSpec spec;
+  spec.seed = 11;
+  spec.horizon_s = 1800.0;
+  spec.arrival_rate = 0.05;
+  spec.sample_job_filter = false;
+  return make_trace(spec);
+}
+
+TEST(PredictorRegistry, BuiltinsProduceCallablePredictors) {
+  const auto trace = tiny_trace();
+  ASSERT_FALSE(trace.jobs.empty());
+  const auto& task = trace.jobs.front().tasks.front();
+
+  auto& registry = PredictorRegistry::instance();
+  for (const char* name : {"oracle", "grouped", "submission"}) {
+    const auto predictor = registry.make(name, PredictorInputs{trace});
+    ASSERT_TRUE(predictor) << name;
+    const auto stats = predictor(task, task.priority);
+    EXPECT_GE(stats.mnof, 0.0) << name;
+    EXPECT_GE(stats.mtbf_s, 0.0) << name;
+  }
+}
+
+TEST(PredictorRegistry, LengthLimitArgumentChangesEstimates) {
+  const auto trace = tiny_trace();
+  auto& registry = PredictorRegistry::instance();
+  // A very tight length limit excludes most tasks from estimation; the
+  // grouped estimates must move (structure of the paper's Table 7).
+  const auto unrestricted = registry.make("grouped", PredictorInputs{trace});
+  const auto restricted = registry.make("grouped:60", PredictorInputs{trace});
+  const auto& task = trace.jobs.front().tasks.front();
+  const auto a = unrestricted(task, task.priority);
+  const auto b = restricted(task, task.priority);
+  EXPECT_TRUE(a.mnof != b.mnof || a.mtbf_s != b.mtbf_s);
+}
+
+TEST(PredictorRegistry, UnknownNameAndBadArgumentThrow) {
+  const auto trace = tiny_trace();
+  auto& registry = PredictorRegistry::instance();
+  EXPECT_THROW((void)registry.make("nope", PredictorInputs{trace}),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.make("grouped:abc", PredictorInputs{trace}),
+               std::invalid_argument);
+}
+
+TEST(PredictorRegistry, CustomRegistrationPlugsIn) {
+  auto registry = PredictorRegistry::with_builtins();
+  registry.add("constant",
+               [](const PredictorInputs&, const std::string&) {
+                 return [](const trace::TaskRecord&, int) {
+                   return core::FailureStats{2.0, 300.0};
+                 };
+               });
+  const auto trace = tiny_trace();
+  const auto predictor = registry.make("constant", PredictorInputs{trace});
+  const auto stats = predictor(trace.jobs.front().tasks.front(), 1);
+  EXPECT_DOUBLE_EQ(stats.mnof, 2.0);
+  EXPECT_DOUBLE_EQ(stats.mtbf_s, 300.0);
+}
+
+}  // namespace
+}  // namespace cloudcr::api

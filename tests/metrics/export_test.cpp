@@ -1,0 +1,145 @@
+// JSON/CSV export: escaping, numeric fidelity, and document shape — both
+// the metrics-level outcome writers and the api-level artifact documents.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "api/artifact_io.hpp"
+#include "metrics/export.hpp"
+
+namespace cloudcr {
+namespace {
+
+metrics::JobOutcome sample_outcome() {
+  metrics::JobOutcome o;
+  o.job_id = 42;
+  o.bag_of_tasks = true;
+  o.priority = 9;
+  o.workload_s = 1200.0;
+  o.wallclock_s = 1500.25;
+  o.task_wallclock_s = 1300.5;
+  o.queue_s = 10.0;
+  o.checkpoint_s = 50.5;
+  o.rollback_s = 30.0;
+  o.restart_s = 10.0;
+  o.checkpoints = 12;
+  o.failures = 3;
+  o.max_task_length_s = 700.0;
+  return o;
+}
+
+TEST(JsonHelpers, QuoteEscapesSpecials) {
+  EXPECT_EQ(metrics::json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(metrics::json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(metrics::json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(metrics::json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(metrics::json_quote(std::string("ctl\x01")), "\"ctl\\u0001\"");
+}
+
+TEST(JsonHelpers, DoubleHandlesNonFinite) {
+  EXPECT_EQ(metrics::json_double(1.5), "1.5");
+  EXPECT_EQ(metrics::json_double(std::numeric_limits<double>::infinity()),
+            "\"inf\"");
+  EXPECT_EQ(metrics::json_double(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+  EXPECT_EQ(metrics::json_double(std::nan("")), "\"nan\"");
+  // Round-trippable precision.
+  EXPECT_EQ(metrics::json_double(0.1 + 0.2), "0.30000000000000004");
+}
+
+TEST(OutcomeJson, ContainsEveryField) {
+  std::ostringstream os;
+  metrics::write_outcome_json(os, sample_outcome());
+  const auto json = os.str();
+  EXPECT_NE(json.find("\"job_id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"structure\":\"BoT\""), std::string::npos);
+  EXPECT_NE(json.find("\"priority\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoints\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"wallclock_s\":1500.25"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(OutcomeCsv, HeaderMatchesRows) {
+  std::ostringstream os;
+  metrics::write_outcomes_csv(os, {sample_outcome(), sample_outcome()});
+  std::istringstream is(os.str());
+  std::string header, row1, row2, extra;
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, row1));
+  ASSERT_TRUE(std::getline(is, row2));
+  EXPECT_FALSE(std::getline(is, extra));
+  EXPECT_EQ(header, metrics::outcome_csv_header());
+  EXPECT_EQ(row1, row2);
+  // Same number of cells in header and row.
+  const auto count_commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count_commas(header), count_commas(row1));
+  EXPECT_NE(row1.find("42,BoT,9,"), std::string::npos);
+}
+
+api::RunArtifact sample_artifact() {
+  api::RunArtifact artifact;
+  artifact.spec.name = "unit \"quoted\"";
+  artifact.spec.policy = "fixed:45";
+  artifact.trace_jobs = 2;
+  artifact.trace_tasks = 5;
+  artifact.wall_time_s = 0.125;
+  artifact.result.outcomes = {sample_outcome()};
+  artifact.result.total_checkpoints = 12;
+  artifact.result.total_failures = 3;
+  artifact.result.makespan_s = 1500.25;
+  return artifact;
+}
+
+TEST(ArtifactJson, EmbedsSpecEchoAndSummary) {
+  std::ostringstream os;
+  api::write_artifact_json(os, sample_artifact());
+  const auto json = os.str();
+  EXPECT_NE(json.find("\"name\":\"unit \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"fixed:45\""), std::string::npos);
+  EXPECT_NE(json.find("\"serialized\":\"name=unit"), std::string::npos);
+  EXPECT_NE(json.find("\"completed_jobs\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_failures\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"outcomes\":[{"), std::string::npos);
+}
+
+TEST(ArtifactJson, SpecEchoRoundTripsThroughParse) {
+  // The embedded serialized spec must parse back to the original — the
+  // "artifact is re-runnable" guarantee.
+  const auto artifact = sample_artifact();
+  const auto reparsed = api::parse_scenario(api::serialize(artifact.spec));
+  EXPECT_EQ(reparsed, artifact.spec);
+}
+
+TEST(ArtifactJson, OutcomesCanBeElided) {
+  std::ostringstream os;
+  api::write_artifact_json(os, sample_artifact(), /*include_outcomes=*/false);
+  EXPECT_EQ(os.str().find("\"outcomes\""), std::string::npos);
+}
+
+TEST(ArtifactJson, ArrayWrapsAllArtifacts) {
+  std::ostringstream os;
+  api::write_artifacts_json(os, {sample_artifact(), sample_artifact()});
+  const auto json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+}
+
+TEST(ArtifactCsv, OneSummaryRowPerArtifact) {
+  std::ostringstream os;
+  api::write_artifacts_csv(os, {sample_artifact(), sample_artifact()});
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 3u);  // header + 2 rows
+}
+
+}  // namespace
+}  // namespace cloudcr
