@@ -8,6 +8,9 @@
 ///   --seed N        trace seed
 ///   --horizon S     trace horizon in seconds
 ///   --jobs N        cap on generated jobs (0 = unlimited)
+///   --trace SPEC    trace source ("synthetic", "csv:<path>",
+///                   "google:<path>"); replays an ingested workload instead
+///                   of the synthetic generator
 ///   --threads N     BatchRunner worker threads (0 = hardware)
 ///   --json PATH     export RunArtifacts as JSON
 ///   --csv PATH      export RunArtifact summary rows as CSV
@@ -27,6 +30,7 @@
 
 #include "api/artifact_io.hpp"
 #include "api/scenario.hpp"
+#include "ingest/registry.hpp"
 
 namespace cloudcr::bench {
 
@@ -34,6 +38,7 @@ struct BenchArgs {
   std::optional<std::uint64_t> seed;
   std::optional<double> horizon_s;
   std::optional<std::size_t> jobs;
+  std::optional<std::string> trace_source;
   std::optional<std::size_t> threads;
   std::string json_path;
   std::string csv_path;
@@ -47,6 +52,7 @@ struct BenchArgs {
     if (seed) spec.seed = *seed;
     if (horizon_s) spec.horizon_s = *horizon_s;
     if (jobs) spec.max_jobs = *jobs;
+    if (trace_source) spec.source = *trace_source;
   }
 
   /// Writes artifacts to --json/--csv when given; prints where they went.
@@ -108,7 +114,8 @@ struct BenchArgs {
       const std::string flag = argv[i];
       if (flag == "-h" || flag == "--help") {
         std::cout << "usage: " << argv[0]
-                  << " [--seed N] [--horizon S] [--jobs N] [--threads N]"
+                  << " [--seed N] [--horizon S] [--jobs N] [--trace SPEC]"
+                  << " [--threads N]"
                   << (exports ? " [--json PATH] [--csv PATH]" : "") << "\n";
         std::exit(0);
       } else if ((flag == "--json" || flag == "--csv") && !exports) {
@@ -121,6 +128,18 @@ struct BenchArgs {
         args.horizon_s = parse_double(i, "--horizon");
       } else if (flag == "--jobs") {
         args.jobs = static_cast<std::size_t>(parse_u64(i, "--jobs"));
+      } else if (flag == "--trace") {
+        const std::string spec = value(i, "--trace");
+        try {
+          // Validates the scheme/mapping and — via probe() — that a
+          // file-backed source's input actually opens, so a typo'd path
+          // fails here instead of aborting mid-run.
+          ingest::TraceSourceRegistry::instance().make(spec)->probe();
+        } catch (const std::exception& e) {
+          std::cerr << argv[0] << ": --trace: " << e.what() << "\n";
+          std::exit(2);
+        }
+        args.trace_source = spec;
       } else if (flag == "--threads") {
         args.threads = static_cast<std::size_t>(parse_u64(i, "--threads"));
       } else if (flag == "--json") {

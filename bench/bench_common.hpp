@@ -123,13 +123,21 @@ inline std::vector<api::ScenarioSpec> rl_scenario_pairs(
   return specs;
 }
 
-/// Runs a grid of scenarios on a thread pool (respecting --threads).
+/// Runs a grid of scenarios on a thread pool (respecting --threads). Run
+/// failures (an ingested log going bad mid-run, an unknown registry key
+/// smuggled into a spec) exit 2 with a diagnostic, like every other bench
+/// CLI error, instead of aborting on an uncaught exception.
 inline std::vector<api::RunArtifact> run_grid(
     const std::vector<api::ScenarioSpec>& specs, const BenchArgs& args,
     const api::RunHooks& hooks = {}) {
   api::BatchOptions options;
   options.threads = args.threads_or(0);
-  return api::BatchRunner(options).run(specs, hooks);
+  try {
+    return api::BatchRunner(options).run(specs, hooks);
+  } catch (const std::exception& e) {
+    std::cerr << "run failed: " << e.what() << "\n";
+    std::exit(2);
+  }
 }
 
 // -- outcome massaging ------------------------------------------------------

@@ -1,0 +1,187 @@
+// Micro-benchmarks (google-benchmark) for the ingest parsers: rows/s parse
+// throughput over a generated ~100k-row Google task_events fixture, plus
+// the mapped-CSV reader and the shared tokenizer on their own. Month-scale
+// logs are hundreds of millions of rows, so parse throughput bounds how
+// fast any external workload can reach the simulator.
+//
+// Beyond google-benchmark's own reporting, `--json PATH` / `--csv PATH`
+// export a throughput artifact through the metrics JSON/CSV helpers (the
+// same path the experiment artifacts use), so regression tracking can
+// consume ingest numbers alongside run results:
+//
+//   bench_micro_ingest --json ingest.json --benchmark_filter=Google
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ingest/csv_source.hpp"
+#include "ingest/google_source.hpp"
+#include "metrics/export.hpp"
+#include "trace/csv.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace cloudcr;
+
+constexpr std::size_t kTargetRows = 100000;
+
+/// Generates a trace whose task_events expansion is ~100k rows: jobs are
+/// appended until the row count crosses the target (the generator's
+/// arrival cap keeps this deterministic).
+const trace::Trace& fixture_trace() {
+  static const trace::Trace trace = [] {
+    trace::GeneratorConfig cfg;
+    cfg.seed = 20130917;
+    cfg.horizon_s = 14.0 * 86400.0;  // ample; the row target truncates
+    cfg.sample_job_filter = false;
+    cfg.workload.long_service_fraction = 0.0;
+    trace::Trace full = trace::TraceGenerator(cfg).generate();
+    trace::Trace clipped;
+    clipped.horizon_s = full.horizon_s;
+    std::size_t rows = 0;
+    for (auto& job : full.jobs) {
+      trace::Trace one;
+      one.jobs.push_back(job);
+      rows += ingest::count_task_events(one);
+      clipped.jobs.push_back(std::move(job));
+      if (rows >= kTargetRows) break;
+    }
+    return clipped;
+  }();
+  return trace;
+}
+
+/// Writes the fixture once per process; returns {path, rows}.
+const std::pair<std::string, std::size_t>& google_fixture() {
+  static const std::pair<std::string, std::size_t> fixture = [] {
+    const std::string path = "bench_micro_ingest_task_events.csv";
+    std::ofstream os(path);
+    const std::size_t rows = ingest::write_task_events(os, fixture_trace());
+    return std::make_pair(path, rows);
+  }();
+  return fixture;
+}
+
+const std::pair<std::string, std::size_t>& native_csv_fixture() {
+  static const std::pair<std::string, std::size_t> fixture = [] {
+    const std::string path = "bench_micro_ingest_native.csv";
+    trace::write_csv_file(path, fixture_trace());
+    return std::make_pair(path, fixture_trace().task_count());
+  }();
+  return fixture;
+}
+
+void BM_GoogleIngest100kRows(benchmark::State& state) {
+  const auto& [path, rows] = google_fixture();
+  for (auto _ : state) {
+    const auto result = ingest::GoogleTraceSource(path).load();
+    if (result.report.rows_skipped != 0) {
+      state.SkipWithError("fixture rows were skipped");
+      return;
+    }
+    benchmark::DoNotOptimize(result.trace.job_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_GoogleIngest100kRows)->Unit(benchmark::kMillisecond);
+
+void BM_MappedCsvIngest(benchmark::State& state) {
+  const auto& [path, rows] = native_csv_fixture();
+  // The native schema needs a mapping only for the column split of the
+  // failure list; defaults already match.
+  for (auto _ : state) {
+    const auto result = ingest::MappedCsvSource(path).load();
+    benchmark::DoNotOptimize(result.trace.job_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_MappedCsvIngest)->Unit(benchmark::kMillisecond);
+
+void BM_TokenizerSplit(benchmark::State& state) {
+  const std::string line =
+      "1234567890,,6253771429,0,m41,2,user,0,9,0.0625,0.03158,0.0004,0";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::csv::split(line, ','));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TokenizerSplit);
+
+/// One-shot measured ingestion for the --json/--csv artifact export.
+struct ThroughputSample {
+  std::string bench;
+  std::size_t rows = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double rows_per_s() const {
+    return seconds > 0.0 ? static_cast<double>(rows) / seconds : 0.0;
+  }
+};
+
+ThroughputSample measure_google_once() {
+  const auto& [path, rows] = google_fixture();
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = ingest::GoogleTraceSource(path).load();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchmark::DoNotOptimize(result.trace.job_count());
+  return {"google_ingest", rows, seconds};
+}
+
+void export_artifacts(const std::string& json_path,
+                      const std::string& csv_path) {
+  if (json_path.empty() && csv_path.empty()) return;
+  const ThroughputSample sample = measure_google_once();
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "[{\"bench\":" << metrics::json_quote(sample.bench)
+       << ",\"rows\":" << sample.rows
+       << ",\"seconds\":" << metrics::json_double(sample.seconds)
+       << ",\"rows_per_s\":" << metrics::json_double(sample.rows_per_s())
+       << "}]\n";
+    std::cout << "# artifacts: " << json_path << " (JSON)\n";
+  }
+  if (!csv_path.empty()) {
+    std::ofstream os(csv_path);
+    os << "bench,rows,seconds,rows_per_s\n"
+       << sample.bench << ',' << sample.rows << ','
+       << metrics::csv_double(sample.seconds) << ','
+       << metrics::csv_double(sample.rows_per_s()) << '\n';
+    std::cout << "# artifacts: " << csv_path << " (CSV)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off our export flags; everything else goes to google-benchmark.
+  std::string json_path, csv_path;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if ((flag == "--json" || flag == "--csv") && i + 1 < argc) {
+      (flag == "--json" ? json_path : csv_path) = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  export_artifacts(json_path, csv_path);
+  return 0;
+}

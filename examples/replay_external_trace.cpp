@@ -1,0 +1,109 @@
+// replay_external_trace: ingest a Google-style cluster log and replay it.
+//
+// The paper's evaluation runs on a real cloud workload — job arrivals,
+// priorities, and kill/evict events from Google cluster logs. This example
+// walks the full ingestion path: a task_events-format file goes through
+// ingest::GoogleTraceSource (streaming, with a skipped-row report), gets
+// characterized against the paper's published marginals (profile), and is
+// then replayed under two checkpoint policies through the experiment API by
+// naming the log in the ScenarioSpec ("google:<path>").
+//
+// Usage: replay_external_trace [task_events.csv]
+//
+// Without an argument, a demo log is synthesized first (a generated trace
+// written out as task_events rows), so the example is self-contained.
+
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "ingest/google_source.hpp"
+#include "ingest/profile.hpp"
+#include "ingest/registry.hpp"
+#include "metrics/report.hpp"
+#include "trace/generator.hpp"
+
+using namespace cloudcr;
+
+namespace {
+
+constexpr char kDemoPath[] = "replay_external_demo_task_events.csv";
+
+/// Synthesizes a demo log: one simulated morning of jobs, written in the
+/// Google task_events format (plus a deliberately broken row so the
+/// skipped-row report has something to say).
+std::string write_demo_log() {
+  trace::GeneratorConfig cfg;
+  cfg.seed = 20130917;
+  cfg.horizon_s = 6.0 * 3600.0;
+  cfg.sample_job_filter = false;  // filtering happens at replay time
+  // Keep the demo log day-scale: month-long service tasks would stretch the
+  // event horizon (and the profile's arrival-rate denominator) far beyond
+  // the six hours of arrivals.
+  cfg.workload.long_service_fraction = 0.0;
+  const trace::Trace trace = trace::TraceGenerator(cfg).generate();
+
+  std::ofstream os(kDemoPath);
+  const std::size_t rows = ingest::write_task_events(os, trace);
+  os << "not-a-timestamp,,1,0,m1,4,user,0,0,0.0,0.1,0.0,0\n";
+  std::cout << "demo log: " << kDemoPath << " (" << rows
+            << " event rows + 1 broken row, " << trace.job_count()
+            << " jobs)\n\n";
+  return kDemoPath;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : write_demo_log();
+  const std::string source_spec = "google:" + path;
+
+  // -- ingest: stream the log into a trace, accounting for every row ------
+  ingest::IngestResult ingested;
+  try {
+    ingested =
+        ingest::TraceSourceRegistry::instance().make(source_spec)->load();
+  } catch (const std::exception& e) {
+    std::cerr << "ingestion failed: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "ingested " << ingested.report.summary() << "\n";
+  for (const auto& skip : ingested.report.skipped) {
+    std::cout << "  skipped: " << skip.reason << "\n";
+  }
+  std::cout << "\n";
+
+  // -- characterize: does this workload look like the paper's? ------------
+  ingest::print_profile(std::cout, ingest::profile(ingested.trace),
+                        "ingested workload vs paper Figs 4/8");
+  std::cout << "\n";
+
+  // -- replay: the log is just another trace source for the API -----------
+  std::vector<api::ScenarioSpec> specs;
+  for (const char* policy : {"formula3", "young", "none"}) {
+    api::ScenarioSpec spec;
+    spec.name = policy;
+    spec.trace.source = source_spec;
+    spec.trace.sample_job_filter = true;  // the paper's Section 5.1 filter
+    spec.policy = policy;
+    spec.predictor = "grouped";
+    spec.placement = sim::PlacementMode::kForceShared;
+    specs.push_back(spec);
+  }
+  const auto artifacts = api::BatchRunner().run(specs);
+
+  metrics::print_banner(std::cout, "replay: checkpoint policies on " + path);
+  std::cout << "replay set: " << artifacts[0].trace_jobs << " sample jobs, "
+            << artifacts[0].trace_tasks << " tasks\n";
+  metrics::Table table({"policy", "avg WPR", "checkpoints", "wall (s)"});
+  for (const auto& a : artifacts) {
+    table.add_row({a.spec.name, metrics::fmt(a.result.average_wpr(), 4),
+                   std::to_string(a.result.total_checkpoints),
+                   metrics::fmt(a.wall_time_s, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "expected: formula3 recovers most of the kill-induced loss; "
+               "'none' pays the\nfull rework cost on every failure\n";
+  return 0;
+}

@@ -2,17 +2,41 @@
 
 #include <chrono>
 #include <cmath>
+#include <iostream>
 #include <optional>
 #include <utility>
 
 #include "api/registry.hpp"
+#include "ingest/registry.hpp"
+#include "ingest/source.hpp"
 #include "sim/simulation.hpp"
 #include "trace/generator.hpp"
 
 namespace cloudcr::api {
 
 trace::Trace make_trace(const TraceSpec& spec) {
-  return trace::TraceGenerator(to_generator_config(spec)).generate();
+  // The generator path stays direct (it applies the sample-job filter and
+  // job cap during generation); external sources ingest the raw log first
+  // and get the same post-processing applied on top, so a TraceSpec means
+  // the same thing whatever its workload origin.
+  if (spec.source == "synthetic") {
+    return trace::TraceGenerator(to_generator_config(spec)).generate();
+  }
+  ingest::SourceEnv env;
+  env.generator = to_generator_config(spec);
+  auto source = ingest::TraceSourceRegistry::instance().make(spec.source, env);
+  ingest::IngestResult result = source->load();
+  // Recoverable row skips must stay visible on this path too — results
+  // were computed on a partial workload. One stderr line keeps stdout
+  // (bench tables, determinism diffs) untouched.
+  if (result.report.rows_skipped > 0) {
+    std::cerr << "warning: ingest skipped rows: " << result.report.summary()
+              << "\n";
+  }
+  trace::Trace trace = std::move(result.trace);
+  if (spec.sample_job_filter) ingest::apply_sample_job_filter(trace);
+  ingest::cap_jobs(trace, spec.max_jobs);
+  return trace;
 }
 
 trace::Trace make_replay_trace(const TraceSpec& spec) {

@@ -52,11 +52,14 @@ struct RunHooks {
   std::function<double(const trace::TaskRecord&)> length_predictor;
 };
 
-/// Generates the unrestricted trace of `spec` (estimation view).
+/// Materializes the unrestricted trace of `spec` (estimation view): the
+/// synthetic generator for source "synthetic", otherwise ingestion through
+/// ingest::TraceSourceRegistry (with the spec's sample-job filter and job
+/// cap applied on top).
 trace::Trace make_trace(const TraceSpec& spec);
 
-/// Generates the replay set of `spec`: the unrestricted trace filtered to
-/// jobs within replay_max_task_length_s.
+/// The replay set of `spec`: the unrestricted trace filtered to jobs within
+/// replay_max_task_length_s.
 trace::Trace make_replay_trace(const TraceSpec& spec);
 
 /// Runs one scenario. Deterministic: the artifact depends only on the spec

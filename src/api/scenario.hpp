@@ -27,6 +27,15 @@ namespace cloudcr::api {
 /// generator needs plus the replay-side length restriction the paper applies
 /// to its sample jobs (Fig 8's <= 6 h envelope, Fig 11's RL classes).
 struct TraceSpec {
+  /// Workload origin, as an ingest::TraceSourceRegistry spec: "synthetic"
+  /// (the built-in generator, shaped by the fields below), "csv:<path>"
+  /// (user CSV with a declarative column mapping), or "google:<path>"
+  /// (task_events-style cluster logs). For external sources the log decides
+  /// horizon and arrivals — seed/horizon_s/arrival_rate here are ignored —
+  /// while sample_job_filter, max_jobs, and replay_max_task_length_s still
+  /// apply on top of the ingested trace.
+  std::string source = "synthetic";
+
   std::uint64_t seed = 42;
   double horizon_s = 86400.0;
   double arrival_rate = 0.116;

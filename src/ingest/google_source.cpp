@@ -1,0 +1,334 @@
+#include "ingest/google_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "trace/csv.hpp"
+
+namespace cloudcr::ingest {
+
+namespace {
+
+constexpr char kLabel[] = "google source";
+
+/// Reconstruction state for one (job, task): aggregates only, never rows —
+/// this is what keeps ingestion memory bounded by the task population.
+struct TaskState {
+  double first_event_s = std::numeric_limits<double>::infinity();
+  double last_event_s = -1.0;   ///< per-task monotonicity check
+  double submit_s = -1.0;       ///< earliest SUBMIT
+  double running_since_s = -1.0;  ///< raw time of the active SCHEDULE
+  double active_s = 0.0;        ///< accrued active time
+  std::vector<double> failure_dates;  ///< active-time failure instants
+  double memory_mb = 0.0;       ///< largest request seen
+  int priority = -1;            ///< first priority seen (submission value)
+};
+
+bool is_failure_event(int event) {
+  return event == kGoogleEvict || event == kGoogleFail ||
+         event == kGoogleKill || event == kGoogleLost;
+}
+
+/// One fixture row for write_task_events (sorted by time before writing —
+/// the writer materializes events, the *reader* never does).
+struct FixtureRow {
+  std::uint64_t time_us;
+  std::uint64_t job_id;
+  std::uint32_t task_index;
+  int event;
+  int priority;     ///< raw 0..11
+  double memory;    ///< normalized request
+};
+
+std::uint64_t to_us(double seconds) {
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
+/// Emits the event sequence of one task (appended to `rows`); returns the
+/// number of rows. Failure dates beyond the task length are unobservable in
+/// an event log (the task has already finished) and are not emitted; a
+/// failure at exactly the length becomes a terminal KILL.
+std::size_t task_events(const trace::JobRecord& job,
+                        const trace::TaskRecord& task,
+                        std::vector<FixtureRow>* rows) {
+  const int raw_priority = task.priority - 1;
+  const auto push = [&](double t_s, int event, double memory) {
+    if (rows != nullptr) {
+      rows->push_back({to_us(t_s), job.id, task.index_in_job, event,
+                       raw_priority, memory});
+    }
+  };
+  std::size_t count = 2;
+  push(job.arrival_s, kGoogleSubmit, 0.0);
+  push(job.arrival_s, kGoogleSchedule, 0.0);
+  bool killed = false;
+  for (const double date : task.failure_dates) {
+    if (date > task.length_s) break;
+    if (date == task.length_s) {
+      push(job.arrival_s + date, kGoogleKill, 0.0);
+      ++count;
+      killed = true;
+      break;
+    }
+    push(job.arrival_s + date, kGoogleEvict, 0.0);
+    push(job.arrival_s + date, kGoogleSchedule, 0.0);
+    count += 2;
+  }
+  if (!killed) {
+    push(job.arrival_s + task.length_s, kGoogleFinish, 0.0);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+GoogleOptions parse_google_options(const std::string& text) {
+  GoogleOptions options;
+  for_each_query_pair("google option", text, [&](const std::string& key,
+                                                 const std::string& value) {
+    if (key == "memory_scale_mb") {
+      double scale;
+      try {
+        scale = trace::csv::parse_double("memory_scale_mb", value, 0);
+      } catch (const std::runtime_error& e) {
+        throw std::invalid_argument(e.what());
+      }
+      if (!(scale > 0.0)) {
+        throw std::invalid_argument(
+            "google option memory_scale_mb must be > 0, got '" + value + "'");
+      }
+      options.memory_scale_mb = scale;
+    } else {
+      throw std::invalid_argument("unknown google option '" + key + "'");
+    }
+  });
+  return options;
+}
+
+GoogleTraceSource::GoogleTraceSource(std::string path, GoogleOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+std::string GoogleTraceSource::describe() const { return "google:" + path_; }
+
+void GoogleTraceSource::probe() const { (void)open_trace_file(kLabel, path_); }
+
+IngestResult GoogleTraceSource::load() const {
+  std::ifstream is = open_trace_file(kLabel, path_);
+
+  IngestResult result;
+  result.report.source = describe();
+
+  // std::map keeps (job, task) order deterministic for assembly below.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, TaskState> tasks;
+  double min_t = std::numeric_limits<double>::infinity();
+  double max_t = 0.0;
+
+  trace::csv::LineReader reader(is);
+  std::string line;
+  while (reader.next(line)) {
+    if (trace::csv::is_blank(line) || line[0] == '#') continue;
+    const std::size_t lineno = reader.line_number();
+    ++result.report.rows_total;
+    try {
+      const auto fields = trace::csv::split(line, ',');
+      // timestamp .. event type are required; the trailing attribute
+      // columns (user, class, priority, requests, ...) may be absent.
+      if (fields.size() < 6) {
+        throw trace::csv::field_error(
+            kLabel, lineno,
+            "expected >= 6 fields, got " + std::to_string(fields.size()) +
+                " in",
+            line);
+      }
+      const std::uint64_t t_us =
+          trace::csv::parse_u64(kLabel, fields[0], lineno);
+      // 2^62 us is ~146k years: the trace's "after the trace window"
+      // sentinel (2^63 - 1), not a real event time.
+      if (t_us >= (std::uint64_t{1} << 62)) {
+        throw trace::csv::field_error(kLabel, lineno, "sentinel timestamp",
+                                      fields[0]);
+      }
+      const std::uint64_t job_id =
+          trace::csv::parse_u64(kLabel, fields[2], lineno);
+      const std::uint64_t task_index =
+          trace::csv::parse_u64(kLabel, fields[3], lineno);
+      const int event = trace::csv::parse_int(kLabel, fields[5], lineno);
+      if (event < kGoogleSubmit || event > kGoogleUpdateRunning) {
+        throw trace::csv::field_error(kLabel, lineno, "unknown event type",
+                                      fields[5]);
+      }
+
+      int priority = -1;
+      if (fields.size() > 8 && !fields[8].empty()) {
+        priority = trace::csv::parse_int(kLabel, fields[8], lineno);
+        if (priority < 0 || priority > 11) {
+          throw trace::csv::field_error(kLabel, lineno,
+                                        "priority out of range 0..11",
+                                        fields[8]);
+        }
+      }
+      double memory_request = -1.0;
+      if (fields.size() > 10 && !fields[10].empty()) {
+        memory_request =
+            trace::csv::parse_double(kLabel, fields[10], lineno);
+        if (memory_request < 0.0) {
+          throw trace::csv::field_error(kLabel, lineno,
+                                        "negative memory request",
+                                        fields[10]);
+        }
+      }
+
+      const double t = static_cast<double>(t_us) * 1e-6;
+      TaskState& state = tasks[{job_id, task_index}];
+      if (t < state.last_event_s) {
+        throw trace::csv::field_error(
+            kLabel, lineno, "out-of-order timestamp for task", fields[0]);
+      }
+
+      // Row accepted: update aggregates.
+      state.last_event_s = t;
+      state.first_event_s = std::min(state.first_event_s, t);
+      min_t = std::min(min_t, t);
+      max_t = std::max(max_t, t);
+      if (priority >= 0 && state.priority < 0) state.priority = priority;
+      if (memory_request >= 0.0) {
+        state.memory_mb = std::max(state.memory_mb,
+                                   memory_request * options_.memory_scale_mb);
+      }
+
+      switch (event) {
+        case kGoogleSubmit:
+          if (state.submit_s < 0.0 || t < state.submit_s) state.submit_s = t;
+          break;
+        case kGoogleSchedule:
+          if (state.running_since_s < 0.0) state.running_since_s = t;
+          break;
+        case kGoogleFinish:
+          if (state.running_since_s >= 0.0) {
+            state.active_s += t - state.running_since_s;
+            state.running_since_s = -1.0;
+          }
+          break;
+        default:
+          if (is_failure_event(event) && state.running_since_s >= 0.0) {
+            // Failure dates live in *active time*: the clock that runs only
+            // while the task occupies a VM (records.hpp).
+            state.active_s += t - state.running_since_s;
+            state.running_since_s = -1.0;
+            if (state.failure_dates.empty() ||
+                state.active_s > state.failure_dates.back()) {
+              state.failure_dates.push_back(state.active_s);
+            }
+          }
+          // A kill/evict of a pending task, or an UPDATE_*: no active time
+          // accrues and no failure date is derived.
+          break;
+      }
+      ++result.report.rows_used;
+    } catch (const std::runtime_error& e) {
+      result.report.skip(lineno, e.what());
+    }
+  }
+
+  if (tasks.empty()) return result;
+
+  // Tasks still running at the end of the log accrue up to the last event
+  // (a censored observation, exactly like the paper's horizon-clipped
+  // intervals).
+  result.trace.horizon_s = max_t - min_t;
+  std::map<std::uint64_t, std::size_t> job_slot;
+  for (auto& [key, state] : tasks) {
+    if (state.running_since_s >= 0.0) {
+      state.active_s += max_t - state.running_since_s;
+      state.running_since_s = -1.0;
+    }
+    if (state.active_s <= 0.0) continue;  // never ran: nothing to replay
+
+    trace::TaskRecord task;
+    task.job_id = key.first;
+    task.index_in_job = static_cast<std::uint32_t>(key.second);
+    task.length_s = state.active_s;
+    task.memory_mb = state.memory_mb;
+    // Logs carry no parser-visible input size; the productive length stands
+    // in so workload-length predictors keep signal (as in csv_source).
+    task.input_size = state.active_s;
+    task.priority = state.priority >= 0 ? state.priority + 1
+                                        : trace::kMinPriority;
+    task.failure_dates = std::move(state.failure_dates);
+
+    const auto [it, inserted] =
+        job_slot.try_emplace(key.first, result.trace.jobs.size());
+    if (inserted) {
+      trace::JobRecord job;
+      job.id = key.first;
+      result.trace.jobs.push_back(std::move(job));
+    }
+    trace::JobRecord& job = result.trace.jobs[it->second];
+    const double first_seen =
+        state.submit_s >= 0.0 ? state.submit_s : state.first_event_s;
+    const double arrival = first_seen - min_t;
+    if (job.tasks.empty() || arrival < job.arrival_s) {
+      job.arrival_s = arrival;
+    }
+    job.tasks.push_back(std::move(task));
+  }
+
+  for (auto& job : result.trace.jobs) {
+    job.structure = job.tasks.size() > 1 ? trace::JobStructure::kBagOfTasks
+                                         : trace::JobStructure::kSequentialTasks;
+  }
+  std::stable_sort(result.trace.jobs.begin(), result.trace.jobs.end(),
+                   [](const trace::JobRecord& a, const trace::JobRecord& b) {
+                     return a.arrival_s != b.arrival_s
+                                ? a.arrival_s < b.arrival_s
+                                : a.id < b.id;
+                   });
+  return result;
+}
+
+std::size_t count_task_events(const trace::Trace& trace) {
+  std::size_t rows = 0;
+  for (const auto& job : trace.jobs) {
+    for (const auto& task : job.tasks) {
+      rows += task_events(job, task, nullptr);
+    }
+  }
+  return rows;
+}
+
+std::size_t write_task_events(std::ostream& os, const trace::Trace& trace,
+                              const GoogleOptions& options) {
+  std::vector<FixtureRow> rows;
+  rows.reserve(count_task_events(trace));
+  for (const auto& job : trace.jobs) {
+    for (const auto& task : job.tasks) {
+      const std::size_t submit_row = rows.size();
+      task_events(job, task, &rows);
+      // Attach the memory request to the task's SUBMIT row.
+      rows[submit_row].memory = task.memory_mb / options.memory_scale_mb;
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const FixtureRow& a, const FixtureRow& b) {
+                     return a.time_us < b.time_us;
+                   });
+  os.precision(17);
+  for (const auto& row : rows) {
+    os << row.time_us << ",," << row.job_id << ',' << row.task_index
+       << ",m" << (row.job_id % 97) << ',' << row.event << ",user,0,"
+       << row.priority << ",0.0," << row.memory << ",0.0,0\n";
+  }
+  if (!os) throw std::runtime_error("write_task_events: stream failure");
+  return rows.size();
+}
+
+}  // namespace cloudcr::ingest

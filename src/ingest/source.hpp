@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file source.hpp
+/// \brief TraceSource: the abstraction between raw workload logs and the
+/// simulator.
+///
+/// The paper grounds its evaluation in a real cloud workload (a month of
+/// Google-style cluster logs); this layer lets the reproduction replay such
+/// workloads instead of only its own synthetic generator. A TraceSource
+/// produces a trace::Trace plus provenance metadata and a skipped-row report;
+/// implementations:
+///
+///   - SyntheticSource   wraps trace::TraceGenerator (synthetic_source.hpp)
+///   - MappedCsvSource   user CSV with a declarative ColumnMapping
+///                       (csv_source.hpp)
+///   - GoogleTraceSource task_events-style cluster logs (google_source.hpp)
+///
+/// File-backed sources read line-at-a-time (trace::csv::LineReader) and hold
+/// only per-task aggregates, so memory is bounded by the number of *tasks*,
+/// never by the log size: month-scale multi-hundred-MB logs ingest in a
+/// single pass without materializing the file.
+///
+/// Row validation is strict but recoverable: a malformed row is skipped and
+/// recorded in the IngestReport (line number + reason) instead of aborting
+/// the whole ingestion; structural problems (missing file, missing required
+/// column) still throw.
+
+#include <cstddef>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/records.hpp"
+
+namespace cloudcr::ingest {
+
+/// One rejected input row.
+struct SkippedRow {
+  std::size_t line_number = 0;
+  std::string reason;
+};
+
+/// Provenance and row accounting for one ingestion.
+struct IngestReport {
+  /// Source spec this trace came from ("google:/logs/task_events.csv", ...).
+  std::string source;
+
+  std::size_t rows_total = 0;    ///< data rows examined
+  std::size_t rows_used = 0;     ///< rows that contributed to the trace
+  std::size_t rows_skipped = 0;  ///< rows rejected by validation
+
+  /// First kMaxSkipSamples rejections, in input order (rows_skipped keeps
+  /// the exact total even after sampling saturates).
+  static constexpr std::size_t kMaxSkipSamples = 32;
+  std::vector<SkippedRow> skipped;
+
+  /// Records a rejection: bumps rows_skipped and samples the reason.
+  void skip(std::size_t line_number, std::string reason);
+
+  /// One-line accounting summary for logs and examples.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// What a source yields: the reconstructed trace plus its report.
+struct IngestResult {
+  trace::Trace trace;
+  IngestReport report;
+};
+
+/// A workload origin. load() is const and deterministic: two calls on the
+/// same source over the same input produce identical traces, which is what
+/// lets api::BatchRunner memoize ingested traces exactly like generated
+/// ones.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Provenance spec of this source (round-trips through
+  /// TraceSourceRegistry::make for the file-backed sources).
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Reads/generates the full trace. Throws std::runtime_error on
+  /// structural failure (missing file, missing header/column); row-level
+  /// problems are reported, not thrown.
+  [[nodiscard]] virtual IngestResult load() const = 0;
+
+  /// Cheap readiness check without ingesting anything: file-backed sources
+  /// verify their input opens (throwing the same std::runtime_error load()
+  /// would). CLI frontends call this so a typo'd path fails fast with a
+  /// diagnostic instead of mid-run.
+  virtual void probe() const {}
+};
+
+using SourcePtr = std::unique_ptr<TraceSource>;
+
+// -- shared post-processing --------------------------------------------------
+
+/// The paper's sample-job filter (Section 5.1): keeps only jobs where at
+/// least half the tasks suffer a failure within their own productive length.
+/// Applied by api::make_trace to ingested traces when the owning TraceSpec
+/// requests it (the synthetic generator applies it internally).
+void apply_sample_job_filter(trace::Trace& trace);
+
+/// Truncates the trace to its first `max_jobs` jobs (0 = unlimited),
+/// mirroring GeneratorConfig::max_jobs for ingested workloads.
+void cap_jobs(trace::Trace& trace, std::size_t max_jobs);
+
+/// Opens an input file for a reader, throwing std::runtime_error
+/// ("<label>: cannot open <path>") when it is missing/unreadable — the one
+/// structural error every file-backed source shares.
+std::ifstream open_trace_file(const std::string& label,
+                              const std::string& path);
+
+/// Iterates the `key=value` pairs of a comma-separated query string (the
+/// '?' part of a registry spec) — the parsing every source's
+/// mapping/options grammar shares. Empty text yields no pairs; a pair
+/// without '=' throws std::invalid_argument naming `label`.
+void for_each_query_pair(
+    const std::string& label, const std::string& text,
+    const std::function<void(const std::string& key, const std::string& value)>&
+        apply);
+
+}  // namespace cloudcr::ingest

@@ -1,0 +1,23 @@
+#include "ingest/synthetic_source.hpp"
+
+#include <sstream>
+
+namespace cloudcr::ingest {
+
+std::string SyntheticSource::describe() const {
+  std::ostringstream os;
+  os << "synthetic(seed=" << config_.seed << ",horizon_s=" << config_.horizon_s
+     << ",arrival_rate=" << config_.arrival_rate << ")";
+  return os.str();
+}
+
+IngestResult SyntheticSource::load() const {
+  IngestResult result;
+  result.trace = trace::TraceGenerator(config_).generate();
+  result.report.source = describe();
+  result.report.rows_total = result.trace.task_count();
+  result.report.rows_used = result.report.rows_total;
+  return result;
+}
+
+}  // namespace cloudcr::ingest

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <fstream>
 #include <map>
-#include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "trace/csv.hpp"
 
 namespace cloudcr::trace {
 
@@ -14,14 +16,7 @@ constexpr char kHeader[] =
     "job_id,structure,arrival_s,task_index,length_s,memory_mb,input_size,"
     "priority,prio_change_time,new_priority,failure_dates";
 
-std::vector<std::string> split(const std::string& line, char sep) {
-  std::vector<std::string> out;
-  std::string field;
-  std::istringstream is(line);
-  while (std::getline(is, field, sep)) out.push_back(field);
-  if (!line.empty() && line.back() == sep) out.emplace_back();
-  return out;
-}
+constexpr char kLabel[] = "read_csv";
 
 }  // namespace
 
@@ -55,8 +50,9 @@ void write_csv_file(const std::string& path, const Trace& trace) {
 }
 
 Trace read_csv(std::istream& is) {
+  csv::LineReader reader(is);
   std::string line;
-  if (!std::getline(is, line) || line != kHeader) {
+  if (!reader.next(line) || line != kHeader) {
     throw std::runtime_error("read_csv: missing or unexpected header");
   }
 
@@ -64,22 +60,26 @@ Trace read_csv(std::istream& is) {
   // jobs keyed by id; tasks appended in row order.
   std::map<std::uint64_t, std::size_t> job_index;
 
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
+  while (reader.next(line)) {
+    if (csv::is_blank(line)) continue;  // incl. trailing blank lines
+    const std::size_t lineno = reader.line_number();
     if (line[0] == '#') {
       const auto pos = line.find("horizon_s=");
       if (pos != std::string::npos) {
-        trace.horizon_s = std::stod(line.substr(pos + 10));
+        trace.horizon_s =
+            csv::parse_double(kLabel, line.substr(pos + 10), lineno);
       }
       continue;
     }
-    const auto fields = split(line, ',');
+    const auto fields = csv::split(line, ',');
     if (fields.size() != 11) {
-      throw std::runtime_error("read_csv: expected 11 fields, got " +
-                               std::to_string(fields.size()));
+      throw csv::field_error(kLabel, lineno,
+                             "expected 11 fields, got " +
+                                 std::to_string(fields.size()) + " in",
+                             line);
     }
 
-    const std::uint64_t job_id = std::stoull(fields[0]);
+    const std::uint64_t job_id = csv::parse_u64(kLabel, fields[0], lineno);
     auto [it, inserted] = job_index.try_emplace(job_id, trace.jobs.size());
     if (inserted) {
       JobRecord job;
@@ -89,28 +89,37 @@ Trace read_csv(std::istream& is) {
       } else if (fields[1] == "BoT") {
         job.structure = JobStructure::kBagOfTasks;
       } else {
-        throw std::runtime_error("read_csv: bad structure " + fields[1]);
+        throw csv::field_error(kLabel, lineno, "bad structure", fields[1]);
       }
-      job.arrival_s = std::stod(fields[2]);
+      job.arrival_s = csv::parse_double(kLabel, fields[2], lineno);
       trace.jobs.push_back(std::move(job));
     }
 
     TaskRecord task;
     task.job_id = job_id;
-    task.index_in_job = static_cast<std::uint32_t>(std::stoul(fields[3]));
-    task.length_s = std::stod(fields[4]);
-    task.memory_mb = std::stod(fields[5]);
-    task.input_size = std::stod(fields[6]);
-    task.priority = std::stoi(fields[7]);
-    task.priority_change_time = std::stod(fields[8]);
-    task.new_priority = std::stoi(fields[9]);
+    task.index_in_job =
+        static_cast<std::uint32_t>(csv::parse_u64(kLabel, fields[3], lineno));
+    task.length_s = csv::parse_double(kLabel, fields[4], lineno);
+    task.memory_mb = csv::parse_double(kLabel, fields[5], lineno);
+    task.input_size = csv::parse_double(kLabel, fields[6], lineno);
+    task.priority = csv::parse_int(kLabel, fields[7], lineno);
+    task.priority_change_time = csv::parse_double(kLabel, fields[8], lineno);
+    task.new_priority = csv::parse_int(kLabel, fields[9], lineno);
     if (!fields[10].empty()) {
-      for (const auto& d : split(fields[10], ';')) {
-        if (!d.empty()) task.failure_dates.push_back(std::stod(d));
+      for (const auto& d : csv::split(fields[10], ';')) {
+        if (!d.empty()) {
+          task.failure_dates.push_back(csv::parse_double(kLabel, d, lineno));
+        }
       }
-      if (!std::is_sorted(task.failure_dates.begin(),
-                          task.failure_dates.end())) {
-        throw std::runtime_error("read_csv: failure dates not sorted");
+      // Strictly increasing, as TaskRecord documents: a duplicate date
+      // would fire a spurious zero-delta second kill in the simulator.
+      if (std::adjacent_find(task.failure_dates.begin(),
+                             task.failure_dates.end(),
+                             [](double a, double b) { return a >= b; }) !=
+          task.failure_dates.end()) {
+        throw csv::field_error(kLabel, lineno,
+                               "failure dates not strictly increasing",
+                               fields[10]);
       }
     }
     trace.jobs[it->second].tasks.push_back(std::move(task));

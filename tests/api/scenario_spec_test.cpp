@@ -60,6 +60,21 @@ TEST(ScenarioSerialization, RoundTripsEveryField) {
   EXPECT_EQ(parsed.cluster.hosts, 16u);
 }
 
+TEST(ScenarioSerialization, RoundTripsTraceSource) {
+  ScenarioSpec spec;
+  spec.trace.source = "google:/logs/task_events.csv?memory_scale_mb=2048";
+  spec.history.source = "csv:/data/history.csv?time_unit=ms";
+  const auto parsed = parse_scenario(serialize(spec));
+  EXPECT_EQ(parsed, spec);
+  EXPECT_EQ(parsed.trace.source, spec.trace.source);
+  EXPECT_EQ(parsed.history.source, spec.history.source);
+  // Paths with escape-worthy characters survive too.
+  ScenarioSpec awkward;
+  awkward.trace.source = "csv:/data/with\\backslash\nand newline";
+  EXPECT_EQ(parse_scenario(serialize(awkward)).trace.source,
+            awkward.trace.source);
+}
+
 TEST(ScenarioSerialization, RoundTripsInfinityAndAwkwardDoubles) {
   ScenarioSpec spec;
   spec.trace.replay_max_task_length_s =

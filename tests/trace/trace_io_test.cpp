@@ -95,6 +95,14 @@ TEST(TraceIo, RejectsUnsortedFailureDates) {
   EXPECT_THROW(read_csv(buf), std::runtime_error);
 }
 
+TEST(TraceIo, RejectsDuplicateFailureDates) {
+  // TaskRecord documents strictly increasing dates; a duplicate would fire
+  // a spurious zero-delta second kill in the simulator.
+  std::stringstream buf;
+  buf << kTestHeader << "\n1,ST,0.0,0,10.0,64.0,90.0,1,-1,0,2.0;2.0\n";
+  EXPECT_THROW(read_csv(buf), std::runtime_error);
+}
+
 TEST(TraceIo, ParsesInputSizeField) {
   std::stringstream buf;
   buf << kTestHeader << "\n7,BoT,1.5,0,420.0,64.0,93.25,2,-1,0,10.0;20.0\n";
@@ -102,6 +110,61 @@ TEST(TraceIo, ParsesInputSizeField) {
   ASSERT_EQ(t.job_count(), 1u);
   ASSERT_EQ(t.jobs[0].tasks.size(), 1u);
   EXPECT_DOUBLE_EQ(t.jobs[0].tasks[0].input_size, 93.25);
+}
+
+TEST(TraceIo, ToleratesCrlfLineEndings) {
+  std::stringstream plain;
+  write_csv(plain, sample_trace());
+  // Re-encode the whole document with CRLF endings, as a Windows tool (or
+  // an HTTP download) would deliver it.
+  std::string crlf;
+  for (const char c : plain.str()) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream buf(crlf);
+  const Trace loaded = read_csv(buf);
+  EXPECT_EQ(loaded.job_count(), sample_trace().job_count());
+}
+
+TEST(TraceIo, ToleratesTrailingBlankLines) {
+  std::stringstream buf;
+  buf << kTestHeader << "\n1,ST,0.0,0,10.0,64.0,90.0,1,-1,0,\n\n   \n\n";
+  const Trace t = read_csv(buf);
+  EXPECT_EQ(t.job_count(), 1u);
+}
+
+TEST(TraceIo, RejectsOutOfRangeNumbersWithLineNumber) {
+  std::stringstream buf;
+  buf << kTestHeader << "\n1,ST,0.0,0,1e999,64.0,90.0,1,-1,0,\n";
+  try {
+    (void)read_csv(buf);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceIo, ReportsLineNumberOfMalformedRow) {
+  std::stringstream buf;
+  buf << kTestHeader << "\n"
+      << "1,ST,0.0,0,10.0,64.0,90.0,1,-1,0,\n"
+      << "2,ST,0.0,0,banana,64.0,90.0,1,-1,0,\n";
+  try {
+    (void)read_csv(buf);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, RejectsMalformedIntegerFields) {
+  std::stringstream buf;
+  buf << kTestHeader << "\n-1,ST,0.0,0,10.0,64.0,90.0,1,-1,0,\n";
+  EXPECT_THROW((void)read_csv(buf), std::runtime_error);
 }
 
 TEST(TraceIo, FileRoundTrip) {
