@@ -69,9 +69,11 @@ int main(int argc, char** argv) {
 
   metrics::print_banner(std::cout, "Ablation 1: storage placement (avg WPR)");
   metrics::Table t1({"placement", "avg WPR"});
-  t1.add_row({"auto-select (Sec 4.2.2)", metrics::fmt(wpr.at("auto_dmnfs"), 4)});
+  t1.add_row(
+      {"auto-select (Sec 4.2.2)", metrics::fmt(wpr.at("auto_dmnfs"), 4)});
   t1.add_row({"forced local ramdisk", metrics::fmt(wpr.at("local"), 4)});
-  t1.add_row({"forced shared (DM-NFS)", metrics::fmt(wpr.at("shared_dmnfs"), 4)});
+  t1.add_row(
+      {"forced shared (DM-NFS)", metrics::fmt(wpr.at("shared_dmnfs"), 4)});
   t1.print(std::cout);
 
   metrics::print_banner(std::cout,
@@ -92,7 +94,8 @@ int main(int argc, char** argv) {
   metrics::print_banner(std::cout,
                         "Ablation 4: statistic robustness (avg WPR)");
   metrics::Table t4({"policy x estimate", "avg WPR"});
-  t4.add_row({"Formula (3) + group MNOF", metrics::fmt(wpr.at("auto_dmnfs"), 4)});
+  t4.add_row(
+      {"Formula (3) + group MNOF", metrics::fmt(wpr.at("auto_dmnfs"), 4)});
   t4.add_row({"Young + group MTBF", metrics::fmt(wpr.at("young_grouped"), 4)});
   t4.add_row({"Formula (3) + oracle", metrics::fmt(wpr.at("f3_oracle"), 4)});
   t4.add_row({"Young + oracle", metrics::fmt(wpr.at("young_oracle"), 4)});

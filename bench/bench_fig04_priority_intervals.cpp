@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   const auto trace = api::make_trace(tspec);
   const auto by_priority = trace::intervals_by_priority(trace);
 
-  metrics::print_banner(std::cout, "Figure 4: uninterrupted intervals by priority");
+  metrics::print_banner(std::cout,
+                        "Figure 4: uninterrupted intervals by priority");
   std::cout << "trace: " << trace.job_count() << " jobs, "
             << trace.task_count() << " tasks\n";
 
@@ -46,7 +47,8 @@ int main(int argc, char** argv) {
   }
 
   // Fig 4(b): high priorities, x range up to 30 days.
-  metrics::print_banner(std::cout, "Fig 4(b): high priorities (<= 30 day axis)");
+  metrics::print_banner(std::cout,
+                        "Fig 4(b): high priorities (<= 30 day axis)");
   for (int p = 7; p <= 12; ++p) {
     const auto it = by_priority.find(p);
     if (it == by_priority.end() || it->second.empty()) continue;

@@ -1,0 +1,383 @@
+// perf_baseline: the pinned engine-performance scenario matrix, and the
+// regression gate CI runs against the checked-in baseline.
+//
+// Every metric replays a fully deterministic workload (fixed seeds, fixed
+// specs), so run-to-run variation is hardware noise only. Results are
+// written as a schema-versioned JSON document (BENCH_engine.json); --check
+// compares the current run against a baseline file and exits nonzero when
+// any tracked metric's wall time regresses beyond the tolerance.
+//
+// Usage:
+//   perf_baseline                         run + print table
+//   perf_baseline --json OUT.json         also write the JSON document
+//   perf_baseline --check BASE.json       gate: fail on >tolerance regression
+//   perf_baseline --update BASE.json      rewrite the baseline in place
+//   perf_baseline --tolerance 0.20        relative slowdown allowed by --check
+//   perf_baseline --reps N                timed repetitions per metric (def 5)
+//
+// Refreshing the checked-in baseline after an intended perf change:
+//   ./perf_baseline --update ../bench/BENCH_engine.baseline.json
+//
+// Baselines are machine-relative: refresh on the same class of machine the
+// gate runs on (CI refreshes from a CI run's uploaded artifact).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "api/registry.hpp"
+#include "api/runner.hpp"
+#include "ingest/google_source.hpp"
+#include "ingest/registry.hpp"
+#include "metrics/export.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace cloudcr;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kSchema = "cloudcr-perf-baseline/1";
+
+struct Metric {
+  std::string name;
+  double wall_ms = 0.0;     ///< best (minimum) over reps
+  double throughput = 0.0;  ///< items per second (unit below)
+  std::string unit;         ///< "events/s", "rows/s", "jobs/s"
+  std::size_t reps = 0;
+};
+
+/// Times `body` (which returns an item count) `reps` times; records the
+/// *minimum* wall time and the matching throughput. Scheduling noise on a
+/// shared machine only ever adds time, so the minimum is the stable
+/// estimator — medians flapped the regression gate on busy runners.
+Metric time_metric(const std::string& name, const std::string& unit,
+                   std::size_t reps,
+                   const std::function<std::size_t()>& body) {
+  Metric m;
+  m.name = name;
+  m.unit = unit;
+  m.reps = reps;
+  std::vector<double> walls;
+  std::size_t items = 0;
+  (void)body();  // warm-up: touch caches, grow pools
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    items = body();
+    walls.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count());
+  }
+  m.wall_ms = *std::min_element(walls.begin(), walls.end());
+  m.throughput =
+      m.wall_ms > 0.0 ? static_cast<double>(items) / (m.wall_ms / 1000.0)
+                      : 0.0;
+  return m;
+}
+
+api::ScenarioSpec hour_spec() {
+  api::ScenarioSpec spec;
+  spec.name = "perf_hour";
+  spec.trace.seed = 7;
+  spec.trace.horizon_s = 3600.0;
+  spec.trace.arrival_rate = 0.116;
+  return spec;
+}
+
+std::vector<api::ScenarioSpec> grid_specs() {
+  std::vector<api::ScenarioSpec> specs;
+  for (const char* policy : {"formula3", "young", "daly", "none"}) {
+    auto spec = hour_spec();
+    spec.name = std::string("perf_grid_") + policy;
+    spec.policy = policy;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// Synthesizes the Google-format fixture once; returns its path.
+std::string google_fixture() {
+  static const std::string path = [] {
+    trace::GeneratorConfig cfg;
+    cfg.seed = 20130917;
+    cfg.horizon_s = 6.0 * 3600.0;
+    cfg.sample_job_filter = false;
+    cfg.workload.long_service_fraction = 0.0;
+    const trace::Trace trace = trace::TraceGenerator(cfg).generate();
+    const std::string file = "perf_baseline_task_events.csv";
+    std::ofstream os(file);
+    ingest::write_task_events(os, trace);
+    return file;
+  }();
+  return path;
+}
+
+std::vector<Metric> run_matrix(std::size_t reps) {
+  std::vector<Metric> metrics;
+
+  // -- event-queue substrate -------------------------------------------------
+  metrics.push_back(time_metric(
+      "queue_schedule_drain_100k", "events/s", reps, [] {
+        const std::size_t n = 100000;
+        sim::EventQueue q;
+        for (std::size_t i = 0; i < n; ++i) {
+          q.schedule(static_cast<double>((i * 7919) % n), [] {});
+        }
+        while (!q.empty()) q.pop();
+        return n;
+      }));
+  metrics.push_back(time_metric("engine_cascade_10k", "events/s", reps, [] {
+    sim::Engine e;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 10000) e.schedule_in(1.0, chain);
+    };
+    e.schedule_at(0.0, chain);
+    return e.run();
+  }));
+
+  // -- synthetic replay, serial (pooled workspace, replay only) --------------
+  {
+    const api::ScenarioRunner runner(hour_spec());
+    const auto trace = api::make_replay_trace(runner.spec().trace);
+    api::RunHooks hooks;
+    sim::ReplayWorkspace workspace;
+    hooks.workspace = &workspace;
+    hooks.replay_trace = &trace;
+    hooks.predictor_override = api::PredictorRegistry::instance().make(
+        "grouped", api::PredictorInputs{trace});
+    metrics.push_back(
+        time_metric("replay_hour_serial", "events/s", reps, [&] {
+          return runner.run(hooks).result.events_dispatched;
+        }));
+  }
+
+  // -- policy grid through the batch runner, serial and threaded -------------
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    api::BatchOptions options;
+    options.threads = threads;
+    const api::BatchRunner runner(options);
+    const auto specs = grid_specs();
+    std::ostringstream name;
+    name << "batch_grid_threads" << threads;
+    metrics.push_back(time_metric(name.str(), "jobs/s", reps, [&] {
+      const auto artifacts = runner.run(specs);
+      std::size_t jobs = 0;
+      for (const auto& a : artifacts) jobs += a.result.outcomes.size();
+      return jobs;
+    }));
+  }
+
+  // -- ingested Google-format workload: parse, then replay -------------------
+  {
+    const std::string fixture = google_fixture();
+    metrics.push_back(
+        time_metric("ingest_google_6h", "rows/s", reps, [&]() -> std::size_t {
+          const auto result =
+              ingest::TraceSourceRegistry::instance()
+                  .make("google:" + fixture)
+                  ->load();
+          return result.report.rows_used;
+        }));
+
+    api::ScenarioSpec spec = hour_spec();
+    spec.name = "perf_google_replay";
+    spec.trace.source = "google:" + fixture;
+    const api::ScenarioRunner runner(spec);
+    const auto trace = api::make_replay_trace(runner.spec().trace);
+    api::RunHooks hooks;
+    sim::ReplayWorkspace workspace;
+    hooks.workspace = &workspace;
+    hooks.replay_trace = &trace;
+    hooks.predictor_override = api::PredictorRegistry::instance().make(
+        "grouped", api::PredictorInputs{trace});
+    metrics.push_back(
+        time_metric("replay_google_6h", "events/s", reps, [&] {
+          return runner.run(hooks).result.events_dispatched;
+        }));
+  }
+
+  return metrics;
+}
+
+void write_json(std::ostream& os, const std::vector<Metric>& metrics) {
+  os << "{\"schema\":" << metrics::json_quote(kSchema)
+     << ",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+     << ",\"metrics\":[";
+  bool first = true;
+  for (const auto& m : metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":" << metrics::json_quote(m.name)
+       << ",\"wall_ms\":" << metrics::json_double(m.wall_ms)
+       << ",\"throughput\":" << metrics::json_double(m.throughput)
+       << ",\"unit\":" << metrics::json_quote(m.unit)
+       << ",\"reps\":" << m.reps << "}";
+  }
+  os << "]}\n";
+}
+
+/// Minimal parser for the documents this binary writes: extracts
+/// name -> wall_ms pairs. Tolerates unknown fields.
+std::map<std::string, double> parse_baseline(const std::string& text) {
+  std::map<std::string, double> out;
+  if (text.find("\"schema\":\"" + std::string(kSchema) + "\"") ==
+      std::string::npos) {
+    throw std::runtime_error("baseline schema mismatch (want " +
+                             std::string(kSchema) + ")");
+  }
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t name_key = text.find("\"name\":\"", pos);
+    if (name_key == std::string::npos) break;
+    const std::size_t name_start = name_key + 8;
+    const std::size_t name_end = text.find('"', name_start);
+    const std::size_t wall_key = text.find("\"wall_ms\":", name_end);
+    if (name_end == std::string::npos || wall_key == std::string::npos) break;
+    const std::string name = text.substr(name_start, name_end - name_start);
+    out[name] = std::strtod(text.c_str() + wall_key + 10, nullptr);
+    pos = wall_key;
+  }
+  return out;
+}
+
+int check_against(const std::vector<Metric>& metrics,
+                  const std::string& baseline_path, double tolerance) {
+  std::ifstream is(baseline_path);
+  if (!is) {
+    std::cerr << "cannot read baseline " << baseline_path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const auto baseline = parse_baseline(buf.str());
+
+  int regressions = 0;
+  std::map<std::string, double> unmatched = baseline;
+  for (const auto& m : metrics) {
+    const auto it = baseline.find(m.name);
+    if (it == baseline.end()) {
+      // Additive changes are fine (visible here and in the artifact); the
+      // next baseline refresh starts tracking them.
+      std::cout << "  new metric (no baseline): " << m.name << "\n";
+      continue;
+    }
+    unmatched.erase(m.name);
+    const double allowed = it->second * (1.0 + tolerance);
+    const double ratio = it->second > 0.0 ? m.wall_ms / it->second : 1.0;
+    const bool regressed = m.wall_ms > allowed;
+    std::printf("  %-28s %9.2f ms vs baseline %9.2f ms  (%.2fx)%s\n",
+                m.name.c_str(), m.wall_ms, it->second, ratio,
+                regressed ? "  ** REGRESSION **" : "");
+    if (regressed) ++regressions;
+  }
+  // A baseline metric the current run no longer produces means a rename or
+  // deletion slipped past the baseline refresh — the gate would silently
+  // stop covering that workload. Fail loudly instead.
+  if (!unmatched.empty()) {
+    for (const auto& [name, wall] : unmatched) {
+      std::cerr << "  baseline metric missing from this run: " << name
+                << "\n";
+    }
+    std::cerr << "refresh the baseline (--update) when renaming or removing "
+                 "metrics\n";
+    return 1;
+  }
+  if (regressions > 0) {
+    std::cerr << regressions << " metric(s) regressed more than "
+              << tolerance * 100.0 << "% — failing the gate\n";
+    return 1;
+  }
+  std::cout << "regression gate passed (tolerance "
+            << tolerance * 100.0 << "%)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string check_path;
+  std::string update_path;
+  double tolerance = 0.20;
+  std::size_t reps = 5;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--check") {
+      check_path = value();
+    } else if (arg == "--update") {
+      update_path = value();
+    } else if (arg == "--tolerance") {
+      tolerance = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--reps") {
+      reps = static_cast<std::size_t>(
+          std::strtoul(value().c_str(), nullptr, 10));
+      if (reps == 0) reps = 1;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: perf_baseline [--json OUT] [--check BASE] "
+                   "[--update BASE] [--tolerance T] [--reps N]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const auto metrics = run_matrix(reps);
+
+  std::printf("%-28s %12s %16s\n", "metric", "wall (ms)", "throughput");
+  for (const auto& m : metrics) {
+    std::printf("%-28s %12.2f %12.3g %s\n", m.name.c_str(), m.wall_ms,
+                m.throughput, m.unit.c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    write_json(os, metrics);
+    std::cout << "# wrote " << json_path << "\n";
+  }
+  if (!update_path.empty()) {
+    std::ofstream os(update_path);
+    if (!os) {
+      std::cerr << "cannot write " << update_path << "\n";
+      return 2;
+    }
+    write_json(os, metrics);
+    std::cout << "# baseline updated: " << update_path << "\n";
+  }
+  if (!check_path.empty()) {
+    try {
+      return check_against(metrics, check_path, tolerance);
+    } catch (const std::exception& e) {
+      std::cerr << "baseline check failed: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  return 0;
+}

@@ -53,7 +53,8 @@ int main() {
 
   // Crossover curve: the E(Y) at which the shared disk starts winning, per
   // memory size.
-  metrics::print_banner(std::cout, "crossover E(Y) by memory size (600 s task)");
+  metrics::print_banner(std::cout,
+                        "crossover E(Y) by memory size (600 s task)");
   metrics::Table cross({"memory (MB)", "shared wins at E(Y) >="});
   for (double mem : {10.0, 40.0, 80.0, 160.0, 240.0}) {
     double lo = 0.01, hi = 512.0;

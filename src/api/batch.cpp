@@ -124,6 +124,10 @@ std::vector<RunArtifact> BatchRunner::run(
   std::exception_ptr first_error;
 
   auto worker = [&] {
+    // Pooled replay buffers, reused across every spec this worker runs (the
+    // big simulation tables and the event-queue slab). Reuse is reset-exact,
+    // so artifacts stay bit-identical to unpooled runs.
+    sim::ReplayWorkspace workspace;
     while (true) {
       // Fail fast: once any spec has thrown, the batch outcome is decided —
       // don't run the remaining (potentially long) simulations.
@@ -133,6 +137,9 @@ std::vector<RunArtifact> BatchRunner::run(
       try {
         const ScenarioSpec& spec = specs[i];
         RunHooks run_hooks = hooks;
+        // Always the worker's own pool: a caller-supplied workspace would be
+        // shared across workers and race.
+        run_hooks.workspace = &workspace;
 
         // Pin the shared traces this spec needs for the duration of the run.
         std::shared_ptr<const trace::Trace> replay, estimation;

@@ -37,7 +37,9 @@ class BatchRunner {
 
   /// Runs every spec and returns artifacts in spec order. Parallel results
   /// are bit-identical to a serial run. The hooks (if any) apply to every
-  /// spec. Worker exceptions are rethrown on the calling thread.
+  /// spec, except RunHooks::workspace, which is replaced by a per-worker
+  /// pool (a shared one would race). Worker exceptions are rethrown on the
+  /// calling thread.
   [[nodiscard]] std::vector<RunArtifact> run(
       const std::vector<ScenarioSpec>& specs,
       const RunHooks& hooks = {}) const;

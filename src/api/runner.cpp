@@ -109,7 +109,8 @@ RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
   artifact.trace_tasks = replay->task_count();
 
   const auto start = std::chrono::steady_clock::now();
-  sim::Simulation simulation(std::move(config), *policy, std::move(predictor));
+  sim::Simulation simulation(std::move(config), *policy, std::move(predictor),
+                             hooks.workspace);
   artifact.result = simulation.run(*replay);
   artifact.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -19,6 +19,7 @@
 
 #include "api/scenario.hpp"
 #include "sim/result.hpp"
+#include "sim/simulation.hpp"
 #include "trace/records.hpp"
 
 namespace cloudcr::api {
@@ -50,6 +51,13 @@ struct RunHooks {
   /// Workload-length predictor handed to the planner (SimConfig's
   /// length_predictor hook; the ablation_prediction sweeps).
   std::function<double(const trace::TaskRecord&)> length_predictor;
+
+  /// Pooled replay buffers (task tables, event queue slab) reused across
+  /// runs: a batch worker replays spec after spec with no steady-state
+  /// allocation. Contents are reset at the start of every run, so pooling
+  /// can never change results (pinned by tests/api/determinism_test.cpp).
+  /// Not thread-safe: one workspace per concurrent run.
+  sim::ReplayWorkspace* workspace = nullptr;
 };
 
 /// Materializes the unrestricted trace of `spec` (estimation view): the

@@ -76,7 +76,8 @@ void serialize_trace(std::ostream& os, const std::string& prefix,
      << prefix << "horizon_s=" << format_double(t.horizon_s) << '\n'
      << prefix << "arrival_rate=" << format_double(t.arrival_rate) << '\n'
      << prefix << "max_jobs=" << t.max_jobs << '\n'
-     << prefix << "sample_job_filter=" << (t.sample_job_filter ? "true" : "false")
+     << prefix << "sample_job_filter="
+     << (t.sample_job_filter ? "true" : "false")
      << '\n'
      << prefix << "priority_change_midway="
      << (t.priority_change_midway ? "true" : "false") << '\n'

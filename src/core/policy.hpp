@@ -46,7 +46,8 @@ class CheckpointPolicy {
 
   /// Productive-work interval (s) until the next checkpoint. Returning a
   /// value >= remaining_work_s means "do not checkpoint again".
-  [[nodiscard]] virtual double next_interval(const PolicyContext& ctx) const = 0;
+  [[nodiscard]] virtual double next_interval(
+      const PolicyContext& ctx) const = 0;
 };
 
 using PolicyPtr = std::unique_ptr<CheckpointPolicy>;

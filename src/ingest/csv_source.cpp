@@ -256,7 +256,8 @@ IngestResult MappedCsvSource::load() const {
                           : trace::JobStructure::kSequentialTasks;
     }
     std::stable_sort(job.tasks.begin(), job.tasks.end(),
-                     [](const trace::TaskRecord& a, const trace::TaskRecord& b) {
+                     [](const trace::TaskRecord& a,
+                        const trace::TaskRecord& b) {
                        return a.index_in_job < b.index_in_job;
                      });
     // Horizon: latest failure-free completion — the analog of the google

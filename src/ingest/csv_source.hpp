@@ -89,7 +89,8 @@ class MappedCsvSource final : public TraceSource {
   /// Reads the file. Throws std::runtime_error if the file or a required
   /// mapped column is missing; malformed rows (bad numbers, non-positive
   /// length, negative memory, out-of-range priority, failure dates not
-  /// strictly increasing) are skipped and reported. Jobs are ordered by arrival; the
+  /// strictly increasing) are skipped and reported. Jobs are ordered by
+  /// arrival; the
   /// trace horizon is the latest failure-free job completion,
   /// max(arrival + critical path), matching the google source's
   /// event-span semantics.

@@ -284,7 +284,7 @@ IngestResult GoogleTraceSource::load() const {
 
   for (auto& job : result.trace.jobs) {
     job.structure = job.tasks.size() > 1 ? trace::JobStructure::kBagOfTasks
-                                         : trace::JobStructure::kSequentialTasks;
+                                   : trace::JobStructure::kSequentialTasks;
   }
   std::stable_sort(result.trace.jobs.begin(), result.trace.jobs.end(),
                    [](const trace::JobRecord& a, const trace::JobRecord& b) {

@@ -9,7 +9,7 @@
 /// (~0.116 jobs/s for the Google month), the priority mix (mass at the low
 /// end, priorities 4/8/11/12 rare — Fig 8), the memory distribution (small
 /// footprints, < 1 GB), and per-priority MTBF (Fig 4 / Table 7). profile()
-/// computes all of these from any trace::Trace — ingested or synthetic — and
+/// computes all of these from any trace::Trace — ingested or synthetic —
 /// print_profile() renders them as one report.
 
 #include <array>

@@ -67,7 +67,13 @@ void write_outcome_json(std::ostream& os, const JobOutcome& o) {
      << ",\"restart_s\":" << json_double(o.restart_s)
      << ",\"checkpoints\":" << o.checkpoints
      << ",\"failures\":" << o.failures
-     << ",\"max_task_length_s\":" << json_double(o.max_task_length_s) << "}";
+     << ",\"max_task_length_s\":" << json_double(o.max_task_length_s);
+  // Sparse field: almost every job is fully schedulable, and omitting the
+  // zero case keeps existing documents (and golden fixtures) byte-stable.
+  if (o.unschedulable_tasks > 0) {
+    os << ",\"unschedulable_tasks\":" << o.unschedulable_tasks;
+  }
+  os << "}";
 }
 
 std::string outcome_csv_header() {

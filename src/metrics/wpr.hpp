@@ -33,6 +33,10 @@ struct JobOutcome {
   std::size_t checkpoints = 0;  ///< checkpoints taken
   std::size_t failures = 0;     ///< failures suffered
   double max_task_length_s = 0.0;  ///< longest task in the job
+  /// Tasks whose memory demand exceeds every VM's total capacity: rejected
+  /// at admission (they could never be placed) and excluded from every time
+  /// column above. A job with such tasks still completes its remaining work.
+  std::size_t unschedulable_tasks = 0;
 
   /// Workload-Processing Ratio (Formula 9): valid workload processed over
   /// the wall-clock mass spent producing it.

@@ -4,29 +4,15 @@
 
 namespace cloudcr::sim {
 
+void Engine::throw_bad_schedule(const char* what) {
+  throw std::invalid_argument(what);
+}
+
 EventId Engine::schedule_at(double time, EventFn fn) {
   if (time < now_) {
-    throw std::invalid_argument("Engine::schedule_at: time is in the past");
+    throw_bad_schedule("Engine::schedule_at: time is in the past");
   }
   return queue_.schedule(time, std::move(fn));
-}
-
-EventId Engine::schedule_in(double delay, EventFn fn) {
-  if (delay < 0.0) {
-    throw std::invalid_argument("Engine::schedule_in: negative delay");
-  }
-  return queue_.schedule(now_ + delay, std::move(fn));
-}
-
-std::size_t Engine::run() {
-  std::size_t dispatched = 0;
-  while (!queue_.empty()) {
-    auto [time, fn] = queue_.pop();
-    now_ = time;
-    fn();
-    ++dispatched;
-  }
-  return dispatched;
 }
 
 std::size_t Engine::run_until(double t_end) {

@@ -18,13 +18,27 @@ class Engine {
   /// Schedules at an absolute time; must not be in the past.
   EventId schedule_at(double time, EventFn fn);
 
-  /// Schedules `delay` seconds from now; delay must be >= 0.
-  EventId schedule_in(double delay, EventFn fn);
+  /// Schedules `delay` seconds from now; delay must be >= 0. Inline: this is
+  /// the replay hot path (every wakeup re-arms through here).
+  EventId schedule_in(double delay, EventFn fn) {
+    if (delay < 0.0) throw_bad_schedule("Engine::schedule_in: negative delay");
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Runs until the queue drains. Returns the number of events dispatched.
-  std::size_t run();
+  /// Inline so the pop loop fuses with the queue internals.
+  std::size_t run() {
+    std::size_t dispatched = 0;
+    while (!queue_.empty()) {
+      auto [time, fn] = queue_.pop();
+      now_ = time;
+      fn();
+      ++dispatched;
+    }
+    return dispatched;
+  }
 
   /// Runs until the queue drains or the clock passes `t_end` (events beyond
   /// t_end stay queued). Returns the number of events dispatched.
@@ -35,7 +49,19 @@ class Engine {
     return queue_.size();
   }
 
+  /// Rewinds the clock to zero and drops pending events; queue capacity is
+  /// retained, so a pooled engine replays traces without reallocating.
+  void reset() noexcept {
+    queue_.clear();
+    now_ = 0.0;
+  }
+
+  /// Pre-sizes the queue for `n` concurrent events.
+  void reserve(std::size_t n) { queue_.reserve(n); }
+
  private:
+  [[noreturn]] static void throw_bad_schedule(const char* what);
+
   EventQueue queue_;
   double now_ = 0.0;
 };

@@ -18,6 +18,7 @@ struct SimResult {
   std::size_t incomplete_jobs = 0;   ///< jobs not finished when queue drained
   std::size_t total_checkpoints = 0;
   std::size_t total_failures = 0;
+  std::size_t total_unschedulable = 0;  ///< tasks rejected at admission
   std::size_t events_dispatched = 0;
   double makespan_s = 0.0;           ///< last event timestamp
 

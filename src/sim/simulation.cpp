@@ -12,20 +12,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 Simulation::Simulation(SimConfig config, const core::CheckpointPolicy& policy,
-                       StatsPredictor predictor)
+                       StatsPredictor predictor, ReplayWorkspace* workspace)
     : config_(config),
       policy_(policy),
       predictor_(std::move(predictor)),
       cluster_(config.cluster),
-      rng_(config.seed) {
+      rng_(config.seed),
+      ws_(workspace != nullptr ? *workspace : owned_ws_),
+      engine_(ws_.engine),
+      tasks_(ws_.tasks) {
   if (!predictor_) {
     throw std::invalid_argument("Simulation: predictor must be callable");
   }
-  local_backend_ = storage::make_backend(storage::DeviceKind::kLocalRamdisk,
-                                         rng_, config_.storage_noise);
-  shared_backend_ = storage::make_backend(config_.shared_kind, rng_,
-                                          config_.storage_noise,
-                                          config_.cluster.hosts);
 }
 
 storage::StorageBackend* Simulation::backend_for(storage::DeviceKind kind) {
@@ -34,69 +32,103 @@ storage::StorageBackend* Simulation::backend_for(storage::DeviceKind kind) {
 }
 
 SimResult Simulation::run(const trace::Trace& trace) {
-  // Build task and job state tables.
+  // Reset every pooled component to its just-constructed state, so a reused
+  // workspace (or a second run() call) is bit-identical to a fresh engine.
+  engine_.reset();
   tasks_.clear();
-  jobs_.clear();
-  jobs_.reserve(trace.jobs.size());
-  tasks_.reserve(trace.task_count());
+  ws_.jobs.clear();
+  ws_.pending.clear();
+  pending_min_mb_ = kInf;
+  cluster_.reset();
+  rng_ = stats::Rng(config_.seed);
+  local_backend_ = storage::make_backend(storage::DeviceKind::kLocalRamdisk,
+                                         rng_, config_.storage_noise);
+  shared_backend_ = storage::make_backend(config_.shared_kind, rng_,
+                                          config_.storage_noise,
+                                          config_.cluster.hosts);
+
+  // Build task and job state tables.
+  const std::size_t n_tasks = trace.task_count();
+  ws_.jobs.reserve(trace.jobs.size());
+  tasks_.reserve(n_tasks);
+  ws_.pending.reserve(n_tasks);
+  engine_.reserve(n_tasks + 64);
   for (const auto& job : trace.jobs) {
     JobState js;
     js.rec = &job;
     js.first_task = tasks_.size();
     js.remaining = job.tasks.size();
-    jobs_.push_back(js);
+    ws_.jobs.push_back(js);
+    const auto job_idx = static_cast<std::uint32_t>(ws_.jobs.size() - 1);
     for (const auto& task : job.tasks) {
-      TaskState ts;
-      ts.rec = &task;
-      ts.job = jobs_.size() - 1;
-      ts.index = tasks_.size();
-      ts.priority = task.priority;
-      ts.priority_change_pending = task.has_priority_change();
-      tasks_.push_back(std::move(ts));
+      tasks_.push_back(task, job_idx);
     }
-  }
-
-  for (std::size_t j = 0; j < jobs_.size(); ++j) {
-    engine_.schedule_at(jobs_[j].rec->arrival_s,
-                        [this, j] { on_job_arrival(j); });
   }
 
   result_ = SimResult{};
+  result_.outcomes.reserve(trace.jobs.size());
+  for (std::size_t j = 0; j < ws_.jobs.size(); ++j) {
+    engine_.schedule_at(ws_.jobs[j].rec->arrival_s,
+                        [this, j] { on_job_arrival(j); });
+  }
+
   result_.events_dispatched = engine_.run();
   result_.makespan_s = engine_.now();
-  for (const auto& job : jobs_) {
+  for (const auto& job : ws_.jobs) {
     if (!job.done) ++result_.incomplete_jobs;
+    result_.total_unschedulable += job.unschedulable;
   }
-  for (const auto& t : tasks_) {
-    result_.total_checkpoints += t.checkpoints;
-    result_.total_failures += t.failures;
+  for (const auto& acct : tasks_.acct) {
+    result_.total_checkpoints += acct.checkpoints;
+    result_.total_failures += acct.failures;
   }
-  return result_;
+  return std::move(result_);
 }
 
 void Simulation::on_job_arrival(std::size_t job_idx) {
-  JobState& job = jobs_[job_idx];
+  JobState& job = ws_.jobs[job_idx];
   if (job.rec->structure == trace::JobStructure::kBagOfTasks) {
     for (std::size_t i = 0; i < job.rec->tasks.size(); ++i) {
-      make_ready(job.first_task + i);
+      admit(job.first_task + i);
     }
   } else {
     job.next_sequential = 1;
-    make_ready(job.first_task);
+    admit(job.first_task);
   }
   try_dispatch();
 }
 
-void Simulation::make_ready(std::size_t task_idx) {
-  TaskState& t = tasks_[task_idx];
-  t.phase = Phase::kQueued;
-  t.last_enqueue_s = engine_.now();
-  if (t.first_ready_s < 0.0) t.first_ready_s = engine_.now();
-  pending_.push_back(task_idx);
+void Simulation::admit(std::size_t task_idx) {
+  // A demand larger than any VM's total capacity can never be placed; the
+  // old engine would re-scan such a task on every event, forever. Reject it
+  // here, once, and let the job complete with the task on record.
+  if (tasks_.memory_mb[task_idx] > cluster_.max_vm_capacity_mb()) {
+    tasks_.phase[task_idx] = TaskPhase::kUnschedulable;
+    ++ws_.jobs[tasks_.job[task_idx]].unschedulable;
+    on_task_terminal(task_idx);
+    return;
+  }
+  make_ready(task_idx);
 }
 
-void Simulation::init_controller(TaskState& t) {
-  const core::FailureStats stats = predictor_(*t.rec, t.priority);
+void Simulation::make_ready(std::size_t task_idx) {
+  tasks_.phase[task_idx] = TaskPhase::kQueued;
+  tasks_.acct[task_idx].last_enqueue_s = engine_.now();
+  if (tasks_.acct[task_idx].first_ready_s < 0.0) {
+    tasks_.acct[task_idx].first_ready_s = engine_.now();
+  }
+  push_pending(task_idx);
+}
+
+void Simulation::push_pending(std::size_t task_idx) {
+  ws_.pending.push_back(static_cast<std::uint32_t>(task_idx));
+  pending_min_mb_ = std::min(pending_min_mb_, tasks_.memory_mb[task_idx]);
+}
+
+void Simulation::init_controller(std::size_t task_idx) {
+  const trace::TaskRecord& rec = *tasks_.rec[task_idx];
+  const core::FailureStats stats =
+      predictor_(rec, tasks_.priority[task_idx]);
   std::optional<storage::DeviceKind> forced;
   if (config_.placement == PlacementMode::kForceLocal) {
     forced = storage::DeviceKind::kLocalRamdisk;
@@ -107,85 +139,110 @@ void Simulation::init_controller(TaskState& t) {
   // at the true length.
   const double planned_length =
       config_.length_predictor
-          ? std::max(1.0, config_.length_predictor(*t.rec))
-          : t.rec->length_s;
-  t.controller.emplace(policy_, planned_length, t.rec->memory_mb, stats,
-                       config_.adaptation, config_.shared_kind, forced);
-  t.backend = backend_for(t.controller->storage_decision().device);
+          ? std::max(1.0, config_.length_predictor(rec))
+          : rec.length_s;
+  tasks_.controller[task_idx].emplace(policy_, planned_length, rec.memory_mb,
+                                      stats, config_.adaptation,
+                                      config_.shared_kind, forced);
+  storage::StorageBackend* backend =
+      backend_for(tasks_.controller[task_idx]->storage_decision().device);
+  tasks_.backend[task_idx] = backend;
+  // The memory-dependent price parts are pure functions of the (device,
+  // footprint) pair: evaluate the calibration curves once per task here
+  // instead of once per checkpoint/restart.
+  tasks_.ckpt_price[task_idx] = backend->base_price(rec.memory_mb);
+  tasks_.restart_price_s[task_idx] = backend->restart_cost(rec.memory_mb);
 }
 
 void Simulation::try_dispatch() {
-  // Repeatedly sweep the pending queue; each successful placement may unlock
-  // nothing further (memory only shrinks), so one pass per change suffices,
-  // but we loop until a full pass makes no progress for simplicity.
-  bool progressed = true;
-  while (progressed) {
-    progressed = false;
-    for (auto it = pending_.begin(); it != pending_.end();) {
-      TaskState& t = tasks_[*it];
-      if (dispatch(t)) {
-        it = pending_.erase(it);
-        progressed = true;
-      } else {
-        ++it;
-      }
-    }
+  // One stable pass over the pending queue. Placement only consumes memory,
+  // so a task that fails cannot succeed later in the same sweep — a second
+  // pass can never place anything (the old engine's retry loop was a no-op).
+  if (ws_.pending.empty()) return;
+  // O(1) reject while the cluster is saturated: if even the smallest pending
+  // demand exceeds the largest free block, no placement (with or without a
+  // host exclusion) can succeed.
+  if (pending_min_mb_ > cluster_.max_available_mb()) return;
+
+  std::size_t out = 0;
+  double new_min = kInf;
+  for (std::size_t i = 0; i < ws_.pending.size(); ++i) {
+    const std::uint32_t idx = ws_.pending[i];
+    if (dispatch(idx)) continue;
+    ws_.pending[out++] = idx;
+    new_min = std::min(new_min, tasks_.memory_mb[idx]);
   }
+  ws_.pending.resize(out);
+  pending_min_mb_ = new_min;
 }
 
-bool Simulation::dispatch(TaskState& t) {
+bool Simulation::dispatch(std::size_t task_idx) {
+  const double mem = tasks_.memory_mb[task_idx];
   // The paper restarts failed tasks "on another host"; fall back to any host
   // if no other host fits.
-  std::optional<VmId> vm = cluster_.select_vm(t.rec->memory_mb,
-                                              t.last_failed_host);
-  if (!vm && t.last_failed_host) {
-    vm = cluster_.select_vm(t.rec->memory_mb);
+  std::optional<HostId> exclude;
+  if (tasks_.last_failed_host[task_idx] != TaskTable::kNoHost) {
+    exclude = static_cast<HostId>(tasks_.last_failed_host[task_idx]);
+  }
+  std::optional<VmId> vm = cluster_.select_vm(mem, exclude);
+  if (!vm && exclude) {
+    vm = cluster_.select_vm(mem);
   }
   if (!vm) return false;
 
-  if (!cluster_.vm(*vm).allocate(t.rec->memory_mb)) {
+  if (!cluster_.allocate(*vm, mem)) {
     throw std::logic_error("Simulation::dispatch: allocation failed");
   }
-  t.vm = vm;
-  t.queue_s += engine_.now() - t.last_enqueue_s;
-  t.last_sync_s = engine_.now();
+  tasks_.vm[task_idx] = static_cast<std::int32_t>(*vm);
+  TaskAccounting& acct = tasks_.acct[task_idx];
+  acct.queue_s += engine_.now() - acct.last_enqueue_s;
+  tasks_.last_sync_s[task_idx] = engine_.now();
 
-  if (!t.controller) init_controller(t);
+  if (!tasks_.controller[task_idx]) init_controller(task_idx);
 
-  if (t.pay_restart) {
-    const double r = t.backend->restart_cost(t.rec->memory_mb);
-    t.restart_cost_s += r;
-    t.phase = Phase::kRestoring;
-    t.phase_end_active = t.active_s + r;
-    t.controller->on_rollback(t.saved_s);
+  if (tasks_.flags[task_idx] & TaskTable::kPayRestart) {
+    const double r = tasks_.restart_price_s[task_idx];
+    acct.restart_cost_s += r;
+    tasks_.phase[task_idx] = TaskPhase::kRestoring;
+    tasks_.phase_end_active[task_idx] = tasks_.active_s[task_idx] + r;
+    tasks_.controller[task_idx]->on_rollback(tasks_.saved_s[task_idx]);
   } else {
-    t.phase = Phase::kExecuting;
+    tasks_.phase[task_idx] = TaskPhase::kExecuting;
   }
-  arm(t);
+  arm(task_idx);
   return true;
 }
 
-void Simulation::sync_clock(TaskState& t) {
-  const double elapsed = engine_.now() - t.last_sync_s;
+void Simulation::sync_clock(std::size_t task_idx) {
+  const double elapsed = engine_.now() - tasks_.last_sync_s[task_idx];
   if (elapsed > 0.0) {
-    t.active_s += elapsed;
-    if (t.phase == Phase::kExecuting) t.progress_s += elapsed;
+    tasks_.active_s[task_idx] += elapsed;
+    if (tasks_.phase[task_idx] == TaskPhase::kExecuting) {
+      tasks_.progress_s[task_idx] += elapsed;
+    }
   }
-  t.last_sync_s = engine_.now();
+  tasks_.last_sync_s[task_idx] = engine_.now();
 }
 
-void Simulation::cancel_pending(TaskState& t) {
-  if (t.pending_event) {
-    engine_.cancel(*t.pending_event);
-    t.pending_event.reset();
+void Simulation::cancel_pending_event(std::size_t task_idx) {
+  if (tasks_.pending_event[task_idx] != TaskTable::kNoEvent) {
+    engine_.cancel(tasks_.pending_event[task_idx]);
+    tasks_.pending_event[task_idx] = TaskTable::kNoEvent;
   }
 }
 
-void Simulation::arm(TaskState& t) {
-  cancel_pending(t);
+void Simulation::arm(std::size_t task_idx) {
+  arm_from(task_idx, engine_.now());
+}
 
-  // All candidate wakeups, as deltas from now (== deltas in active time,
-  // since the task is on a VM whenever arm() runs).
+void Simulation::arm_from(std::size_t task_idx, double vt) {
+  cancel_pending_event(task_idx);
+
+  // All candidate wakeups, as deltas from the task's reference time `vt`
+  // (== deltas in active time, since the task is on a VM whenever this
+  // runs). vt is engine_.now() for ordinary arms; checkpoint-run
+  // compression passes the virtual wall time its inline replay reached.
+  const double active = tasks_.active_s[task_idx];
   double best_delta = kInf;
   Wakeup best = Wakeup::kComplete;
 
@@ -196,29 +253,32 @@ void Simulation::arm(TaskState& t) {
     }
   };
 
-  // Kill event from the trace.
-  if (t.next_failure < t.rec->failure_dates.size()) {
-    consider(t.rec->failure_dates[t.next_failure] - t.active_s, Wakeup::kKill);
+  // Kill event from the trace (failure cursor precomputed at admission).
+  if (tasks_.next_failure_date_s[task_idx] != kInf) {
+    consider(tasks_.next_failure_date_s[task_idx] - active, Wakeup::kKill);
   }
   // Scheduled priority change (active-time driven).
-  if (t.priority_change_pending) {
-    consider(t.rec->priority_change_time - t.active_s,
+  if (tasks_.flags[task_idx] & TaskTable::kPriorityChangePending) {
+    consider(tasks_.rec[task_idx]->priority_change_time - active,
              Wakeup::kPriorityChange);
   }
 
-  switch (t.phase) {
-    case Phase::kExecuting: {
-      consider(t.rec->length_s - t.progress_s, Wakeup::kComplete);
+  switch (tasks_.phase[task_idx]) {
+    case TaskPhase::kExecuting: {
+      const double progress = tasks_.progress_s[task_idx];
+      consider(tasks_.length_s[task_idx] - progress, Wakeup::kComplete);
       const auto next_ckpt =
-          t.controller->work_until_next_checkpoint(t.progress_s);
+          tasks_.controller[task_idx]->work_until_next_checkpoint(progress);
       if (next_ckpt) consider(*next_ckpt, Wakeup::kCheckpointDue);
       break;
     }
-    case Phase::kRestoring:
-      consider(t.phase_end_active - t.active_s, Wakeup::kRestoreDone);
+    case TaskPhase::kRestoring:
+      consider(tasks_.phase_end_active[task_idx] - active,
+               Wakeup::kRestoreDone);
       break;
-    case Phase::kCheckpointing:
-      consider(t.phase_end_active - t.active_s, Wakeup::kCheckpointDone);
+    case TaskPhase::kCheckpointing:
+      consider(tasks_.phase_end_active[task_idx] - active,
+               Wakeup::kCheckpointDone);
       break;
     default:
       throw std::logic_error("Simulation::arm: task not on a VM");
@@ -228,133 +288,246 @@ void Simulation::arm(TaskState& t) {
     throw std::logic_error("Simulation::arm: no wakeup candidate");
   }
   best_delta = std::max(0.0, best_delta);
-  const std::size_t idx = t.index;
+  const auto idx = static_cast<std::uint32_t>(task_idx);
   const Wakeup kind = best;
-  t.pending_event =
-      engine_.schedule_in(best_delta, [this, idx, kind] { wake(idx, kind); });
+  tasks_.pending_event[task_idx] = engine_.schedule_at(
+      vt + best_delta, [this, idx, kind] { wake(idx, kind); });
 }
 
 void Simulation::wake(std::size_t task_idx, Wakeup kind) {
-  TaskState& t = tasks_[task_idx];
-  t.pending_event.reset();
-  sync_clock(t);
+  tasks_.pending_event[task_idx] = TaskTable::kNoEvent;
+  sync_clock(task_idx);
   switch (kind) {
     case Wakeup::kKill:
-      handle_kill(t);
+      handle_kill(task_idx);
       break;
     case Wakeup::kPriorityChange:
-      handle_priority_change(t);
+      handle_priority_change(task_idx);
       break;
     case Wakeup::kCheckpointDue:
-      handle_checkpoint_due(t);
+      handle_checkpoint_due(task_idx);
       break;
     case Wakeup::kCheckpointDone:
-      handle_checkpoint_done(t);
+      handle_checkpoint_done(task_idx);
       break;
     case Wakeup::kRestoreDone:
-      handle_restore_done(t);
+      handle_restore_done(task_idx);
       break;
     case Wakeup::kComplete:
-      handle_complete(t);
+      handle_complete(task_idx);
       break;
   }
 }
 
-void Simulation::leave_vm(TaskState& t) {
-  if (t.vm) {
-    cluster_.vm(*t.vm).release(t.rec->memory_mb);
-    t.vm.reset();
+void Simulation::leave_vm(std::size_t task_idx) {
+  if (tasks_.vm[task_idx] != TaskTable::kNoVm) {
+    cluster_.release(static_cast<VmId>(tasks_.vm[task_idx]),
+                     tasks_.memory_mb[task_idx]);
+    tasks_.vm[task_idx] = TaskTable::kNoVm;
   }
 }
 
-void Simulation::handle_kill(TaskState& t) {
-  ++t.failures;
-  ++t.next_failure;
+void Simulation::handle_kill(std::size_t task_idx) {
+  TaskAccounting& acct = tasks_.acct[task_idx];
+  ++acct.failures;
+  tasks_.advance_failure_cursor(task_idx);
   // Refund the unspent part of an interrupted checkpoint or restore phase:
   // the cost was charged in full when the phase began, but the kill cuts it
   // short (the wall-clock only absorbed the elapsed portion).
-  if (t.phase == Phase::kCheckpointing) {
-    t.checkpoint_cost_s -= std::max(0.0, t.phase_end_active - t.active_s);
-  } else if (t.phase == Phase::kRestoring) {
-    t.restart_cost_s -= std::max(0.0, t.phase_end_active - t.active_s);
+  const double unspent = std::max(
+      0.0, tasks_.phase_end_active[task_idx] - tasks_.active_s[task_idx]);
+  if (tasks_.phase[task_idx] == TaskPhase::kCheckpointing) {
+    acct.checkpoint_cost_s -= unspent;
+  } else if (tasks_.phase[task_idx] == TaskPhase::kRestoring) {
+    acct.restart_cost_s -= unspent;
   }
   // Roll back: progress since the last completed checkpoint is lost. A
   // checkpoint in flight is lost too (it never completed).
-  t.rollback_s += t.progress_s - t.saved_s;
-  t.progress_s = t.saved_s;
-  t.last_failed_host = cluster_.vm(*t.vm).host();
-  leave_vm(t);
-  t.pay_restart = true;
-  t.phase = Phase::kQueued;
+  acct.rollback_s += tasks_.progress_s[task_idx] - tasks_.saved_s[task_idx];
+  tasks_.progress_s[task_idx] = tasks_.saved_s[task_idx];
+  tasks_.last_failed_host[task_idx] = static_cast<std::int32_t>(
+      cluster_.vm(static_cast<VmId>(tasks_.vm[task_idx])).host());
+  leave_vm(task_idx);
+  tasks_.flags[task_idx] |= TaskTable::kPayRestart;
+  tasks_.phase[task_idx] = TaskPhase::kQueued;
 
   // Failure detection latency before the task may be rescheduled.
   const double delay = config_.detection_delay_s;
-  const std::size_t idx = t.index;
   if (delay > 0.0) {
+    const auto idx = static_cast<std::uint32_t>(task_idx);
     engine_.schedule_in(delay, [this, idx] {
       make_ready(idx);
       try_dispatch();
     });
-    t.phase = Phase::kNotReady;
+    tasks_.phase[task_idx] = TaskPhase::kNotReady;
   } else {
-    t.last_enqueue_s = engine_.now();
-    pending_.push_back(idx);
+    acct.last_enqueue_s = engine_.now();
+    push_pending(task_idx);
     try_dispatch();
   }
 }
 
-void Simulation::handle_priority_change(TaskState& t) {
-  t.priority_change_pending = false;
-  t.priority = t.rec->new_priority;
-  t.controller->update_stats(predictor_(*t.rec, t.priority), t.progress_s);
-  arm(t);  // same phase continues with refreshed wakeups
+void Simulation::handle_priority_change(std::size_t task_idx) {
+  tasks_.flags[task_idx] &=
+      static_cast<std::uint8_t>(~TaskTable::kPriorityChangePending);
+  const trace::TaskRecord& rec = *tasks_.rec[task_idx];
+  tasks_.priority[task_idx] = rec.new_priority;
+  tasks_.controller[task_idx]->update_stats(
+      predictor_(rec, tasks_.priority[task_idx]),
+      tasks_.progress_s[task_idx]);
+  arm(task_idx);  // same phase continues with refreshed wakeups
 }
 
-void Simulation::handle_checkpoint_due(TaskState& t) {
-  const auto ticket =
-      t.backend->begin_checkpoint(t.rec->memory_mb, cluster_.vm(*t.vm).host());
-  ++t.checkpoints;
-  t.checkpoint_cost_s += ticket.cost;
-  t.ckpt_progress_s = t.progress_s;
-  t.phase = Phase::kCheckpointing;
-  t.phase_end_active = t.active_s + ticket.cost;
+void Simulation::handle_checkpoint_due(std::size_t task_idx) {
+  // Checkpoint-run compression. A checkpoint normally costs two engine
+  // events (due -> done) plus a device-completion event; while nothing can
+  // interrupt it, the whole transition is already determined, and on pure
+  // devices (no contention state, no RNG draws) so is every *following*
+  // checkpoint up to the next kill, priority change, or completion. This
+  // loop replays that run inline against a virtual wall clock `vt` and
+  // schedules one engine event for the first wakeup that genuinely needs
+  // the event loop.
+  //
+  // Bit-identity: every float below replays the uncompressed engine's
+  // arithmetic expression-for-expression in the same order (arm()'s delta
+  // space, first-candidate-wins ties, sync_clock's elapsed guard), and the
+  // compressed steps touch no globally ordered state (cluster, RNG,
+  // contended devices). At exact delta ties the kill/priority wake must
+  // win, as in arm() — hence every strict inequality.
+  storage::StorageBackend* backend = tasks_.backend[task_idx];
+  const bool pure = backend->begin_is_pure();
+  const bool needs_end_event = backend->completion_affects_pricing();
+  const std::size_t host =
+      cluster_.vm(static_cast<VmId>(tasks_.vm[task_idx])).host();
+  TaskAccounting& acct = tasks_.acct[task_idx];
+  double vt = engine_.now();
 
-  // The device stays busy for the full operation time, independently of the
-  // task's fate (a killed task's half-written checkpoint still occupied the
-  // server).
-  storage::StorageBackend* backend = t.backend;
-  const std::uint64_t op = ticket.op_id;
-  engine_.schedule_in(ticket.op_time,
-                      [backend, op] { backend->end_checkpoint(op); });
-  arm(t);
+  while (true) {
+    // -- the due transition (begin the write) -------------------------------
+    const auto ticket =
+        backend->begin_priced(tasks_.ckpt_price[task_idx], host);
+    ++acct.checkpoints;
+    acct.checkpoint_cost_s += ticket.cost;
+    tasks_.ckpt_progress_s[task_idx] = tasks_.progress_s[task_idx];
+    tasks_.phase[task_idx] = TaskPhase::kCheckpointing;
+    tasks_.phase_end_active[task_idx] =
+        tasks_.active_s[task_idx] + ticket.cost;
+
+    // The device stays busy for the full operation time, independently of
+    // the task's fate (a killed task's half-written checkpoint still
+    // occupied the server). Devices whose pricing never reads op state skip
+    // the completion event: it could not influence any result. (Only such
+    // devices ever reach this line with vt beyond engine_.now(): contended
+    // ones are not pure, so their first iteration is also their last.)
+    if (needs_end_event) {
+      const std::uint64_t op = ticket.op_id;
+      engine_.schedule_in(ticket.op_time,
+                          [backend, op] { backend->end_checkpoint(op); });
+    } else {
+      backend->end_checkpoint(ticket.op_id);
+    }
+
+    // -- can the write complete uninterrupted? ------------------------------
+    const double active0 = tasks_.active_s[task_idx];
+    const double done_delta = tasks_.phase_end_active[task_idx] - active0;
+    const double kill_delta =
+        tasks_.next_failure_date_s[task_idx] != kInf
+            ? tasks_.next_failure_date_s[task_idx] - active0
+            : kInf;
+    const double prio_delta =
+        (tasks_.flags[task_idx] & TaskTable::kPriorityChangePending)
+            ? tasks_.rec[task_idx]->priority_change_time - active0
+            : kInf;
+    if (!(done_delta < kill_delta && done_delta < prio_delta)) {
+      arm_from(task_idx, vt);
+      return;
+    }
+
+    // -- the done transition, replayed inline -------------------------------
+    const double delta0 = std::max(0.0, done_delta);
+    const double done_time = vt + delta0;         // the done wake's timestamp
+    const double elapsed = done_time - vt;        // sync_clock at that wake
+    if (elapsed > 0.0) tasks_.active_s[task_idx] = active0 + elapsed;
+    tasks_.last_sync_s[task_idx] = done_time;
+    tasks_.saved_s[task_idx] = tasks_.ckpt_progress_s[task_idx];
+    tasks_.controller[task_idx]->on_checkpoint(tasks_.saved_s[task_idx]);
+    tasks_.phase[task_idx] = TaskPhase::kExecuting;
+    vt = done_time;
+
+    // -- the post-checkpoint arm, against the virtual state -----------------
+    const double active1 = tasks_.active_s[task_idx];
+    double best_delta = kInf;
+    Wakeup best = Wakeup::kComplete;
+    auto consider = [&](double delta, Wakeup kind) {
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = kind;
+      }
+    };
+    if (tasks_.next_failure_date_s[task_idx] != kInf) {
+      consider(tasks_.next_failure_date_s[task_idx] - active1, Wakeup::kKill);
+    }
+    if (tasks_.flags[task_idx] & TaskTable::kPriorityChangePending) {
+      consider(tasks_.rec[task_idx]->priority_change_time - active1,
+               Wakeup::kPriorityChange);
+    }
+    const double progress = tasks_.progress_s[task_idx];
+    consider(tasks_.length_s[task_idx] - progress, Wakeup::kComplete);
+    const auto next_ckpt =
+        tasks_.controller[task_idx]->work_until_next_checkpoint(progress);
+    if (next_ckpt) consider(*next_ckpt, Wakeup::kCheckpointDue);
+
+    best_delta = std::max(0.0, best_delta);
+    if (best != Wakeup::kCheckpointDue || !pure) {
+      const auto idx = static_cast<std::uint32_t>(task_idx);
+      const Wakeup kind = best;
+      tasks_.pending_event[task_idx] = engine_.schedule_at(
+          vt + best_delta, [this, idx, kind] { wake(idx, kind); });
+      return;
+    }
+
+    // -- next checkpoint is also determined: advance to it inline -----------
+    const double due_time = vt + best_delta;      // the due wake's timestamp
+    const double run = due_time - vt;             // sync_clock at that wake
+    if (run > 0.0) {
+      tasks_.active_s[task_idx] = active1 + run;
+      tasks_.progress_s[task_idx] = progress + run;  // kExecuting accrues
+    }
+    tasks_.last_sync_s[task_idx] = due_time;
+    vt = due_time;
+  }
 }
 
-void Simulation::handle_checkpoint_done(TaskState& t) {
-  t.saved_s = t.ckpt_progress_s;
-  t.controller->on_checkpoint(t.saved_s);
-  t.phase = Phase::kExecuting;
-  arm(t);
+void Simulation::handle_checkpoint_done(std::size_t task_idx) {
+  tasks_.saved_s[task_idx] = tasks_.ckpt_progress_s[task_idx];
+  tasks_.controller[task_idx]->on_checkpoint(tasks_.saved_s[task_idx]);
+  tasks_.phase[task_idx] = TaskPhase::kExecuting;
+  arm(task_idx);
 }
 
-void Simulation::handle_restore_done(TaskState& t) {
-  t.phase = Phase::kExecuting;
-  arm(t);
+void Simulation::handle_restore_done(std::size_t task_idx) {
+  tasks_.phase[task_idx] = TaskPhase::kExecuting;
+  arm(task_idx);
 }
 
-void Simulation::handle_complete(TaskState& t) {
-  t.progress_s = t.rec->length_s;
-  t.phase = Phase::kDone;
-  t.done_s = engine_.now();
-  leave_vm(t);
+void Simulation::handle_complete(std::size_t task_idx) {
+  tasks_.progress_s[task_idx] = tasks_.length_s[task_idx];
+  tasks_.phase[task_idx] = TaskPhase::kDone;
+  tasks_.acct[task_idx].done_s = engine_.now();
+  leave_vm(task_idx);
+  on_task_terminal(task_idx);
+  try_dispatch();
+}
 
-  JobState& job = jobs_[t.job];
+void Simulation::on_task_terminal(std::size_t task_idx) {
+  JobState& job = ws_.jobs[tasks_.job[task_idx]];
   if (job.rec->structure == trace::JobStructure::kSequentialTasks &&
       job.next_sequential < job.rec->tasks.size()) {
-    make_ready(job.first_task + job.next_sequential);
+    const std::size_t successor = job.first_task + job.next_sequential;
     ++job.next_sequential;
+    admit(successor);  // may recurse through another unschedulable successor
   }
   if (--job.remaining == 0) finish_job(job);
-  try_dispatch();
 }
 
 void Simulation::finish_job(JobState& job) {
@@ -364,17 +537,21 @@ void Simulation::finish_job(JobState& job) {
   out.bag_of_tasks = job.rec->structure == trace::JobStructure::kBagOfTasks;
   out.priority = job.rec->tasks.empty() ? 1 : job.rec->tasks.front().priority;
   out.wallclock_s = engine_.now() - job.rec->arrival_s;
+  out.unschedulable_tasks = job.unschedulable;
   for (std::size_t i = 0; i < job.rec->tasks.size(); ++i) {
-    const TaskState& t = tasks_[job.first_task + i];
-    out.workload_s += t.rec->length_s;
-    out.task_wallclock_s += t.done_s - t.first_ready_s;
-    out.queue_s += t.queue_s;
-    out.checkpoint_s += t.checkpoint_cost_s;
-    out.rollback_s += t.rollback_s;
-    out.restart_s += t.restart_cost_s;
-    out.checkpoints += t.checkpoints;
-    out.failures += t.failures;
-    out.max_task_length_s = std::max(out.max_task_length_s, t.rec->length_s);
+    const std::size_t t = job.first_task + i;
+    if (tasks_.phase[t] == TaskPhase::kUnschedulable) continue;
+    const TaskAccounting& acct = tasks_.acct[t];
+    out.workload_s += tasks_.length_s[t];
+    out.task_wallclock_s += acct.done_s - acct.first_ready_s;
+    out.queue_s += acct.queue_s;
+    out.checkpoint_s += acct.checkpoint_cost_s;
+    out.rollback_s += acct.rollback_s;
+    out.restart_s += acct.restart_cost_s;
+    out.checkpoints += acct.checkpoints;
+    out.failures += acct.failures;
+    out.max_task_length_s =
+        std::max(out.max_task_length_s, tasks_.length_s[t]);
   }
   result_.outcomes.push_back(out);
 }

@@ -15,10 +15,21 @@
 /// Failure dates are consumed in the task's *active time* (time spent on a
 /// VM), so replaying the same trace under different policies delivers
 /// identical kill sequences — the paper's paired-comparison methodology.
+///
+/// Hot-path architecture (all bit-identical to the original full-scan
+/// engine, pinned by tests/sim/golden_replay_test.cpp):
+///  - per-task state lives in a SoA TaskTable (task_table.hpp);
+///  - placement runs off the Cluster's O(1) free-memory index, and the
+///    pending queue is swept in one stable pass only when an event that can
+///    unblock placement fires (arrival, completion, kill re-entry), with an
+///    O(1) reject when even the smallest pending demand cannot fit anywhere;
+///  - tasks whose demand exceeds every VM's total capacity are detected at
+///    admission and recorded as unschedulable instead of re-scanning forever;
+///  - all buffers come from a ReplayWorkspace that callers may reuse across
+///    runs, so steady-state replay performs no heap allocation.
 
-#include <deque>
+#include <cstdint>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "core/controller.hpp"
@@ -27,34 +38,53 @@
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
 #include "sim/result.hpp"
+#include "sim/task_table.hpp"
 #include "storage/backend.hpp"
 #include "trace/records.hpp"
 
 namespace cloudcr::sim {
 
-/// Replays one trace under one policy. Single-use: construct, run(), read
-/// the result.
+/// Pooled replay buffers: the task/job tables, the pending queue, and the
+/// event engine (whose slab and heap dominate transient memory). A default
+/// instance lives inside each Simulation; passing a shared workspace to the
+/// constructor lets a batch reuse the same capacity across many runs.
+/// Contents are fully reset at the start of every run, so reuse can never
+/// change results.
+struct ReplayWorkspace {
+  TaskTable tasks;
+
+  struct JobState {
+    const trace::JobRecord* rec = nullptr;
+    std::size_t first_task = 0;   ///< global index of the job's first task
+    std::size_t remaining = 0;
+    std::size_t next_sequential = 0;
+    std::uint32_t unschedulable = 0;  ///< tasks rejected at admission
+    bool done = false;
+  };
+  std::vector<JobState> jobs;
+
+  /// FIFO pending queue (stable compaction sweep, no per-op allocation).
+  std::vector<std::uint32_t> pending;
+
+  Engine engine;
+};
+
+/// Replays one trace under one policy. run() is reusable: every call resets
+/// the workspace, cluster, RNG, and storage backends, so consecutive runs
+/// are bit-identical to fresh constructions.
 class Simulation {
  public:
   /// \param config    simulation parameters
   /// \param policy    checkpoint-interval policy (must outlive run())
   /// \param predictor failure-statistics source for controllers
+  /// \param workspace pooled buffers to (re)use; nullptr = own workspace
   Simulation(SimConfig config, const core::CheckpointPolicy& policy,
-             StatsPredictor predictor);
+             StatsPredictor predictor, ReplayWorkspace* workspace = nullptr);
 
   /// Replays the trace to completion and returns the aggregated result.
   SimResult run(const trace::Trace& trace);
 
  private:
-  enum class Phase : std::uint8_t {
-    kNotReady,       ///< ST successor waiting for its predecessor
-    kQueued,         ///< in the pending queue
-    kRestoring,      ///< paying the restart cost on a VM
-    kExecuting,      ///< making productive progress
-    kCheckpointing,  ///< blocked while a checkpoint is written
-    kDone,
-  };
-
   enum class Wakeup : std::uint8_t {
     kKill,
     kPriorityChange,
@@ -64,93 +94,63 @@ class Simulation {
     kComplete,
   };
 
-  struct TaskState {
-    const trace::TaskRecord* rec = nullptr;
-    std::size_t job = 0;
-    std::size_t index = 0;  // global task index
-
-    Phase phase = Phase::kNotReady;
-    double progress_s = 0.0;  ///< productive work completed
-    double saved_s = 0.0;     ///< progress at last completed checkpoint
-    double active_s = 0.0;    ///< accrued on-VM time (failure-date clock)
-    double last_sync_s = 0.0; ///< sim time of last clock sync
-    std::size_t next_failure = 0;
-    int priority = 1;
-    bool priority_change_pending = false;
-
-    std::optional<VmId> vm;
-    std::optional<HostId> last_failed_host;
-    bool pay_restart = false;
-
-    std::optional<core::CheckpointController> controller;
-    storage::StorageBackend* backend = nullptr;
-
-    /// Active-time value at which the current restore/checkpoint phase ends.
-    double phase_end_active = 0.0;
-    /// Progress being saved by the in-flight checkpoint.
-    double ckpt_progress_s = 0.0;
-
-    std::optional<EventId> pending_event;
-
-    // Accounting.
-    double first_ready_s = -1.0;
-    double last_enqueue_s = 0.0;
-    double done_s = 0.0;
-    double queue_s = 0.0;
-    double checkpoint_cost_s = 0.0;
-    double rollback_s = 0.0;
-    double restart_cost_s = 0.0;
-    std::size_t checkpoints = 0;
-    std::size_t failures = 0;
-  };
-
-  struct JobState {
-    const trace::JobRecord* rec = nullptr;
-    std::size_t first_task = 0;   ///< global index of the job's first task
-    std::size_t remaining = 0;
-    std::size_t next_sequential = 0;
-    bool done = false;
-  };
+  using JobState = ReplayWorkspace::JobState;
 
   // -- event plumbing -------------------------------------------------------
   void on_job_arrival(std::size_t job_idx);
+  /// First entry of a task into the system: rejects demands no VM could ever
+  /// hold (unschedulable), otherwise enqueues.
+  void admit(std::size_t task_idx);
   void make_ready(std::size_t task_idx);
+  void push_pending(std::size_t task_idx);
   void try_dispatch();
-  bool dispatch(TaskState& t);
-  void arm(TaskState& t);
+  bool dispatch(std::size_t task_idx);
+  void arm(std::size_t task_idx);
+  /// arm() generalized to a reference wall time `vt` >= now: used by
+  /// checkpoint-run compression to schedule from a virtually advanced state.
+  void arm_from(std::size_t task_idx, double vt);
   void wake(std::size_t task_idx, Wakeup kind);
 
   // -- handlers (clock already synced) --------------------------------------
-  void handle_kill(TaskState& t);
-  void handle_priority_change(TaskState& t);
-  void handle_checkpoint_due(TaskState& t);
-  void handle_checkpoint_done(TaskState& t);
-  void handle_restore_done(TaskState& t);
-  void handle_complete(TaskState& t);
+  void handle_kill(std::size_t task_idx);
+  void handle_priority_change(std::size_t task_idx);
+  /// Begins a checkpoint, then compresses the deterministic continuation:
+  /// uninterruptible done transitions, and on pure devices whole runs of
+  /// further checkpoints, replay inline without engine events.
+  void handle_checkpoint_due(std::size_t task_idx);
+  void handle_checkpoint_done(std::size_t task_idx);
+  void handle_restore_done(std::size_t task_idx);
+  void handle_complete(std::size_t task_idx);
 
   // -- helpers ---------------------------------------------------------------
   /// Accrues active (and productive) time since the last sync.
-  void sync_clock(TaskState& t);
-  void cancel_pending(TaskState& t);
-  void leave_vm(TaskState& t);
+  void sync_clock(std::size_t task_idx);
+  void cancel_pending_event(std::size_t task_idx);
+  void leave_vm(std::size_t task_idx);
+  /// Terminal-state bookkeeping shared by completion and unschedulability:
+  /// advances a sequential job and finishes it when no tasks remain.
+  void on_task_terminal(std::size_t task_idx);
   void finish_job(JobState& job);
-  [[nodiscard]] storage::StorageBackend* backend_for(
-      storage::DeviceKind kind);
-  void init_controller(TaskState& t);
+  [[nodiscard]] storage::StorageBackend* backend_for(storage::DeviceKind kind);
+  void init_controller(std::size_t task_idx);
 
   SimConfig config_;
   const core::CheckpointPolicy& policy_;
   StatsPredictor predictor_;
 
-  Engine engine_;
   Cluster cluster_;
   stats::Rng rng_;
   std::unique_ptr<storage::StorageBackend> local_backend_;
   std::unique_ptr<storage::StorageBackend> shared_backend_;
 
-  std::vector<TaskState> tasks_;
-  std::vector<JobState> jobs_;
-  std::deque<std::size_t> pending_;
+  ReplayWorkspace owned_ws_;  ///< used when no shared workspace is passed
+  ReplayWorkspace& ws_;
+  Engine& engine_;
+  TaskTable& tasks_;
+
+  /// Smallest memory demand among pending tasks (+inf when none): lets
+  /// try_dispatch reject a sweep in O(1) while the cluster is saturated.
+  double pending_min_mb_ = 0.0;
 
   SimResult result_;
 };

@@ -1,0 +1,205 @@
+#pragma once
+
+/// \file task_table.hpp
+/// \brief Structure-of-arrays task state for the replay hot path.
+///
+/// Every simulation event touches a handful of scalars of one task: its
+/// phase, clocks, and the precomputed date of its next failure. The original
+/// engine kept those inside a ~300-byte per-task struct (controller, optional
+/// event handle, accounting, record pointer), so each event dragged several
+/// cache lines through the core. The TaskTable splits that state by access
+/// pattern:
+///
+///  - hot columns (phase, clocks, failure cursor, event handle) are parallel
+///    vectors — an event touches only the lines it needs;
+///  - per-task trace constants (memory, length) are copied in at admission,
+///    removing the TaskRecord pointer chase from dispatch and arm;
+///  - the failure-date cursor is materialized as `next_failure_date_s`, so
+///    arming a wakeup never re-reads the record's failure vector;
+///  - cold accounting lives in an AoS side table read mostly at job finish.
+///
+/// All columns are cleared-but-not-freed between runs, so a pooled workspace
+/// replays trace after trace with no steady-state allocation.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "sim/event_queue.hpp"
+#include "storage/backend.hpp"
+#include "trace/records.hpp"
+
+namespace cloudcr::sim {
+
+/// Lifecycle of one replayed task.
+enum class TaskPhase : std::uint8_t {
+  kNotReady,       ///< ST successor waiting for its predecessor
+  kQueued,         ///< in the pending queue
+  kRestoring,      ///< paying the restart cost on a VM
+  kExecuting,      ///< making productive progress
+  kCheckpointing,  ///< blocked while a checkpoint is written
+  kDone,
+  kUnschedulable,  ///< demands more memory than any VM's total capacity
+};
+
+/// Cold per-task accounting, read when the owning job completes.
+struct TaskAccounting {
+  double first_ready_s = -1.0;
+  double last_enqueue_s = 0.0;
+  double done_s = 0.0;
+  double queue_s = 0.0;
+  double checkpoint_cost_s = 0.0;
+  double rollback_s = 0.0;
+  double restart_cost_s = 0.0;
+  std::uint32_t checkpoints = 0;
+  std::uint32_t failures = 0;
+};
+
+/// SoA columns for every task of the trace being replayed.
+struct TaskTable {
+  static constexpr std::int32_t kNoVm = -1;
+  static constexpr std::int32_t kNoHost = -1;
+  static constexpr EventId kNoEvent = 0;  // EventQueue generations start at 1
+
+  // Flag bits (flags column).
+  static constexpr std::uint8_t kPayRestart = 1u << 0;
+  static constexpr std::uint8_t kPriorityChangePending = 1u << 1;
+
+  // -- hot columns -----------------------------------------------------------
+  std::vector<TaskPhase> phase;
+  std::vector<std::uint8_t> flags;
+  std::vector<double> progress_s;         ///< productive work completed
+  std::vector<double> saved_s;            ///< progress at last checkpoint
+  std::vector<double> active_s;           ///< accrued on-VM time
+  std::vector<double> last_sync_s;        ///< sim time of last clock sync
+  std::vector<double> phase_end_active;   ///< end of restore/checkpoint phase
+  std::vector<double> ckpt_progress_s;    ///< progress saved by in-flight ckpt
+  /// Active-time date of the task's next trace failure (+inf when none):
+  /// the failure cursor, precomputed at admission and advanced on each kill
+  /// so arm() never searches the record's failure vector.
+  std::vector<double> next_failure_date_s;
+  std::vector<std::uint32_t> next_failure;  ///< index into failure_dates
+  std::vector<EventId> pending_event;       ///< kNoEvent when none armed
+  std::vector<std::int32_t> vm;             ///< kNoVm when off-cluster
+  std::vector<std::int32_t> last_failed_host;  ///< kNoHost when none
+
+  // -- per-task trace constants (copied at admission) ------------------------
+  std::vector<double> memory_mb;
+  std::vector<double> length_s;
+  std::vector<std::int32_t> priority;
+  std::vector<std::uint32_t> job;              ///< owning job index
+  std::vector<const trace::TaskRecord*> rec;   ///< cold-path record access
+
+  // -- controllers and device bindings ---------------------------------------
+  std::vector<std::optional<core::CheckpointController>> controller;
+  std::vector<storage::StorageBackend*> backend;
+  /// Contention-free checkpoint price on the chosen device — a pure function
+  /// of (device, footprint), cached at controller init so each checkpoint
+  /// skips the calibration curves.
+  std::vector<storage::CheckpointPrice> ckpt_price;
+  /// Restart cost from the chosen device (same pure-function caching).
+  std::vector<double> restart_price_s;
+
+  // -- cold accounting -------------------------------------------------------
+  std::vector<TaskAccounting> acct;
+
+  [[nodiscard]] std::size_t size() const noexcept { return phase.size(); }
+
+  void clear() noexcept {
+    phase.clear();
+    flags.clear();
+    progress_s.clear();
+    saved_s.clear();
+    active_s.clear();
+    last_sync_s.clear();
+    phase_end_active.clear();
+    ckpt_progress_s.clear();
+    next_failure_date_s.clear();
+    next_failure.clear();
+    pending_event.clear();
+    vm.clear();
+    last_failed_host.clear();
+    memory_mb.clear();
+    length_s.clear();
+    priority.clear();
+    job.clear();
+    rec.clear();
+    controller.clear();
+    backend.clear();
+    ckpt_price.clear();
+    restart_price_s.clear();
+    acct.clear();
+  }
+
+  void reserve(std::size_t n) {
+    phase.reserve(n);
+    flags.reserve(n);
+    progress_s.reserve(n);
+    saved_s.reserve(n);
+    active_s.reserve(n);
+    last_sync_s.reserve(n);
+    phase_end_active.reserve(n);
+    ckpt_progress_s.reserve(n);
+    next_failure_date_s.reserve(n);
+    next_failure.reserve(n);
+    pending_event.reserve(n);
+    vm.reserve(n);
+    last_failed_host.reserve(n);
+    memory_mb.reserve(n);
+    length_s.reserve(n);
+    priority.reserve(n);
+    job.reserve(n);
+    rec.reserve(n);
+    controller.reserve(n);
+    backend.reserve(n);
+    ckpt_price.reserve(n);
+    restart_price_s.reserve(n);
+    acct.reserve(n);
+  }
+
+  /// Appends one task row from its trace record.
+  void push_back(const trace::TaskRecord& record, std::uint32_t job_idx) {
+    phase.push_back(TaskPhase::kNotReady);
+    flags.push_back(record.has_priority_change() ? kPriorityChangePending
+                                                 : std::uint8_t{0});
+    progress_s.push_back(0.0);
+    saved_s.push_back(0.0);
+    active_s.push_back(0.0);
+    last_sync_s.push_back(0.0);
+    phase_end_active.push_back(0.0);
+    ckpt_progress_s.push_back(0.0);
+    next_failure_date_s.push_back(
+        record.failure_dates.empty()
+            ? std::numeric_limits<double>::infinity()
+            : record.failure_dates.front());
+    next_failure.push_back(0);
+    pending_event.push_back(kNoEvent);
+    vm.push_back(kNoVm);
+    last_failed_host.push_back(kNoHost);
+    memory_mb.push_back(record.memory_mb);
+    length_s.push_back(record.length_s);
+    priority.push_back(record.priority);
+    job.push_back(job_idx);
+    rec.push_back(&record);
+    controller.emplace_back();
+    backend.push_back(nullptr);
+    ckpt_price.emplace_back();
+    restart_price_s.push_back(0.0);
+    acct.emplace_back();
+  }
+
+  /// Advances the failure cursor of task `idx` past the failure just
+  /// consumed.
+  void advance_failure_cursor(std::size_t idx) noexcept {
+    const trace::TaskRecord& record = *rec[idx];
+    const std::uint32_t next = ++next_failure[idx];
+    next_failure_date_s[idx] =
+        next < record.failure_dates.size()
+            ? record.failure_dates[next]
+            : std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace cloudcr::sim

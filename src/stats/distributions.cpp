@@ -114,7 +114,9 @@ double Pareto::sample(Rng& rng) const {
   return xm_ / std::pow(1.0 - rng.uniform(), 1.0 / alpha_);
 }
 
-DistributionPtr Pareto::clone() const { return std::make_unique<Pareto>(*this); }
+DistributionPtr Pareto::clone() const {
+  return std::make_unique<Pareto>(*this);
+}
 
 // -------------------------------------------------------------------- Weibull
 
@@ -215,7 +217,9 @@ double Normal::pdf(double x) const {
   return std::exp(-0.5 * z * z) / (sigma_ * std::sqrt(2.0 * M_PI));
 }
 
-double Normal::cdf(double x) const { return std_normal_cdf((x - mu_) / sigma_); }
+double Normal::cdf(double x) const {
+  return std_normal_cdf((x - mu_) / sigma_);
+}
 
 double Normal::quantile(double p) const {
   require(p >= 0.0 && p <= 1.0, "Normal::quantile: p out of [0,1]");
@@ -228,7 +232,9 @@ double Normal::variance() const { return sigma_ * sigma_; }
 
 double Normal::sample(Rng& rng) const { return mu_ + sigma_ * rng.normal(); }
 
-DistributionPtr Normal::clone() const { return std::make_unique<Normal>(*this); }
+DistributionPtr Normal::clone() const {
+  return std::make_unique<Normal>(*this);
+}
 
 // ------------------------------------------------------------------ LogNormal
 
@@ -485,7 +491,9 @@ double Mixture::sample(Rng& rng) const {
   return components_.back().dist->sample(rng);
 }
 
-DistributionPtr Mixture::clone() const { return std::make_unique<Mixture>(*this); }
+DistributionPtr Mixture::clone() const {
+  return std::make_unique<Mixture>(*this);
+}
 
 // ------------------------------------------------------------------ Truncated
 

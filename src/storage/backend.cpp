@@ -22,20 +22,23 @@ double StorageBackend::restart_cost(double mem_mb) const {
 LocalRamdiskBackend::LocalRamdiskBackend(stats::Rng* rng, double noise)
     : rng_(rng), noise_(noise) {}
 
-CheckpointTicket LocalRamdiskBackend::begin_checkpoint(double mem_mb,
-                                                       std::size_t host_id) {
+CheckpointPrice LocalRamdiskBackend::base_price(double mem_mb) const {
+  const double cost = checkpoint_cost(DeviceKind::kLocalRamdisk, mem_mb);
+  return {cost, cost};  // ramdisk writes are synchronous memory copies
+}
+
+CheckpointTicket LocalRamdiskBackend::begin_priced(const CheckpointPrice& base,
+                                                   std::size_t host_id) {
   CheckpointTicket t;
-  t.op_id = next_id_++;
-  t.cost = apply_noise(checkpoint_cost(DeviceKind::kLocalRamdisk, mem_mb),
-                       rng_, noise_);
-  t.op_time = t.cost;  // ramdisk writes are synchronous memory copies
+  t.cost = apply_noise(base.cost_s, rng_, noise_);
+  t.op_time = t.cost;
   t.server = host_id;  // data lands on the writing host itself
-  active_.emplace(t.op_id, host_id);
+  t.op_id = ops_.begin(static_cast<std::uint32_t>(host_id));
   return t;
 }
 
 void LocalRamdiskBackend::end_checkpoint(std::uint64_t op_id) {
-  active_.erase(op_id);
+  ops_.end(op_id);
 }
 
 // ------------------------------------------------------------ SharedNfsBackend
@@ -44,23 +47,25 @@ SharedNfsBackend::SharedNfsBackend(stats::Rng* rng, double noise,
                                    double contention_slope)
     : rng_(rng), noise_(noise), contention_(contention_slope) {}
 
-CheckpointTicket SharedNfsBackend::begin_checkpoint(double mem_mb,
-                                                    std::size_t host_id) {
+CheckpointPrice SharedNfsBackend::base_price(double mem_mb) const {
+  return {checkpoint_cost(DeviceKind::kSharedNfs, mem_mb),
+          checkpoint_op_time(DeviceKind::kSharedNfs, mem_mb)};
+}
+
+CheckpointTicket SharedNfsBackend::begin_priced(const CheckpointPrice& base,
+                                                std::size_t host_id) {
   CheckpointTicket t;
-  t.op_id = next_id_++;
-  const std::size_t writers = active_.size() + 1;  // including this op
+  const std::size_t writers = ops_.active() + 1;  // including this op
   const double mult = contention_.multiplier(writers);
-  t.cost = apply_noise(
-      checkpoint_cost(DeviceKind::kSharedNfs, mem_mb) * mult, rng_, noise_);
-  t.op_time = apply_noise(
-      checkpoint_op_time(DeviceKind::kSharedNfs, mem_mb) * mult, rng_, noise_);
+  t.cost = apply_noise(base.cost_s * mult, rng_, noise_);
+  t.op_time = apply_noise(base.op_time_s * mult, rng_, noise_);
   t.server = 0;  // single server
-  active_.emplace(t.op_id, host_id);
+  t.op_id = ops_.begin(static_cast<std::uint32_t>(host_id));
   return t;
 }
 
 void SharedNfsBackend::end_checkpoint(std::uint64_t op_id) {
-  active_.erase(op_id);
+  ops_.end(op_id);
 }
 
 // ---------------------------------------------------------------- DmNfsBackend
@@ -76,33 +81,29 @@ DmNfsBackend::DmNfsBackend(std::size_t n_servers, stats::Rng& rng,
   }
 }
 
-CheckpointTicket DmNfsBackend::begin_checkpoint(double mem_mb,
-                                                std::size_t /*host_id*/) {
+CheckpointPrice DmNfsBackend::base_price(double mem_mb) const {
+  // DM-NFS is an NFS server per host, so single-writer pricing matches NFS.
+  return {checkpoint_cost(DeviceKind::kSharedNfs, mem_mb),
+          checkpoint_op_time(DeviceKind::kSharedNfs, mem_mb)};
+}
+
+CheckpointTicket DmNfsBackend::begin_priced(const CheckpointPrice& base,
+                                            std::size_t /*host_id*/) {
   CheckpointTicket t;
-  t.op_id = next_id_++;
   t.server = rng_.uniform_index(per_server_active_.size());
   const std::size_t writers = per_server_active_[t.server] + 1;
   const double mult = contention_.multiplier(writers);
-  // DM-NFS is an NFS server per host, so single-writer pricing matches NFS.
-  t.cost = apply_noise(
-      checkpoint_cost(DeviceKind::kSharedNfs, mem_mb) * mult, &rng_, noise_);
-  t.op_time =
-      apply_noise(checkpoint_op_time(DeviceKind::kSharedNfs, mem_mb) * mult,
-                  &rng_, noise_);
+  t.cost = apply_noise(base.cost_s * mult, &rng_, noise_);
+  t.op_time = apply_noise(base.op_time_s * mult, &rng_, noise_);
   ++per_server_active_[t.server];
-  op_server_.emplace(t.op_id, t.server);
+  t.op_id = ops_.begin(static_cast<std::uint32_t>(t.server));
   return t;
 }
 
 void DmNfsBackend::end_checkpoint(std::uint64_t op_id) {
-  const auto it = op_server_.find(op_id);
-  if (it == op_server_.end()) return;
-  if (per_server_active_[it->second] > 0) --per_server_active_[it->second];
-  op_server_.erase(it);
-}
-
-std::size_t DmNfsBackend::active_ops() const noexcept {
-  return op_server_.size();
+  const std::uint32_t server = ops_.end(op_id);
+  if (server == OpSlab::kNone) return;
+  if (per_server_active_[server] > 0) --per_server_active_[server];
 }
 
 std::size_t DmNfsBackend::server_load(std::size_t server) const {

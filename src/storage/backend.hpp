@@ -12,11 +12,16 @@
 ///
 /// Ops already in flight are not repriced when new writers arrive; the paper
 /// measures steady-state parallel degrees, which this approximates.
+///
+/// Hot-path notes: the memory-dependent part of a price is a pure function
+/// of (device, footprint) — callers replaying a task many times cache it via
+/// base_price() and start ops with begin_priced(), skipping the calibration
+/// curve on every checkpoint. In-flight ops are tracked in a slot/generation
+/// slab (OpSlab), so op bookkeeping never touches a hash map or the heap.
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "stats/rng.hpp"
@@ -33,9 +38,66 @@ struct CheckpointTicket {
   std::size_t server = 0;    ///< which server received the write
 };
 
+/// Contention-free price of one checkpoint: the memory-dependent base that
+/// begin_priced() scales by the live parallel degree and noise. Pure
+/// function of (device kind, footprint) — safe to cache per task.
+struct CheckpointPrice {
+  double cost_s = 0.0;
+  double op_time_s = 0.0;
+};
+
 /// Relative half-width of the multiplicative measurement noise; matches the
 /// ~±10 % spread between the min and max rows of Tables 2-3.
 inline constexpr double kDefaultNoise = 0.10;
+
+/// Allocation-free registry of in-flight checkpoint ops. Op ids encode
+/// (slot, generation); ending an op is an O(1) generation check, and stale
+/// or double ends are ignored (idempotent), as the device contract requires.
+class OpSlab {
+ public:
+  /// Registers an op carrying a small payload (server index). Returns its id.
+  std::uint64_t begin(std::uint32_t payload) {
+    std::uint32_t slot;
+    if (free_head_ != kNone) {
+      slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+    } else {
+      slots_.push_back(Slot{});
+      slot = static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+    slots_[slot].payload = payload;
+    ++live_;
+    return (static_cast<std::uint64_t>(slot) << 32) | slots_[slot].gen;
+  }
+
+  /// Ends an op; returns its payload, or kNone if the id is unknown or
+  /// already ended.
+  std::uint32_t end(std::uint64_t op_id) noexcept {
+    const auto slot = static_cast<std::uint32_t>(op_id >> 32);
+    const auto gen = static_cast<std::uint32_t>(op_id);
+    if (slot >= slots_.size() || slots_[slot].gen != gen) return kNone;
+    const std::uint32_t payload = slots_[slot].payload;
+    ++slots_[slot].gen;
+    slots_[slot].next_free = free_head_;
+    free_head_ = slot;
+    --live_;
+    return payload;
+  }
+
+  [[nodiscard]] std::size_t active() const noexcept { return live_; }
+
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+ private:
+  struct Slot {
+    std::uint32_t gen = 1;
+    std::uint32_t payload = 0;
+    std::uint32_t next_free = kNone;
+  };
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNone;
+  std::size_t live_ = 0;
+};
 
 /// A checkpoint storage device as seen by the simulator.
 class StorageBackend {
@@ -44,13 +106,35 @@ class StorageBackend {
 
   [[nodiscard]] virtual DeviceKind kind() const noexcept = 0;
 
+  /// Contention-free price of a `mem_mb` checkpoint on this device.
+  [[nodiscard]] virtual CheckpointPrice base_price(double mem_mb) const = 0;
+
+  /// Starts a checkpoint whose base price the caller already computed (via
+  /// base_price(), typically cached per task).
+  virtual CheckpointTicket begin_priced(const CheckpointPrice& base,
+                                        std::size_t host_id) = 0;
+
   /// Starts a checkpoint of `mem_mb` megabytes originating from `host_id`.
-  virtual CheckpointTicket begin_checkpoint(double mem_mb,
-                                            std::size_t host_id) = 0;
+  CheckpointTicket begin_checkpoint(double mem_mb, std::size_t host_id) {
+    return begin_priced(base_price(mem_mb), host_id);
+  }
 
   /// Marks the op as finished; its server slot is released. Unknown ids are
   /// ignored (idempotent).
   virtual void end_checkpoint(std::uint64_t op_id) = 0;
+
+  /// True when finishing an op can change the price of a later one
+  /// (contention-priced devices). When false, callers need not deliver
+  /// end_checkpoint at its exact simulated completion time.
+  [[nodiscard]] virtual bool completion_affects_pricing() const noexcept {
+    return true;
+  }
+
+  /// True when begin_priced is a pure function of its arguments: no
+  /// contention state and no RNG draws. A replay may then price future ops
+  /// on this device ahead of simulated time (checkpoint-run compression)
+  /// without reordering anything observable.
+  [[nodiscard]] virtual bool begin_is_pure() const noexcept { return false; }
 
   /// Cost of restarting a `mem_mb` task from this device's checkpoints.
   [[nodiscard]] virtual double restart_cost(double mem_mb) const;
@@ -74,18 +158,25 @@ class LocalRamdiskBackend final : public StorageBackend {
   [[nodiscard]] DeviceKind kind() const noexcept override {
     return DeviceKind::kLocalRamdisk;
   }
-  CheckpointTicket begin_checkpoint(double mem_mb,
-                                    std::size_t host_id) override;
+  [[nodiscard]] CheckpointPrice base_price(double mem_mb) const override;
+  CheckpointTicket begin_priced(const CheckpointPrice& base,
+                                std::size_t host_id) override;
   void end_checkpoint(std::uint64_t op_id) override;
+  [[nodiscard]] bool completion_affects_pricing() const noexcept override {
+    return false;  // ramdisk writes never contend
+  }
+  [[nodiscard]] bool begin_is_pure() const noexcept override {
+    return noise_ <= 0.0 || rng_ == nullptr;  // no contention; rng only
+                                              // when noise is enabled
+  }
   [[nodiscard]] std::size_t active_ops() const noexcept override {
-    return active_.size();
+    return ops_.active();
   }
 
  private:
   stats::Rng* rng_;
   double noise_;
-  std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, std::size_t> active_;  // op -> host
+  OpSlab ops_;
 };
 
 /// Single shared NFS server: writes contend (cost grows ~linearly with the
@@ -98,19 +189,19 @@ class SharedNfsBackend final : public StorageBackend {
   [[nodiscard]] DeviceKind kind() const noexcept override {
     return DeviceKind::kSharedNfs;
   }
-  CheckpointTicket begin_checkpoint(double mem_mb,
-                                    std::size_t host_id) override;
+  [[nodiscard]] CheckpointPrice base_price(double mem_mb) const override;
+  CheckpointTicket begin_priced(const CheckpointPrice& base,
+                                std::size_t host_id) override;
   void end_checkpoint(std::uint64_t op_id) override;
   [[nodiscard]] std::size_t active_ops() const noexcept override {
-    return active_.size();
+    return ops_.active();
   }
 
  private:
   stats::Rng* rng_;
   double noise_;
   LinearContention contention_;
-  std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, std::size_t> active_;
+  OpSlab ops_;
 };
 
 /// Distributively-managed NFS (the paper's design): every host runs an NFS
@@ -126,10 +217,13 @@ class DmNfsBackend final : public StorageBackend {
   [[nodiscard]] DeviceKind kind() const noexcept override {
     return DeviceKind::kDmNfs;
   }
-  CheckpointTicket begin_checkpoint(double mem_mb,
-                                    std::size_t host_id) override;
+  [[nodiscard]] CheckpointPrice base_price(double mem_mb) const override;
+  CheckpointTicket begin_priced(const CheckpointPrice& base,
+                                std::size_t host_id) override;
   void end_checkpoint(std::uint64_t op_id) override;
-  [[nodiscard]] std::size_t active_ops() const noexcept override;
+  [[nodiscard]] std::size_t active_ops() const noexcept override {
+    return ops_.active();
+  }
 
   [[nodiscard]] std::size_t server_count() const noexcept {
     return per_server_active_.size();
@@ -141,9 +235,8 @@ class DmNfsBackend final : public StorageBackend {
   stats::Rng& rng_;
   double noise_;
   LinearContention contention_;
-  std::uint64_t next_id_ = 1;
   std::vector<std::size_t> per_server_active_;
-  std::unordered_map<std::uint64_t, std::size_t> op_server_;
+  OpSlab ops_;  ///< payload = server index
 };
 
 /// Factory covering all three devices. For kDmNfs, `n_servers` hosts are

@@ -53,9 +53,9 @@ TEST(Cluster, HostsAssignedRoundRobinBlocks) {
 TEST(Cluster, GreedySelectsMaxAvailableMemory) {
   Cluster c({2, 2, 1024.0});
   // Consume memory so VM 2 has the most available.
-  c.vm(0).allocate(800.0);
-  c.vm(1).allocate(600.0);
-  c.vm(3).allocate(400.0);
+  c.allocate(0, 800.0);
+  c.allocate(1, 600.0);
+  c.allocate(3, 400.0);
   const auto pick = c.select_vm(100.0);
   ASSERT_TRUE(pick.has_value());
   EXPECT_EQ(*pick, 2u);
@@ -63,8 +63,8 @@ TEST(Cluster, GreedySelectsMaxAvailableMemory) {
 
 TEST(Cluster, SelectRespectsFit) {
   Cluster c({1, 2, 1024.0});
-  c.vm(0).allocate(1000.0);
-  c.vm(1).allocate(900.0);
+  c.allocate(0, 1000.0);
+  c.allocate(1, 900.0);
   const auto pick = c.select_vm(200.0);
   EXPECT_FALSE(pick.has_value());
   const auto pick2 = c.select_vm(100.0);
@@ -75,8 +75,8 @@ TEST(Cluster, SelectRespectsFit) {
 TEST(Cluster, ExcludeHostSkipsItsVms) {
   Cluster c({2, 2, 1024.0});
   // Host 0's VMs are the emptiest.
-  c.vm(2).allocate(500.0);
-  c.vm(3).allocate(500.0);
+  c.allocate(2, 500.0);
+  c.allocate(3, 500.0);
   const auto pick = c.select_vm(100.0, HostId{0});
   ASSERT_TRUE(pick.has_value());
   EXPECT_EQ(c.vm(*pick).host(), 1u);
@@ -90,9 +90,87 @@ TEST(Cluster, ExcludeCanEliminateAllCandidates) {
 TEST(Cluster, RunningTasksCountsAllocations) {
   Cluster c({2, 2, 1024.0});
   EXPECT_EQ(c.running_tasks(), 0u);
-  c.vm(0).allocate(10.0);
-  c.vm(3).allocate(10.0);
+  c.allocate(0, 10.0);
+  c.allocate(3, 10.0);
   EXPECT_EQ(c.running_tasks(), 2u);
+}
+
+TEST(Cluster, CanFitMatchesSelect) {
+  Cluster c({2, 2, 1024.0});
+  c.allocate(0, 1000.0);
+  c.allocate(1, 1000.0);
+  EXPECT_TRUE(c.can_fit(500.0));
+  EXPECT_FALSE(c.can_fit(500.0, HostId{1}));
+  EXPECT_TRUE(c.can_fit(20.0, HostId{1}));
+  EXPECT_DOUBLE_EQ(c.max_available_mb(), 1024.0);
+  EXPECT_DOUBLE_EQ(c.max_vm_capacity_mb(), 1024.0);
+}
+
+TEST(Cluster, ResetRestoresFullCapacity) {
+  Cluster c({2, 2, 1024.0});
+  c.allocate(0, 1000.0);
+  c.allocate(2, 512.0);
+  c.reset();
+  EXPECT_EQ(c.running_tasks(), 0u);
+  EXPECT_DOUBLE_EQ(c.total_available_mb(), 4.0 * 1024.0);
+  const auto pick = c.select_vm(100.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);  // all-equal tie resolves to the lowest VM id
+}
+
+/// Reference implementation: the original full scan. The index must agree
+/// with it on every query, including tie-breaking, or replays lose their
+/// bit-identical placement sequence.
+std::optional<VmId> scan_select(const Cluster& c, double mem,
+                                std::optional<HostId> exclude) {
+  std::optional<VmId> best;
+  double best_avail = -1.0;
+  for (VmId id = 0; id < c.vm_count(); ++id) {
+    const Vm& vm = c.vm(id);
+    if (exclude && vm.host() == *exclude) continue;
+    const double avail = vm.available_mb();
+    if (avail >= mem && avail > best_avail) {
+      best = id;
+      best_avail = avail;
+    }
+  }
+  return best;
+}
+
+TEST(Cluster, IndexMatchesFullScanUnderRandomChurn) {
+  Cluster c({8, 3, 1024.0});
+  std::uint64_t state = 0x5eedULL;
+  auto next = [&state] {  // splitmix64
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  struct Alloc {
+    VmId vm;
+    double mem;
+  };
+  std::vector<Alloc> live;
+  for (int step = 0; step < 4000; ++step) {
+    // Quantized demands produce frequent exact ties, the hard case.
+    const double mem = static_cast<double>(64 * (1 + next() % 12));
+    const std::optional<HostId> exclude =
+        (next() % 3 == 0) ? std::optional<HostId>{next() % 8} : std::nullopt;
+    const auto expected = scan_select(c, mem, exclude);
+    const auto got = c.select_vm(mem, exclude);
+    ASSERT_EQ(expected, got) << "step " << step;
+    ASSERT_EQ(expected.has_value(), c.can_fit(mem, exclude)) << "step " << step;
+    if (got && next() % 4 != 0) {
+      ASSERT_TRUE(c.allocate(*got, mem));
+      live.push_back({*got, mem});
+    } else if (!live.empty()) {
+      const std::size_t victim = next() % live.size();
+      c.release(live[victim].vm, live[victim].mem);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+  }
 }
 
 }  // namespace

@@ -182,15 +182,97 @@ TEST(Simulation, MemoryPressureQueuesTasks) {
   EXPECT_NEAR(res.outcomes.front().queue_s, 100.0, 1e-6);
 }
 
-TEST(Simulation, OversizedTaskNeverCompletes) {
+TEST(Simulation, OversizedTaskIsRecordedAsUnschedulable) {
+  // A 2 GB demand can never fit a 1 GB VM: the task is rejected once at
+  // admission (the old engine re-scanned it on every event, forever) and the
+  // job completes with the rejection on record.
   SimConfig cfg = default_config();
   const auto trace = one_job(JobStructure::kSequentialTasks,
                              {make_task(100.0, 2048.0, 2)});
   const core::MnofPolicy policy;
   Simulation sim(cfg, policy, fixed_stats(0.0, 0.0));
   const auto res = sim.run(trace);
-  EXPECT_EQ(res.outcomes.size(), 0u);
-  EXPECT_EQ(res.incomplete_jobs, 1u);
+  ASSERT_EQ(res.outcomes.size(), 1u);
+  EXPECT_EQ(res.incomplete_jobs, 0u);
+  EXPECT_EQ(res.total_unschedulable, 1u);
+  const auto& out = res.outcomes.front();
+  EXPECT_EQ(out.unschedulable_tasks, 1u);
+  EXPECT_DOUBLE_EQ(out.workload_s, 0.0);
+  EXPECT_DOUBLE_EQ(out.wpr(), 0.0);
+}
+
+TEST(Simulation, UnschedulableTaskDoesNotBlockSiblingsOrSuccessors) {
+  // BoT: the oversized member is dropped, the others run normally.
+  {
+    const auto trace = one_job(
+        JobStructure::kBagOfTasks,
+        {make_task(100.0, 160.0, 2), make_task(100.0, 4096.0, 2),
+         make_task(100.0, 160.0, 2)});
+    const core::MnofPolicy policy;
+    Simulation sim(default_config(), policy, fixed_stats(0.0, 0.0));
+    const auto res = sim.run(trace);
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    const auto& out = res.outcomes.front();
+    EXPECT_EQ(out.unschedulable_tasks, 1u);
+    EXPECT_DOUBLE_EQ(out.workload_s, 200.0);
+    EXPECT_NEAR(out.wallclock_s, 100.0, 1e-6);
+  }
+  // ST: an oversized head must not starve its successors.
+  {
+    const auto trace = one_job(
+        JobStructure::kSequentialTasks,
+        {make_task(100.0, 4096.0, 2), make_task(100.0, 160.0, 2)});
+    const core::MnofPolicy policy;
+    Simulation sim(default_config(), policy, fixed_stats(0.0, 0.0));
+    const auto res = sim.run(trace);
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    const auto& out = res.outcomes.front();
+    EXPECT_EQ(out.unschedulable_tasks, 1u);
+    EXPECT_DOUBLE_EQ(out.workload_s, 100.0);
+    EXPECT_NEAR(out.wallclock_s, 100.0, 1e-6);
+  }
+}
+
+TEST(Simulation, RunIsReusableAndWorkspacePoolingIsBitIdentical) {
+  trace::GeneratorConfig gcfg;
+  gcfg.seed = 31;
+  gcfg.horizon_s = 3600.0;
+  gcfg.arrival_rate = 0.08;
+  const auto trace = trace::TraceGenerator(gcfg).generate();
+  const core::MnofPolicy policy;
+
+  const auto fresh = Simulation(default_config(), policy,
+                                make_grouped_predictor(trace))
+                         .run(trace);
+
+  // Same Simulation object, run twice: the second replay must match the
+  // first bit-for-bit (engine, RNG, cluster, and backends all reset).
+  Simulation reused(default_config(), policy, make_grouped_predictor(trace));
+  (void)reused.run(trace);
+  const auto second = reused.run(trace);
+
+  // Shared workspace, previously used by a different scenario.
+  ReplayWorkspace ws;
+  SimConfig other = default_config();
+  other.placement = PlacementMode::kForceShared;
+  (void)Simulation(other, policy, make_grouped_predictor(trace), &ws)
+      .run(trace);
+  const auto pooled = Simulation(default_config(), policy,
+                                 make_grouped_predictor(trace), &ws)
+                          .run(trace);
+
+  ASSERT_EQ(fresh.outcomes.size(), second.outcomes.size());
+  ASSERT_EQ(fresh.outcomes.size(), pooled.outcomes.size());
+  EXPECT_EQ(fresh.events_dispatched, second.events_dispatched);
+  EXPECT_EQ(fresh.events_dispatched, pooled.events_dispatched);
+  for (std::size_t i = 0; i < fresh.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fresh.outcomes[i].wallclock_s,
+                     second.outcomes[i].wallclock_s);
+    EXPECT_DOUBLE_EQ(fresh.outcomes[i].wallclock_s,
+                     pooled.outcomes[i].wallclock_s);
+    EXPECT_EQ(fresh.outcomes[i].checkpoints, pooled.outcomes[i].checkpoints);
+    EXPECT_EQ(fresh.outcomes[i].failures, pooled.outcomes[i].failures);
+  }
 }
 
 TEST(Simulation, DetectionDelayExtendsWallclock) {
