@@ -1,127 +1,41 @@
 #pragma once
 
 /// \file bench_common.hpp
-/// \brief Shared scenario construction and reporting helpers for the bench
-/// binaries that regenerate the paper's tables and figures.
+/// \brief Bench-side aliases over the shared scenario skeleton.
 ///
-/// Benches describe their experiments as api::ScenarioSpec grids and execute
-/// them through api::BatchRunner / api::run_scenario — no bench constructs a
-/// sim::Simulation directly. Identical trace specs across a grid share one
-/// generated trace inside the BatchRunner.
-///
-/// Scale note: the paper replays a one-month Google trace (~300k jobs). The
-/// reproduction runs each experiment at reduced but statistically stable
-/// scale — one simulated week (~35k sample jobs, ~100k tasks, ~4e7 events,
-/// a few seconds of wall time) for the month-scale experiments and one
-/// simulated day (~5k sample jobs) for the one-day experiments, exactly as
-/// scaled by `kWeekHorizon` / `kDayHorizon` below. Shapes and orderings are
-/// preserved; absolute counts differ.
+/// The scenario construction that used to live here moved into the library
+/// (src/report/scenarios.hpp) when the fig/tab experiments became registry
+/// entries; this header re-exports it for the remaining hand-rolled benches
+/// (the ablations) and keeps the one helper that depends on the bench CLI
+/// (run_grid over BenchArgs).
 
+#include <cstdlib>
+#include <exception>
 #include <iostream>
-#include <limits>
-#include <locale>
-#include <map>
-#include <sstream>
-#include <string>
-#include <utility>
 #include <vector>
 
 #include "api/batch.hpp"
 #include "api/runner.hpp"
-#include "api/scenario.hpp"
 #include "metrics/report.hpp"
-#include "metrics/wpr.hpp"
-#include "stats/empirical.hpp"
+#include "report/scenarios.hpp"
 
 #include "bench_args.hpp"
 
 namespace cloudcr::bench {
 
-inline constexpr double kDayHorizon = 86400.0;
-inline constexpr double kWeekHorizon = 7.0 * 86400.0;
-inline constexpr std::uint64_t kTraceSeed = 20130917;  // SC'13 submission-ish
+using report::kArrivalRate;
+using report::kDayHorizon;
+using report::kReplayMaxTaskLength;
+using report::kTraceSeed;
+using report::kWeekHorizon;
 
-/// The paper's job arrival density (~10k jobs/day).
-inline constexpr double kArrivalRate = 0.116;
+using report::day_trace_spec;
+using report::month_trace_spec;
+using report::scenario;
 
-/// Longest task length in the paper's replayed sample jobs (Fig 8: job
-/// execution lengths cap at six hours). Longer (service-class) tasks exist
-/// in the trace and feed the statistics, but are not replayed — a 224-VM
-/// cluster cannot host month-long tasks without starving everything else.
-inline constexpr double kReplayMaxTaskLength = 21600.0;
-
-/// Week-scale trace spec: the Fig 9/10 experiments. The replay set keeps
-/// jobs within the <= 6 h envelope; EstimationSource::kFull exposes the
-/// unrestricted trace (service tasks included) to the estimators.
-inline api::TraceSpec month_trace_spec(bool priority_change = false) {
-  api::TraceSpec t;
-  t.seed = kTraceSeed;
-  t.horizon_s = kWeekHorizon;
-  t.arrival_rate = kArrivalRate;
-  t.priority_change_midway = priority_change;
-  t.replay_max_task_length_s = kReplayMaxTaskLength;
-  return t;
-}
-
-/// One-day trace spec: the Fig 11-14 experiments.
-inline api::TraceSpec day_trace_spec(bool priority_change = false) {
-  api::TraceSpec t;
-  t.seed = kTraceSeed + 1;
-  t.horizon_s = kDayHorizon;
-  t.arrival_rate = kArrivalRate;
-  t.priority_change_midway = priority_change;
-  t.replay_max_task_length_s = kReplayMaxTaskLength;
-  return t;
-}
-
-/// Scenario skeleton in the paper's deployed configuration: checkpoints on
-/// DM-NFS, the design whose worked examples price the checkpoint cost in the
-/// shared-disk regime (C ~ 1-2 s) and whose migration-type-B restarts
-/// require shared placement. The local-vs-shared trade-off itself is ablated
-/// in bench_ablation_design.
-inline api::ScenarioSpec scenario(
-    std::string name, api::TraceSpec trace, std::string policy,
-    std::string predictor,
-    api::EstimationSource estimation = api::EstimationSource::kReplay) {
-  api::ScenarioSpec s;
-  s.name = std::move(name);
-  s.trace = trace;
-  s.policy = std::move(policy);
-  s.predictor = std::move(predictor);
-  s.estimation = estimation;
-  s.placement = sim::PlacementMode::kForceShared;
-  s.shared_device = storage::DeviceKind::kDmNfs;
-  return s;
-}
-
-/// One Formula (3)/Young spec pair per restricted-length class: the replay
-/// set is the day trace restricted to RL and estimation uses the same length
-/// class ("MTBF (as well as MNOF) are estimated using corresponding short
-/// tasks" — the Fig 11-13 experiments). Pairs land adjacently: artifacts
-/// [2i] is F3 and [2i+1] is Young for rls[i].
-inline std::vector<api::ScenarioSpec> rl_scenario_pairs(
-    const std::string& prefix, const std::vector<double>& rls,
-    const BenchArgs& args) {
-  std::vector<api::ScenarioSpec> specs;
-  for (const double rl : rls) {
-    auto tspec = day_trace_spec();
-    args.apply(tspec);
-    tspec.replay_max_task_length_s = rl;
-    // Exact round-trip format: the tag feeds the "grouped:<limit>" predictor
-    // key, which must restrict estimation to the same length class as the
-    // replay set (an int cast would silently truncate a non-integral RL).
-    std::ostringstream tag_os;
-    tag_os.imbue(std::locale::classic());
-    tag_os.precision(std::numeric_limits<double>::max_digits10);
-    tag_os << rl;
-    const std::string tag = tag_os.str();
-    specs.push_back(
-        scenario(prefix + "_f3_rl" + tag, tspec, "formula3", "grouped:" + tag));
-    specs.push_back(
-        scenario(prefix + "_young_rl" + tag, tspec, "young", "grouped:" + tag));
-  }
-  return specs;
-}
+using report::pair_wallclocks;
+using report::split_by_structure;
+using report::SplitOutcomes;
 
 /// Runs a grid of scenarios on a thread pool (respecting --threads). Run
 /// failures (an ingested log going bad mid-run, an unknown registry key
@@ -138,53 +52,6 @@ inline std::vector<api::RunArtifact> run_grid(
     std::cerr << "run failed: " << e.what() << "\n";
     std::exit(2);
   }
-}
-
-// -- outcome massaging ------------------------------------------------------
-
-/// Splits outcomes by job structure.
-struct SplitOutcomes {
-  std::vector<metrics::JobOutcome> st;
-  std::vector<metrics::JobOutcome> bot;
-};
-
-inline SplitOutcomes split_by_structure(
-    const std::vector<metrics::JobOutcome>& outcomes) {
-  SplitOutcomes s;
-  for (const auto& o : outcomes) {
-    (o.bag_of_tasks ? s.bot : s.st).push_back(o);
-  }
-  return s;
-}
-
-/// Prints a WPR CDF series (compact: `points` evenly spaced x values).
-inline void print_wpr_cdf(const std::string& name,
-                          const std::vector<metrics::JobOutcome>& outcomes,
-                          std::size_t points = 21) {
-  if (outcomes.empty()) {
-    std::cout << "# series: " << name << " (empty)\n\n";
-    return;
-  }
-  const stats::EmpiricalCdf cdf(metrics::wpr_values(outcomes));
-  std::vector<std::pair<double, double>> series;
-  for (const auto& pt : stats::cdf_series(cdf, points, 0.0, 1.0)) {
-    series.emplace_back(pt.x, pt.p);
-  }
-  metrics::print_series(std::cout, name, series);
-}
-
-/// Pairs outcomes of two runs by job id; returns (a, b) wallclock pairs.
-inline std::vector<std::pair<double, double>> pair_wallclocks(
-    const std::vector<metrics::JobOutcome>& a,
-    const std::vector<metrics::JobOutcome>& b) {
-  std::map<std::uint64_t, double> b_by_id;
-  for (const auto& o : b) b_by_id[o.job_id] = o.wallclock_s;
-  std::vector<std::pair<double, double>> pairs;
-  for (const auto& o : a) {
-    const auto it = b_by_id.find(o.job_id);
-    if (it != b_by_id.end()) pairs.emplace_back(o.wallclock_s, it->second);
-  }
-  return pairs;
 }
 
 }  // namespace cloudcr::bench

@@ -1,72 +1,10 @@
-// Figure 4: CDF of uninterrupted task intervals, grouped by priority.
-// Paper shape: higher priorities run longer without interruption (their
-// curves rise later); low priorities (1-6) live in the sub-day range while
-// high priorities (7-12) stretch to many days. Priority 10 is the deliberate
-// exception (monitoring churn).
+// Figure 4: CDF of uninterrupted task intervals by priority.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig04' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv, /*exports=*/false);
-  auto tspec = bench::month_trace_spec();
-  args.apply(tspec);
-  const auto trace = api::make_trace(tspec);
-  const auto by_priority = trace::intervals_by_priority(trace);
-
-  metrics::print_banner(std::cout,
-                        "Figure 4: uninterrupted intervals by priority");
-  std::cout << "trace: " << trace.job_count() << " jobs, "
-            << trace.task_count() << " tasks\n";
-
-  metrics::Table summary({"priority", "intervals", "median (s)", "p90 (s)",
-                          "max (s)"});
-  for (const auto& [priority, intervals] : by_priority) {
-    if (intervals.empty()) continue;
-    const stats::EmpiricalCdf cdf(intervals);
-    summary.add_row({std::to_string(priority),
-                     std::to_string(cdf.size()),
-                     metrics::fmt(cdf.quantile(0.5), 1),
-                     metrics::fmt(cdf.quantile(0.9), 1),
-                     metrics::fmt(cdf.max(), 1)});
-  }
-  summary.print(std::cout);
-
-  // Fig 4(a): low priorities, x range up to one day.
-  metrics::print_banner(std::cout, "Fig 4(a): low priorities (<= 1 day axis)");
-  for (int p = 1; p <= 6; ++p) {
-    const auto it = by_priority.find(p);
-    if (it == by_priority.end() || it->second.empty()) continue;
-    const stats::EmpiricalCdf cdf(it->second);
-    std::vector<std::pair<double, double>> series;
-    for (const auto& pt : stats::cdf_series(cdf, 13, 0.0, 86400.0)) {
-      series.emplace_back(pt.x, pt.p);
-    }
-    metrics::print_series(std::cout, "priority=" + std::to_string(p), series);
-  }
-
-  // Fig 4(b): high priorities, x range up to 30 days.
-  metrics::print_banner(std::cout,
-                        "Fig 4(b): high priorities (<= 30 day axis)");
-  for (int p = 7; p <= 12; ++p) {
-    const auto it = by_priority.find(p);
-    if (it == by_priority.end() || it->second.empty()) continue;
-    const stats::EmpiricalCdf cdf(it->second);
-    std::vector<std::pair<double, double>> series;
-    for (const auto& pt : stats::cdf_series(cdf, 13, 0.0, 30.0 * 86400.0)) {
-      series.emplace_back(pt.x / 86400.0, pt.p);  // days, as in the paper
-    }
-    metrics::print_series(std::cout, "priority=" + std::to_string(p), series);
-  }
-
-  // Structural check mirrored from the paper's discussion.
-  const auto low = by_priority.count(1) ? stats::EmpiricalCdf(
-                       by_priority.at(1)).quantile(0.5) : 0.0;
-  const auto high = by_priority.count(9) ? stats::EmpiricalCdf(
-                        by_priority.at(9)).quantile(0.5) : 0.0;
-  std::cout << "median interval priority 1 vs 9: " << metrics::fmt(low, 1)
-            << " vs " << metrics::fmt(high, 1)
-            << "  (paper: higher priorities run longer uninterrupted)\n";
-  return 0;
+  return cloudcr::report::bench_shim_main("fig04", argc, argv);
 }

@@ -1,81 +1,10 @@
 // Figure 5: distribution of task failure intervals with MLE fits.
-// Paper findings: a Pareto distribution fits the full interval set best;
-// restricted to intervals <= 1000 s (over 63% of the mass), an exponential
-// fit wins with lambda ~= 0.0042.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig05' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "stats/fitting.hpp"
-
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-namespace {
-
-void analyze(const std::string& label, const std::vector<double>& samples,
-             double x_hi) {
-  metrics::print_banner(std::cout, label);
-  std::cout << "samples: " << samples.size() << "\n";
-  if (samples.empty()) return;
-
-  const auto fits = stats::fit_all(samples);
-  metrics::Table table({"family", "KS", "AIC", "fitted"});
-  for (const auto& f : fits) {
-    table.add_row({f.family, metrics::fmt(f.ks_statistic, 4),
-                   metrics::fmt(f.aic, 0),
-                   f.dist ? f.dist->name() : "(failed)"});
-  }
-  table.print(std::cout);
-  std::cout << "best fit: " << fits.front().family << "\n";
-
-  const stats::EmpiricalCdf cdf(samples);
-  std::vector<std::pair<double, double>> series;
-  for (const auto& pt : stats::cdf_series(cdf, 21, 0.0, x_hi)) {
-    series.emplace_back(pt.x, pt.p);
-  }
-  metrics::print_series(std::cout, "empirical", series);
-  for (const auto& f : fits) {
-    if (!f.dist) continue;
-    std::vector<std::pair<double, double>> fitted;
-    for (const auto& pt : stats::cdf_series(cdf, 21, 0.0, x_hi)) {
-      fitted.emplace_back(pt.x, f.dist->cdf(pt.x));
-    }
-    metrics::print_series(std::cout, "fit:" + f.family, fitted);
-  }
-}
-
-}  // namespace
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv, /*exports=*/false);
-  auto tspec = bench::month_trace_spec();
-  args.apply(tspec);
-  const auto trace = api::make_trace(tspec);
-
-  // "Task failure intervals" = uninterrupted work intervals: burst gaps plus
-  // the full uninterrupted stretch of tasks that never fail.
-  const auto all = trace::uninterrupted_interval_pool(trace);
-  analyze("Figure 5(a): all failure intervals", all, 200000.0);
-
-  const auto short_intervals =
-      trace::uninterrupted_interval_pool(trace, 1000.0);
-  analyze("Figure 5(b): failure intervals <= 1000 s", short_intervals,
-          1000.0);
-
-  if (!all.empty()) {
-    const double frac_short =
-        static_cast<double>(short_intervals.size()) /
-        static_cast<double>(all.size());
-    std::cout << "fraction of intervals <= 1000 s: "
-              << metrics::fmt(frac_short, 3)
-              << "  (paper: over 63%)\n";
-  }
-  if (!short_intervals.empty()) {
-    const auto exp_fit = stats::fit_exponential(short_intervals);
-    if (exp_fit.dist) {
-      std::cout << "exponential fit on the <=1000 s window: "
-                << exp_fit.dist->name()
-                << "  (paper: lambda ~= 0.00423)\n";
-    }
-  }
-  return 0;
+  return cloudcr::report::bench_shim_main("fig05", argc, argv);
 }

@@ -1,61 +1,10 @@
-// Figure 7: total checkpointing cost vs number of checkpoints, for memory
-// sizes 10-240 MB, over (a) local ramdisk and (b) NFS. The paper measures a
-// linear relationship in both the memory size and the checkpoint count; the
-// reproduction replays the calibrated cost model with the 25-repetition
-// measurement noise the paper reports.
+// Figure 7: total checkpointing cost vs checkpoint count and memory.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig07' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "storage/backend.hpp"
-#include "stats/summary.hpp"
+#include "report/shim.hpp"
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-namespace {
-
-void sweep(const std::string& label, storage::StorageBackend& backend) {
-  metrics::print_banner(std::cout, label);
-  metrics::Table table({"mem (MB)", "1 ckpt", "2 ckpts", "3 ckpts",
-                        "4 ckpts", "5 ckpts"});
-  for (double mem : {10.0, 20.0, 40.0, 80.0, 160.0, 240.0}) {
-    std::vector<std::string> row{metrics::fmt(mem, 0)};
-    for (int n = 1; n <= 5; ++n) {
-      stats::Summary total;
-      for (int rep = 0; rep < 25; ++rep) {
-        double acc = 0.0;
-        for (int k = 0; k < n; ++k) {
-          const auto t = backend.begin_checkpoint(mem, 0);
-          backend.end_checkpoint(t.op_id);
-          acc += t.cost;
-        }
-        total.add(acc);
-      }
-      row.push_back(metrics::fmt(total.mean(), 3));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-}
-
-}  // namespace
-
-int main() {
-  stats::Rng rng(bench::kTraceSeed);
-
-  storage::LocalRamdiskBackend local(&rng, storage::kDefaultNoise);
-  sweep("Figure 7(a): total checkpointing cost over local ramdisk (s)", local);
-
-  storage::SharedNfsBackend nfs(&rng, storage::kDefaultNoise);
-  sweep("Figure 7(b): total checkpointing cost over NFS (s)", nfs);
-
-  std::cout << "paper ranges: local [0.016, 0.99] s per checkpoint for "
-               "10-240 MB; NFS [0.25, 2.52] s\n";
-  std::cout << "single-checkpoint cost at 240 MB: local="
-            << metrics::fmt(storage::checkpoint_cost(
-                   storage::DeviceKind::kLocalRamdisk, 240.0), 3)
-            << " nfs="
-            << metrics::fmt(storage::checkpoint_cost(
-                   storage::DeviceKind::kSharedNfs, 240.0), 3)
-            << "\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cloudcr::report::bench_shim_main("fig07", argc, argv);
 }

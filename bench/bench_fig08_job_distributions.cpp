@@ -1,65 +1,10 @@
-// Figure 8: CDF of the memory size and execution length of the sample jobs,
-// split by structure. Paper shape: memory sizes and lengths differ by
-// structure, and most jobs are short with small footprints.
+// Figure 8: CDF of sample-job memory size and execution length.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig08' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-namespace {
-
-void print_cdf(const std::string& name, const std::vector<double>& samples,
-               double x_hi) {
-  if (samples.empty()) return;
-  const stats::EmpiricalCdf cdf(samples);
-  std::vector<std::pair<double, double>> series;
-  for (const auto& pt : stats::cdf_series(cdf, 21, 0.0, x_hi)) {
-    series.emplace_back(pt.x, pt.p);
-  }
-  metrics::print_series(std::cout, name, series);
-}
-
-}  // namespace
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv, /*exports=*/false);
-  auto tspec = bench::month_trace_spec();
-  args.apply(tspec);
-  const auto trace = api::make_replay_trace(tspec);
-  std::cout << "trace: " << trace.job_count() << " sample jobs\n";
-
-  std::vector<double> mem_st, mem_bot, mem_mix;
-  std::vector<double> len_st, len_bot, len_mix;
-  for (const auto& job : trace.jobs) {
-    const double mem = job.total_memory();
-    const double len = job.total_length();
-    mem_mix.push_back(mem);
-    len_mix.push_back(len);
-    if (job.structure == trace::JobStructure::kSequentialTasks) {
-      mem_st.push_back(mem);
-      len_st.push_back(len);
-    } else {
-      mem_bot.push_back(mem);
-      len_bot.push_back(len);
-    }
-  }
-
-  metrics::print_banner(std::cout, "Figure 8(a): job memory size (MB)");
-  print_cdf("ST job", mem_st, 1000.0);
-  print_cdf("BoT job", mem_bot, 1000.0);
-  print_cdf("mixture", mem_mix, 1000.0);
-
-  metrics::print_banner(std::cout, "Figure 8(b): job execution length (h)");
-  auto hours = [](std::vector<double> v) {
-    for (double& x : v) x /= 3600.0;
-    return v;
-  };
-  print_cdf("ST job", hours(len_st), 6.0);
-  print_cdf("BoT job", hours(len_bot), 6.0);
-  print_cdf("mixture", hours(len_mix), 6.0);
-
-  const stats::EmpiricalCdf len_cdf(len_mix);
-  std::cout << "median job length: " << metrics::fmt(len_cdf.quantile(0.5), 0)
-            << " s  (paper: most jobs are short, 200-1000 s tasks)\n";
-  return 0;
+  return cloudcr::report::bench_shim_main("fig08", argc, argv);
 }

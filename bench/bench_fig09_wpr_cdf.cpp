@@ -1,63 +1,10 @@
-// Figure 9: CDF of the Workload-Processing Ratio under Formula (3) vs
-// Young's formula, with MNOF/MTBF estimated per priority group.
-// Paper findings: Formula (3) dominates with high probability; ST averages
-// 0.945 vs 0.916, BoT 0.955 vs 0.915; only 7% of ST jobs fall below
-// WPR 0.88 under Formula (3) vs ~20% under Young's; 56.6% of BoT jobs
-// exceed 0.95 vs 46.5%.
+// Figure 9: CDF of WPR, Formula (3) vs Young, group estimation.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig09' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-
-  // Statistics are estimated over the *whole* trace (service-class tasks
-  // included) exactly as the paper computes its per-priority MNOF/MTBF
-  // groups; only the short sample jobs are replayed. The inflated
-  // unrestricted MTBF is what misleads Young's formula.
-  auto tspec = bench::month_trace_spec();
-  args.apply(tspec);
-
-  const auto artifacts = bench::run_grid(
-      {bench::scenario("fig09_formula3", tspec, "formula3", "grouped",
-                       api::EstimationSource::kFull),
-       bench::scenario("fig09_young", tspec, "young", "grouped",
-                       api::EstimationSource::kFull)},
-      args);
-  const auto& res_f3 = artifacts[0].result;
-  const auto& res_young = artifacts[1].result;
-  std::cout << "trace: " << artifacts[0].trace_jobs
-            << " replayed sample jobs, " << artifacts[0].trace_tasks
-            << " tasks\n";
-
-  const auto s_f3 = bench::split_by_structure(res_f3.outcomes);
-  const auto s_young = bench::split_by_structure(res_young.outcomes);
-
-  metrics::print_banner(std::cout, "Figure 9(a): sequential-task jobs");
-  bench::print_wpr_cdf("C/R with Formula (3)", s_f3.st);
-  bench::print_wpr_cdf("C/R with Young's formula", s_young.st);
-
-  metrics::print_banner(std::cout, "Figure 9(b): bag-of-task jobs");
-  bench::print_wpr_cdf("C/R with Formula (3)", s_f3.bot);
-  bench::print_wpr_cdf("C/R with Young's formula", s_young.bot);
-
-  metrics::print_banner(std::cout, "headline numbers");
-  metrics::Table table({"metric", "Formula (3)", "Young"});
-  table.add_row({"avg WPR (ST)", metrics::fmt(metrics::average_wpr(s_f3.st), 3),
-                 metrics::fmt(metrics::average_wpr(s_young.st), 3)});
-  table.add_row({"avg WPR (BoT)",
-                 metrics::fmt(metrics::average_wpr(s_f3.bot), 3),
-                 metrics::fmt(metrics::average_wpr(s_young.bot), 3)});
-  table.add_row({"ST jobs with WPR < 0.88",
-                 metrics::fmt(metrics::fraction_below(s_f3.st, 0.88), 3),
-                 metrics::fmt(metrics::fraction_below(s_young.st, 0.88), 3)});
-  table.add_row({"BoT jobs with WPR > 0.95",
-                 metrics::fmt(metrics::fraction_above(s_f3.bot, 0.95), 3),
-                 metrics::fmt(metrics::fraction_above(s_young.bot, 0.95), 3)});
-  table.print(std::cout);
-
-  std::cout << "paper: ST 0.945 vs 0.916; BoT 0.955 vs 0.915; "
-               "ST<0.88: 7% vs 20%; BoT>0.95: 56.6% vs 46.5%\n";
-  return args.export_artifacts(artifacts) ? 0 : 1;
+  return cloudcr::report::bench_shim_main("fig09", argc, argv);
 }

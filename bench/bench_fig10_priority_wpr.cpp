@@ -1,109 +1,10 @@
-// Figure 10: min/avg/max WPR per priority, Formula (3) vs Young's formula,
-// split by job structure. Paper finding: Formula (3) outperforms at almost
-// every priority by 3-10% on average; some priorities (4, 8, 11, 12) carry
-// no data because they produce no failing-yet-completing sample jobs.
+// Figure 10: min/avg/max WPR per priority, Formula (3) vs Young.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig10' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include <array>
-
-#include "stats/summary.hpp"
-
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-namespace {
-
-/// Buckets outcomes by priority 1..12; outcomes outside the Google priority
-/// range are counted and skipped rather than indexed out of bounds.
-std::array<stats::Summary, trace::kMaxPriority> bucket_by_priority(
-    const std::vector<metrics::JobOutcome>& outcomes,
-    std::size_t& out_of_range) {
-  std::array<stats::Summary, trace::kMaxPriority> buckets;
-  for (const auto& o : outcomes) {
-    if (o.priority < trace::kMinPriority || o.priority > trace::kMaxPriority) {
-      ++out_of_range;
-      continue;
-    }
-    buckets[static_cast<std::size_t>(o.priority - 1)].add(o.wpr());
-  }
-  return buckets;
-}
-
-void print_block(const std::string& label,
-                 const std::vector<metrics::JobOutcome>& f3,
-                 const std::vector<metrics::JobOutcome>& young) {
-  metrics::print_banner(std::cout, label);
-  // Both runs replay the same job set, so report the F3 count alone rather
-  // than summing the two passes (which would double-count each skipped job)
-  // — and flag it if the paired runs ever disagree.
-  std::size_t out_of_range = 0;
-  const auto by_prio_f3 = bucket_by_priority(f3, out_of_range);
-  std::size_t young_out_of_range = 0;
-  const auto by_prio_young = bucket_by_priority(young, young_out_of_range);
-  if (out_of_range > 0) {
-    std::cout << "# skipped " << out_of_range
-              << " jobs with priority outside [1, 12]\n";
-  }
-  if (young_out_of_range != out_of_range) {
-    std::cout << "# WARNING: paired runs skipped different counts (F3 "
-              << out_of_range << ", Young " << young_out_of_range << ")\n";
-  }
-  metrics::Table table({"priority", "F3 min", "F3 avg", "F3 max", "Y min",
-                        "Y avg", "Y max", "jobs"});
-  for (int p = trace::kMinPriority; p <= trace::kMaxPriority; ++p) {
-    const auto& a = by_prio_f3[static_cast<std::size_t>(p - 1)];
-    const auto& b = by_prio_young[static_cast<std::size_t>(p - 1)];
-    if (a.empty() && b.empty()) {
-      table.add_row({std::to_string(p), "-", "-", "-", "-", "-", "-", "0"});
-      continue;
-    }
-    table.add_row({std::to_string(p), metrics::fmt(a.min(), 3),
-                   metrics::fmt(a.mean(), 3), metrics::fmt(a.max(), 3),
-                   metrics::fmt(b.min(), 3), metrics::fmt(b.mean(), 3),
-                   metrics::fmt(b.max(), 3), std::to_string(a.count())});
-  }
-  table.print(std::cout);
-
-  // Average advantage across populated priorities.
-  double adv = 0.0;
-  int cells = 0;
-  for (int p = trace::kMinPriority; p <= trace::kMaxPriority; ++p) {
-    const auto& a = by_prio_f3[static_cast<std::size_t>(p - 1)];
-    const auto& b = by_prio_young[static_cast<std::size_t>(p - 1)];
-    if (a.count() < 20 || b.count() < 20) continue;
-    adv += a.mean() - b.mean();
-    ++cells;
-  }
-  if (cells > 0) {
-    std::cout << "mean per-priority advantage of Formula (3): +"
-              << metrics::fmt(100.0 * adv / cells, 1)
-              << "% WPR  (paper: 3-10%)\n";
-  }
-}
-
-}  // namespace
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-
-  // Estimation over the full trace, replay on the <= 6 h sample jobs (see
-  // bench_fig09 for the rationale).
-  auto tspec = bench::month_trace_spec();
-  args.apply(tspec);
-
-  const auto artifacts = bench::run_grid(
-      {bench::scenario("fig10_formula3", tspec, "formula3", "grouped",
-                       api::EstimationSource::kFull),
-       bench::scenario("fig10_young", tspec, "young", "grouped",
-                       api::EstimationSource::kFull)},
-      args);
-  std::cout << "trace: " << artifacts[0].trace_jobs
-            << " replayed sample jobs\n";
-
-  const auto s_f3 = bench::split_by_structure(artifacts[0].result.outcomes);
-  const auto s_young = bench::split_by_structure(artifacts[1].result.outcomes);
-
-  print_block("Figure 10(a): sequential-task jobs", s_f3.st, s_young.st);
-  print_block("Figure 10(b): bag-of-task jobs", s_f3.bot, s_young.bot);
-  return args.export_artifacts(artifacts) ? 0 : 1;
+  return cloudcr::report::bench_shim_main("fig10", argc, argv);
 }

@@ -1,54 +1,10 @@
-// Figure 11: distribution of WPR over a one-day trace, for jobs restricted
-// to task lengths RL in {1000, 2000, 4000} s, under Formula (3) vs Young's
-// formula. MNOF/MTBF are estimated from the corresponding short tasks (the
-// paper's best case for Young's formula). Paper finding: 98% of jobs exceed
-// WPR 0.9 under Formula (3), while Young's leaves up to 40% below 0.9.
+// Figure 11: WPR distribution under restricted task lengths.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig11' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::vector<double> rls = {1000.0, 2000.0, 4000.0};
-
-  // All six runs execute on the thread pool at once.
-  const auto specs = bench::rl_scenario_pairs("fig11", rls, args);
-  const auto artifacts = bench::run_grid(specs, args);
-  std::cout << "one-day trace, restricted replay sets: ";
-  for (std::size_t i = 0; i < artifacts.size(); i += 2) {
-    std::cout << "RL=" << static_cast<int>(rls[i / 2]) << " -> "
-              << artifacts[i].trace_jobs << " jobs  ";
-  }
-  std::cout << "\n";
-
-  for (const char* structure : {"ST", "BoT"}) {
-    metrics::print_banner(
-        std::cout, std::string("Figure 11: ") +
-                       (structure[0] == 'S' ? "sequential-task jobs"
-                                            : "bag-of-task jobs"));
-    for (std::size_t i = 0; i < artifacts.size(); i += 2) {
-      const double rl = rls[i / 2];
-      const auto s_f3 =
-          bench::split_by_structure(artifacts[i].result.outcomes);
-      const auto s_young =
-          bench::split_by_structure(artifacts[i + 1].result.outcomes);
-      const auto& f3 = structure[0] == 'S' ? s_f3.st : s_f3.bot;
-      const auto& yg = structure[0] == 'S' ? s_young.st : s_young.bot;
-
-      const std::string rl_tag = ",RL=" + std::to_string(
-                                              static_cast<int>(rl));
-      bench::print_wpr_cdf("Formula (3)" + rl_tag, f3);
-      bench::print_wpr_cdf("Young Formula" + rl_tag, yg);
-
-      std::cout << "RL=" << static_cast<int>(rl) << " " << structure
-                << ": P(WPR>0.9) F3="
-                << metrics::fmt(metrics::fraction_above(f3, 0.9), 3)
-                << " Young="
-                << metrics::fmt(metrics::fraction_above(yg, 0.9), 3) << "\n";
-    }
-  }
-  std::cout << "paper: 98% of jobs above WPR 0.9 under Formula (3); up to "
-               "40% below 0.9 under Young's\n";
-  return args.export_artifacts(artifacts) ? 0 : 1;
+  return cloudcr::report::bench_shim_main("fig11", argc, argv);
 }

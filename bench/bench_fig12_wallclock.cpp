@@ -1,73 +1,10 @@
-// Figure 12: real wall-clock lengths of jobs in the one-day experiment with
-// task lengths restricted to RL = 1000 s and RL = 4000 s. Paper finding:
-// the majority of job wall-clock lengths grow by 50-100 s under Young's
-// formula relative to Formula (3) — a large penalty given that most Google
-// jobs run 200-1000 s.
+// Figure 12: wall-clock job lengths under RL=1000/4000 s.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig12' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include <algorithm>
-
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-namespace {
-
-void report_rl(double rl, const sim::SimResult& res_f3,
-               const sim::SimResult& res_young) {
-  metrics::print_banner(std::cout,
-                        "Figure 12: wall-clock lengths, RL=" +
-                            std::to_string(static_cast<int>(rl)) + " s");
-  std::cout << "jobs: " << res_f3.outcomes.size() << "\n";
-
-  auto collect = [](const std::vector<metrics::JobOutcome>& outs) {
-    std::vector<double> v;
-    v.reserve(outs.size());
-    for (const auto& o : outs) v.push_back(o.wallclock_s);
-    return v;
-  };
-  const stats::EmpiricalCdf cdf_f3(collect(res_f3.outcomes));
-  const stats::EmpiricalCdf cdf_young(collect(res_young.outcomes));
-
-  metrics::Table table({"percentile", "Formula (3) Tw (s)", "Young Tw (s)",
-                        "difference (s)"});
-  for (double p : {0.25, 0.5, 0.75, 0.9, 0.99}) {
-    const double a = cdf_f3.quantile(p);
-    const double b = cdf_young.quantile(p);
-    table.add_row({metrics::fmt(p, 2), metrics::fmt(a, 1),
-                   metrics::fmt(b, 1), metrics::fmt(b - a, 1)});
-  }
-  table.print(std::cout);
-
-  // Paired per-job difference (same kill sequences in both runs).
-  const auto pairs = bench::pair_wallclocks(res_f3.outcomes,
-                                            res_young.outcomes);
-  std::vector<double> diffs;
-  diffs.reserve(pairs.size());
-  for (const auto& [f3, yg] : pairs) diffs.push_back(yg - f3);
-  if (!diffs.empty()) {
-    std::sort(diffs.begin(), diffs.end());
-    const stats::EmpiricalCdf diff_cdf(diffs);
-    std::cout << "paired Tw(Young) - Tw(F3): median="
-              << metrics::fmt(diff_cdf.quantile(0.5), 1)
-              << " s, p75=" << metrics::fmt(diff_cdf.quantile(0.75), 1)
-              << " s, p90=" << metrics::fmt(diff_cdf.quantile(0.9), 1)
-              << " s\n";
-  }
-}
-
-}  // namespace
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::vector<double> rls = {1000.0, 4000.0};
-
-  const auto specs = bench::rl_scenario_pairs("fig12", rls, args);
-  const auto artifacts = bench::run_grid(specs, args);
-
-  for (std::size_t i = 0; i < artifacts.size(); i += 2) {
-    report_rl(rls[i / 2], artifacts[i].result, artifacts[i + 1].result);
-  }
-  std::cout << "paper: majority of jobs' wall-clock lengths incremented by "
-               "50-100 s under Young's formula\n";
-  return args.export_artifacts(artifacts) ? 0 : 1;
+  return cloudcr::report::bench_shim_main("fig12", argc, argv);
 }

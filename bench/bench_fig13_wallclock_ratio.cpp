@@ -1,78 +1,10 @@
-// Figure 13: per-job comparison of wall-clock lengths under the two
-// formulas (RL = 1000 s). Paper finding: ~70% of jobs finish faster under
-// Formula (3), by ~15% on average; ~30% finish slower, by ~5% on average.
+// Figure 13: per-job wall-clock ratio, Formula (3) vs Young.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig13' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include <algorithm>
-
-#include "bench_common.hpp"
-
-using namespace cloudcr;
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-
-  auto tspec = bench::day_trace_spec();
-  args.apply(tspec);
-  tspec.replay_max_task_length_s = 1000.0;
-
-  const auto artifacts = bench::run_grid(
-      {bench::scenario("fig13_formula3", tspec, "formula3", "grouped:1000"),
-       bench::scenario("fig13_young", tspec, "young", "grouped:1000")},
-      args);
-  std::cout << "jobs (RL=1000): " << artifacts[0].trace_jobs << "\n";
-
-  const auto pairs = bench::pair_wallclocks(artifacts[0].result.outcomes,
-                                            artifacts[1].result.outcomes);
-
-  std::size_t faster = 0, slower = 0, tied = 0;
-  double gain = 0.0, loss = 0.0;
-  std::vector<double> ratios, diffs;
-  for (const auto& [f3, yg] : pairs) {
-    const double ratio = f3 / yg;
-    ratios.push_back(ratio);
-    diffs.push_back(f3 - yg);
-    if (f3 < yg - 1e-9) {
-      ++faster;
-      gain += 1.0 - ratio;
-    } else if (f3 > yg + 1e-9) {
-      ++slower;
-      loss += ratio - 1.0;
-    } else {
-      ++tied;
-    }
-  }
-
-  metrics::print_banner(std::cout,
-                        "Figure 13: ratio of wall-clock length (RL=1000 s)");
-  metrics::Table table({"metric", "value", "paper"});
-  const double n = static_cast<double>(pairs.size());
-  table.add_row({"jobs compared", std::to_string(pairs.size()), "~10k"});
-  table.add_row({"fraction faster under Formula (3)",
-                 metrics::fmt(faster / n, 3), "~0.70"});
-  table.add_row({"avg reduction when faster",
-                 metrics::fmt(faster ? gain / faster : 0.0, 3), "~0.15"});
-  table.add_row({"fraction slower under Formula (3)",
-                 metrics::fmt(slower / n, 3), "~0.30"});
-  table.add_row({"avg increase when slower",
-                 metrics::fmt(slower ? loss / slower : 0.0, 3), "~0.05"});
-  table.print(std::cout);
-
-  // Fig 13(a): sorted ratio series (sampled to 25 points).
-  std::sort(ratios.begin(), ratios.end());
-  std::vector<std::pair<double, double>> ratio_series;
-  for (std::size_t i = 0; i < 25 && !ratios.empty(); ++i) {
-    const std::size_t idx = i * (ratios.size() - 1) / 24;
-    ratio_series.emplace_back(static_cast<double>(idx), ratios[idx]);
-  }
-  metrics::print_series(std::cout, "sorted Tw(F3)/Tw(Young)", ratio_series);
-
-  // Fig 13(b): sorted wall-clock difference series.
-  std::sort(diffs.begin(), diffs.end());
-  std::vector<std::pair<double, double>> diff_series;
-  for (std::size_t i = 0; i < 25 && !diffs.empty(); ++i) {
-    const std::size_t idx = i * (diffs.size() - 1) / 24;
-    diff_series.emplace_back(static_cast<double>(idx), diffs[idx]);
-  }
-  metrics::print_series(std::cout, "sorted Tw(F3)-Tw(Young) (s)", diff_series);
-  return args.export_artifacts(artifacts) ? 0 : 1;
+  return cloudcr::report::bench_shim_main("fig13", argc, argv);
 }

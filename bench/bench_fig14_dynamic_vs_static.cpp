@@ -1,88 +1,10 @@
-// Figure 14: the adaptive algorithm (Algorithm 1, MNOF refreshed when the
-// task's priority changes) vs the static baseline (submission-time MNOF kept
-// forever), on a one-day trace where every task's priority changes once
-// mid-execution. Paper findings: the dynamic algorithm's worst WPR stays
-// ~0.8 vs ~0.5 for the static one; 67% of job wall-clocks are similar; over
-// 21% of jobs run >=10% faster under the dynamic algorithm.
+// Figure 14: adaptive (dynamic) algorithm vs static baseline.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'fig14' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-
-  auto changing = bench::day_trace_spec(/*priority_change=*/true);
-  args.apply(changing);
-  // Per-priority statistics come from *historical* (change-free) behaviour:
-  // grouping the change trace by submission priority would blur the groups
-  // (a task submitted calm but stormy after its change would pollute the
-  // calm group). The paper estimates MNOF per priority from history and
-  // looks it up when the priority changes.
-  auto history = bench::day_trace_spec(/*priority_change=*/false);
-  args.apply(history);
-
-  // Dynamic: statistics follow the *current* priority; controller adaptive.
-  auto dynamic_spec = bench::scenario("fig14_dynamic", changing, "formula3",
-                                      "grouped",
-                                      api::EstimationSource::kHistory);
-  dynamic_spec.history = history;
-  // Static: statistics frozen at the submission priority; controller static.
-  auto static_spec = bench::scenario("fig14_static", changing, "formula3",
-                                     "submission",
-                                     api::EstimationSource::kHistory);
-  static_spec.history = history;
-  static_spec.adaptation = core::AdaptationMode::kStatic;
-
-  const auto artifacts = bench::run_grid({dynamic_spec, static_spec}, args);
-  const auto& res_dyn = artifacts[0].result;
-  const auto& res_sta = artifacts[1].result;
-  std::cout << "one-day trace with mid-execution priority changes: "
-            << artifacts[0].trace_jobs << " sample jobs\n";
-
-  metrics::print_banner(std::cout, "Figure 14(a): distribution of WPR");
-  bench::print_wpr_cdf("Dynamic Algorithm", res_dyn.outcomes);
-  bench::print_wpr_cdf("Static Algorithm", res_sta.outcomes);
-
-  metrics::Table table({"metric", "dynamic", "static"});
-  table.add_row({"avg WPR",
-                 metrics::fmt(metrics::average_wpr(res_dyn.outcomes), 3),
-                 metrics::fmt(metrics::average_wpr(res_sta.outcomes), 3)});
-  table.add_row({"worst WPR",
-                 metrics::fmt(metrics::lowest_wpr(res_dyn.outcomes), 3),
-                 metrics::fmt(metrics::lowest_wpr(res_sta.outcomes), 3)});
-  table.add_row({"1st percentile WPR",
-                 metrics::fmt(stats::EmpiricalCdf(
-                     metrics::wpr_values(res_dyn.outcomes)).quantile(0.01), 3),
-                 metrics::fmt(stats::EmpiricalCdf(
-                     metrics::wpr_values(res_sta.outcomes)).quantile(0.01),
-                     3)});
-  table.print(std::cout);
-
-  metrics::print_banner(std::cout,
-                        "Figure 14(b): ratio of wall-clock length");
-  const auto pairs = bench::pair_wallclocks(res_dyn.outcomes,
-                                            res_sta.outcomes);
-  std::size_t similar = 0, dyn_faster_10 = 0, sta_faster_10 = 0;
-  for (const auto& [dyn, sta] : pairs) {
-    const double ratio = dyn / sta;
-    if (ratio < 0.9) {
-      ++dyn_faster_10;
-    } else if (ratio > 1.1) {
-      ++sta_faster_10;
-    } else {
-      ++similar;
-    }
-  }
-  const double n = static_cast<double>(pairs.size());
-  metrics::Table rt({"bucket", "fraction", "paper"});
-  rt.add_row({"similar (within 10%)", metrics::fmt(similar / n, 3), "~0.67"});
-  rt.add_row({"dynamic >=10% faster", metrics::fmt(dyn_faster_10 / n, 3),
-              ">0.21"});
-  rt.add_row({"static >=10% faster", metrics::fmt(sta_faster_10 / n, 3),
-              "small"});
-  rt.print(std::cout);
-
-  std::cout << "paper: worst WPR ~0.8 (dynamic) vs ~0.5 (static)\n";
-  return args.export_artifacts(artifacts) ? 0 : 1;
+  return cloudcr::report::bench_shim_main("fig14", argc, argv);
 }

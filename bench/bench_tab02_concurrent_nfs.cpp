@@ -1,66 +1,10 @@
-// Table 2: cost of simultaneously checkpointing tasks (160 MB) on the local
-// ramdisk and on a single shared NFS server, for parallel degree X = 1..5.
-// Paper finding: local ramdisk cost is flat (~0.6-0.9 s) while NFS cost
-// grows roughly linearly with the parallel degree (1.67 -> 8.95 s).
+// Table 2: simultaneous checkpoint cost, ramdisk vs single NFS.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'tab02' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "storage/backend.hpp"
-#include "stats/summary.hpp"
+#include "report/shim.hpp"
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-namespace {
-
-void measure(const std::string& label,
-             const std::function<std::unique_ptr<storage::StorageBackend>()>&
-                 make) {
-  metrics::print_banner(std::cout, label);
-  metrics::Table table({"stat", "X=1", "X=2", "X=3", "X=4", "X=5"});
-  std::vector<std::string> row_min{"min"}, row_avg{"avg"}, row_max{"max"};
-  for (int degree = 1; degree <= 5; ++degree) {
-    stats::Summary cost;
-    for (int rep = 0; rep < 25; ++rep) {
-      auto backend = make();
-      // Launch `degree` concurrent checkpoints; record the cost of the
-      // last writer (the one that sees the full contention), matching the
-      // paper's simultaneous-checkpoint measurement.
-      std::vector<storage::CheckpointTicket> tickets;
-      for (int i = 0; i < degree; ++i) {
-        tickets.push_back(backend->begin_checkpoint(160.0, 0));
-      }
-      cost.add(tickets.back().cost);
-      for (const auto& t : tickets) backend->end_checkpoint(t.op_id);
-    }
-    row_min.push_back(metrics::fmt(cost.min(), 3));
-    row_avg.push_back(metrics::fmt(cost.mean(), 3));
-    row_max.push_back(metrics::fmt(cost.max(), 3));
-  }
-  table.add_row(std::move(row_min));
-  table.add_row(std::move(row_avg));
-  table.add_row(std::move(row_max));
-  table.print(std::cout);
-}
-
-}  // namespace
-
-int main() {
-  stats::Rng rng(bench::kTraceSeed);
-
-  measure("Table 2 (top): local ramdisk, simultaneous checkpoint cost (s)",
-          [&rng] {
-            return std::make_unique<storage::LocalRamdiskBackend>(
-                &rng, storage::kDefaultNoise);
-          });
-
-  measure("Table 2 (bottom): single NFS server, simultaneous checkpoint "
-          "cost (s)",
-          [&rng] {
-            return std::make_unique<storage::SharedNfsBackend>(
-                &rng, storage::kDefaultNoise);
-          });
-
-  std::cout << "paper avg rows: local {0.632, 0.81, 0.74, 0.59, 0.58}; "
-               "NFS {1.67, 2.665, 5.38, 6.25, 8.95}\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cloudcr::report::bench_shim_main("tab02", argc, argv);
 }

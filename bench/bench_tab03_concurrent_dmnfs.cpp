@@ -1,44 +1,10 @@
-// Table 3: cost of simultaneously checkpointing tasks on the paper's
-// distributively-managed NFS (one NFS server per host, random server choice
-// per checkpoint). Paper finding: cost stays below ~2 s at every parallel
-// degree — the randomized spread removes the single-server bottleneck.
+// Table 3: simultaneous checkpoint cost on DM-NFS.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'tab03' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "storage/backend.hpp"
-#include "stats/summary.hpp"
+#include "report/shim.hpp"
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-int main() {
-  stats::Rng rng(bench::kTraceSeed);
-
-  metrics::print_banner(std::cout,
-                        "Table 3: DM-NFS simultaneous checkpoint cost (s), "
-                        "32 servers");
-  metrics::Table table({"stat", "X=1", "X=2", "X=3", "X=4", "X=5"});
-  std::vector<std::string> row_min{"min"}, row_avg{"avg"}, row_max{"max"};
-  for (int degree = 1; degree <= 5; ++degree) {
-    stats::Summary cost;
-    for (int rep = 0; rep < 25; ++rep) {
-      storage::DmNfsBackend backend(32, rng, storage::kDefaultNoise);
-      std::vector<storage::CheckpointTicket> tickets;
-      for (int i = 0; i < degree; ++i) {
-        tickets.push_back(backend.begin_checkpoint(160.0, 0));
-      }
-      cost.add(tickets.back().cost);
-      for (const auto& t : tickets) backend.end_checkpoint(t.op_id);
-    }
-    row_min.push_back(metrics::fmt(cost.min(), 3));
-    row_avg.push_back(metrics::fmt(cost.mean(), 3));
-    row_max.push_back(metrics::fmt(cost.max(), 3));
-  }
-  table.add_row(std::move(row_min));
-  table.add_row(std::move(row_avg));
-  table.add_row(std::move(row_max));
-  table.print(std::cout);
-
-  std::cout << "paper avg row: {1.67, 1.49, 1.63, 1.75, 1.74} — flat, always "
-               "under 2 s\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cloudcr::report::bench_shim_main("tab03", argc, argv);
 }

@@ -1,42 +1,10 @@
-// Table 4: duration of a single checkpoint operation over the shared disk,
-// at the twelve memory sizes the paper measures (0.33 s at 10.3 MB up to
-// 6.83 s at 240 MB). This is the time the storage device stays busy; the
-// countdown to the next checkpoint keeps running in a separate thread
-// (Algorithm 1 line 7), which is why the simulator separates op time from
-// the wall-clock cost.
+// Table 4: checkpoint operation time over the shared disk.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'tab04' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "storage/calibration.hpp"
+#include "report/shim.hpp"
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-int main() {
-  metrics::print_banner(std::cout,
-                        "Table 4: checkpoint operation time over shared disk");
-  metrics::Table table({"memory (MB)", "operation time (s)", "paper (s)"});
-  const struct {
-    double mem;
-    double paper;
-  } rows[] = {{10.3, 0.33}, {22.3, 0.42}, {42.3, 0.60}, {46.3, 0.66},
-              {82.4, 1.46}, {86.4, 1.75}, {90.4, 2.09}, {94.4, 2.34},
-              {162.0, 3.68}, {174.0, 4.95}, {212.0, 5.47}, {240.0, 6.83}};
-  for (const auto& row : rows) {
-    table.add_row({metrics::fmt(row.mem, 1),
-                   metrics::fmt(storage::checkpoint_op_time(
-                       storage::DeviceKind::kSharedNfs, row.mem), 2),
-                   metrics::fmt(row.paper, 2)});
-  }
-  table.print(std::cout);
-
-  // Interpolation behaviour between the published points.
-  metrics::print_banner(std::cout, "interpolated op time at unmeasured sizes");
-  metrics::Table interp({"memory (MB)", "operation time (s)"});
-  for (double mem : {16.0, 64.0, 128.0, 200.0}) {
-    interp.add_row({metrics::fmt(mem, 0),
-                    metrics::fmt(storage::checkpoint_op_time(
-                        storage::DeviceKind::kSharedNfs, mem), 2)});
-  }
-  interp.print(std::cout);
-  return 0;
+int main(int argc, char** argv) {
+  return cloudcr::report::bench_shim_main("tab04", argc, argv);
 }

@@ -1,28 +1,10 @@
 // Table 5: task restarting cost under the two migration types.
-// Type A (checkpoints on the failed host's local ramdisk) pays an extra
-// shared-disk hop; type B (checkpoints already on the shared disk) restarts
-// directly. Paper: A costs 0.71-5.69 s, B costs 0.37-2.40 s for 10-240 MB.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'tab05' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "storage/calibration.hpp"
+#include "report/shim.hpp"
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-int main() {
-  metrics::print_banner(std::cout, "Table 5: task restarting cost (s)");
-  metrics::Table table({"memory (MB)", "migration A", "migration B",
-                        "A/B ratio"});
-  for (double mem : {10.0, 20.0, 40.0, 80.0, 160.0, 240.0}) {
-    const double a = storage::restart_cost(storage::MigrationType::kA, mem);
-    const double b = storage::restart_cost(storage::MigrationType::kB, mem);
-    table.add_row({metrics::fmt(mem, 0), metrics::fmt(a, 2),
-                   metrics::fmt(b, 2), metrics::fmt(a / b, 2)});
-  }
-  table.print(std::cout);
-  std::cout << "paper row A: {0.71, 0.84, 1.23, 1.87, 3.22, 5.69}\n";
-  std::cout << "paper row B: {0.37, 0.49, 0.54, 0.86, 1.45, 2.40}\n";
-  std::cout << "structural check: migration A dearer than B at every size "
-               "(extra shared-disk access)\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cloudcr::report::bench_shim_main("tab05", argc, argv);
 }

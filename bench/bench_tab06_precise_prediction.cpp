@@ -1,57 +1,10 @@
-// Table 6: checkpointing effect with *precise* prediction of MNOF and MTBF.
-// Each task's controller receives its exact realized failure count (for
-// Formula 3) and mean interval (for Young's formula). Paper finding: with
-// exact inputs the two formulas nearly coincide (avg WPR ~0.95 vs ~0.94).
+// Table 6: checkpointing effect with precise MNOF/MTBF prediction.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'tab06' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include <cmath>
-
-#include "bench_common.hpp"
-
-using namespace cloudcr;
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
-
-  auto tspec = bench::month_trace_spec();
-  args.apply(tspec);
-
-  const auto artifacts = bench::run_grid(
-      {bench::scenario("tab06_formula3", tspec, "formula3", "oracle"),
-       bench::scenario("tab06_young", tspec, "young", "oracle")},
-      args);
-  const auto& res_f3 = artifacts[0].result;
-  const auto& res_young = artifacts[1].result;
-  std::cout << "trace: " << artifacts[0].trace_jobs << " sample jobs, "
-            << artifacts[0].trace_tasks << " tasks\n";
-
-  const auto split_f3 = bench::split_by_structure(res_f3.outcomes);
-  const auto split_young = bench::split_by_structure(res_young.outcomes);
-
-  metrics::print_banner(std::cout,
-                        "Table 6: WPR with precise prediction");
-  metrics::Table table({"jobs", "Formula (3) avg", "Formula (3) lowest",
-                        "Young avg", "Young lowest"});
-  table.add_row({"BoT", metrics::fmt(metrics::average_wpr(split_f3.bot), 3),
-                 metrics::fmt(metrics::lowest_wpr(split_f3.bot), 3),
-                 metrics::fmt(metrics::average_wpr(split_young.bot), 3),
-                 metrics::fmt(metrics::lowest_wpr(split_young.bot), 3)});
-  table.add_row({"ST", metrics::fmt(metrics::average_wpr(split_f3.st), 3),
-                 metrics::fmt(metrics::lowest_wpr(split_f3.st), 3),
-                 metrics::fmt(metrics::average_wpr(split_young.st), 3),
-                 metrics::fmt(metrics::lowest_wpr(split_young.st), 3)});
-  table.add_row({"Mix", metrics::fmt(metrics::average_wpr(res_f3.outcomes), 3),
-                 metrics::fmt(metrics::lowest_wpr(res_f3.outcomes), 3),
-                 metrics::fmt(metrics::average_wpr(res_young.outcomes), 3),
-                 metrics::fmt(metrics::lowest_wpr(res_young.outcomes), 3)});
-  table.print(std::cout);
-
-  std::cout << "paper: BoT 0.960/0.742 vs 0.954/0.735; ST 0.937/0.742 vs "
-               "0.938/0.633; Mix 0.949/0.742 vs 0.939/0.633\n";
-  std::cout << "check: with exact per-task statistics the two formulas "
-               "nearly coincide (gap "
-            << metrics::fmt(std::abs(metrics::average_wpr(res_f3.outcomes) -
-                                     metrics::average_wpr(res_young.outcomes)),
-                            4)
-            << ")\n";
-  return args.export_artifacts(artifacts) ? 0 : 1;
+  return cloudcr::report::bench_shim_main("tab06", argc, argv);
 }

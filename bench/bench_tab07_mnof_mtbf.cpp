@@ -1,62 +1,11 @@
-// Table 7: MNOF and MTBF with respect to job priority and task-length limit.
-// The paper's structural finding — the reason Formula (3) survives group
-// estimation while Young's formula does not — is that MTBF inflates
-// dramatically once long tasks enter the estimation (Pareto-tail intervals)
-// while MNOF stays comparatively stable.
+// Table 7: MNOF and MTBF with respect to job priority and task-length
+// limit.
+// Thin CLI shim: the experiment definition (specs, metrics, expected
+// values, rendering) lives in the 'tab07' registry entry under src/report/;
+// run the whole matrix with repro_report.
 
-#include "bench_common.hpp"
-
-using namespace cloudcr;
-
-namespace {
-
-void print_block(const trace::Trace& trace, double limit,
-                 const std::string& label) {
-  metrics::print_banner(std::cout, "task length <= " + label);
-  metrics::Table table({"Pr", "ST MNOF", "ST MTBF", "BoT MNOF", "BoT MTBF",
-                        "Mix MNOF", "Mix MTBF"});
-  const auto st = trace::estimate_by_priority(
-      trace, limit, trace::StructureFilter::kSequentialOnly);
-  const auto bot = trace::estimate_by_priority(
-      trace, limit, trace::StructureFilter::kBagOfTasksOnly);
-  const auto mix = trace::estimate_by_priority(trace, limit);
-  for (int p : {1, 2, 7, 10}) {
-    const auto i = static_cast<std::size_t>(p - 1);
-    table.add_row({std::to_string(p), metrics::fmt(st[i].mnof, 2),
-                   metrics::fmt(st[i].mtbf, 0), metrics::fmt(bot[i].mnof, 2),
-                   metrics::fmt(bot[i].mtbf, 0), metrics::fmt(mix[i].mnof, 2),
-                   metrics::fmt(mix[i].mtbf, 0)});
-  }
-  table.print(std::cout);
-}
-
-}  // namespace
+#include "report/shim.hpp"
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv, /*exports=*/false);
-  auto tspec = bench::month_trace_spec();
-  args.apply(tspec);
-  tspec.sample_job_filter = false;  // Table 7 is estimated over the full trace
-  const auto trace = api::make_trace(tspec);
-  std::cout << "trace: " << trace.job_count() << " jobs, "
-            << trace.task_count() << " tasks (no sample-job filter)\n";
-
-  print_block(trace, 1000.0, "1000 s");
-  print_block(trace, 3600.0, "3600 s");
-  print_block(trace, trace::kNoLengthLimit, "+inf");
-
-  // The headline structural ratio (paper, priority 2: MTBF 179 -> 4199 s
-  // while MNOF 1.06 -> 1.21).
-  const auto short_g = trace::estimate_by_priority(trace, 1000.0);
-  const auto all_g = trace::estimate_by_priority(trace);
-  for (int p : {1, 2}) {
-    const auto i = static_cast<std::size_t>(p - 1);
-    if (short_g[i].empty() || all_g[i].empty()) continue;
-    std::cout << "priority " << p << ": MTBF inflation x"
-              << metrics::fmt(all_g[i].mtbf / short_g[i].mtbf, 1)
-              << ", MNOF inflation x"
-              << metrics::fmt(all_g[i].mnof / short_g[i].mnof, 2)
-              << "  (paper p2: x23.5 vs x1.14)\n";
-  }
-  return 0;
+  return cloudcr::report::bench_shim_main("tab07", argc, argv);
 }

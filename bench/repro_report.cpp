@@ -1,0 +1,297 @@
+// repro_report: one-command reproduction of the paper's figure/table
+// matrix, with the expected-value gate CI runs against the checked-in
+// bench/REPRO_expected.baseline.json.
+//
+// Every experiment is a registry entry (src/report/); this binary selects a
+// subset, runs it through the shared BatchRunner, compares metrics against
+// the expected document, and emits REPRODUCTION.md / REPRODUCTION.json.
+//
+// Usage:
+//   repro_report --list                      enumerate the registry
+//   repro_report                             run everything + gate
+//   repro_report --only fig09,tab02          run a subset
+//   repro_report --fast                      the cheap CI subset
+//   repro_report --md OUT.md --json OUT.json write the report artifacts
+//   repro_report --expected FILE.json        expected doc (default: the
+//                                            checked-in baseline)
+//   repro_report --update-expected FILE      rewrite expectations from this
+//                                            run (review the diff!)
+//   repro_report --docs OUT.md               regenerate docs/experiments.md
+//                                            (no experiments are run)
+//   repro_report --threads N                 BatchRunner workers
+//   repro_report --verbose                   stream the per-figure tables
+//   repro_report --no-gate                   report deviations, exit 0
+//
+// Exit codes: 0 gate passed (or skipped), 1 gate failed, 2 CLI/IO error.
+//
+// Results are deterministic per machine and thread-count independent
+// (BatchRunner pins bit-identity); the per-metric tolerances absorb
+// cross-platform libm variation only.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "report/compare.hpp"
+#include "report/registry.hpp"
+#include "report/render.hpp"
+#include "report/runner.hpp"
+
+namespace {
+
+using namespace cloudcr;
+
+std::vector<std::string> split_ids(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string id;
+  while (std::getline(is, id, ',')) {
+    if (!id.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+int list_experiments() {
+  const auto& registry = report::ExperimentRegistry::instance();
+  std::printf("%-8s %-10s %-5s %-9s %s\n", "id", "paper", "fast", "scenarios",
+              "title");
+  for (const auto& e : registry.entries()) {
+    std::printf("%-8s %-10s %-5s %-9zu %s\n", e.id.c_str(),
+                e.paper_ref.c_str(), e.fast ? "yes" : "", e.specs.size(),
+                e.title.c_str());
+  }
+  return 0;
+}
+
+bool write_file(const std::string& path,
+                const std::function<void(std::ostream&)>& body,
+                const char* what) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  body(os);
+  std::cout << "# wrote " << path << " (" << what << ")\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> only;
+  bool fast_only = false;
+  bool verbose = false;
+  bool gate = true;
+  std::size_t threads = 0;
+  std::string md_path;
+  std::string json_path;
+  std::string docs_path;
+  std::string update_path;
+  std::string expected_path = report::default_expected_path();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      return list_experiments();
+    } else if (arg == "--only") {
+      only = split_ids(value());
+      if (only.empty()) {
+        std::cerr << "--only needs a comma-separated id list\n";
+        return 2;
+      }
+    } else if (arg == "--fast") {
+      fast_only = true;
+    } else if (arg == "--threads") {
+      try {
+        threads = static_cast<std::size_t>(
+            cloudcr::api::parse_checked_u64("--threads", value()));
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+    } else if (arg == "--md") {
+      md_path = value();
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--docs") {
+      docs_path = value();
+    } else if (arg == "--expected") {
+      expected_path = value();
+    } else if (arg == "--update-expected") {
+      update_path = value();
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--no-gate") {
+      gate = false;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout
+          << "usage: repro_report [--list] [--only IDS] [--fast]\n"
+             "                    [--threads N] [--md OUT] [--json OUT]\n"
+             "                    [--expected FILE] [--update-expected "
+             "FILE]\n"
+             "                    [--docs OUT] [--verbose] [--no-gate]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown flag " << arg << " (try --help)\n";
+      return 2;
+    }
+  }
+
+  // --docs is a pure registry render: no experiments run.
+  if (!docs_path.empty()) {
+    return write_file(
+               docs_path,
+               [](std::ostream& os) { report::write_experiments_doc(os); },
+               "experiment docs")
+               ? 0
+               : 2;
+  }
+
+  report::ReportOptions options;
+  options.only = only;
+  options.fast_only = fast_only;
+  options.threads = threads;
+  if (verbose) options.human = &std::cout;
+
+  report::ReportResult result;
+  try {
+    result = report::run_report(options);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "run failed: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!update_path.empty()) {
+    std::vector<std::pair<std::string, std::vector<report::MetricValue>>>
+        actuals;
+    for (const auto& entry : result.entries) {
+      actuals.emplace_back(entry.experiment->id, entry.metrics);
+    }
+    auto doc = report::expected_from_results(actuals);
+    // A subset run (--only/--fast) must not truncate the baseline: merge
+    // the fresh entries over whatever the target file already records. A
+    // *missing* target starts fresh; a present-but-unparsable one aborts —
+    // silently rewriting a corrupt baseline would discard every entry the
+    // subset did not run.
+    if (std::ifstream(update_path).good()) {
+      try {
+        doc = report::merge_expected(report::read_expected_file(update_path),
+                                     doc);
+      } catch (const std::exception& e) {
+        std::cerr << update_path
+                  << " exists but cannot be merged: " << e.what()
+                  << "\n(fix or delete it before --update-expected)\n";
+        return 2;
+      }
+    }
+    if (!write_file(
+            update_path,
+            [&doc](std::ostream& os) { report::write_expected(os, doc); },
+            "expected values")) {
+      return 2;
+    }
+    expected_path = update_path;  // gate against what we just wrote
+  }
+
+  // Compare each entry against the expected document (when available).
+  report::ExpectedDoc expected;
+  bool have_expected = false;
+  if (!expected_path.empty()) {
+    try {
+      expected = report::read_expected_file(expected_path);
+      have_expected = true;
+    } catch (const std::exception& e) {
+      std::cerr << "expected-value document unavailable: " << e.what()
+                << "\n";
+    }
+  }
+  std::vector<report::EntryReport> entries;
+  for (auto& entry : result.entries) {
+    report::EntryReport er;
+    if (have_expected) {
+      if (const auto* exp = expected.find(entry.experiment->id)) {
+        er.comparisons = report::compare_entry(*exp, entry.metrics);
+        er.compared = true;
+      }
+    }
+    er.result = std::move(entry);
+    entries.push_back(std::move(er));
+  }
+
+  // Console summary.
+  const report::GateSummary summary = report::summarize_gate(entries);
+  std::printf("%-8s %-10s %-10s %8s %9s\n", "id", "paper", "status",
+              "metrics", "wall (s)");
+  for (const auto& er : entries) {
+    const auto& exp = *er.result.experiment;
+    const char* status = !er.compared
+                             ? "not gated"
+                             : (report::all_pass(er.comparisons) ? "pass"
+                                                                 : "FAIL");
+    std::printf("%-8s %-10s %-10s %8zu %9.2f\n", exp.id.c_str(),
+                exp.paper_ref.c_str(), status, er.result.metrics.size(),
+                er.result.wall_s);
+    for (const auto& c : er.comparisons) {
+      if (!c.fails()) continue;
+      std::printf("         %s: %s (actual %.6g, expected %.6g +- %.3g)\n",
+                  c.metric.c_str(), report::comparison_token(c.status),
+                  c.actual, c.expected, c.tolerance);
+    }
+  }
+  std::printf("total wall: %.1f s\n", result.total_wall_s);
+
+  bool io_ok = true;
+  if (!md_path.empty()) {
+    io_ok &= write_file(md_path,
+                        [&entries](std::ostream& os) {
+                          report::write_reproduction_markdown(os, entries);
+                        },
+                        "reproduction report");
+  }
+  if (!json_path.empty()) {
+    io_ok &= write_file(json_path,
+                        [&entries](std::ostream& os) {
+                          report::write_reproduction_json(os, entries);
+                        },
+                        "reproduction report");
+  }
+  if (!io_ok) return 2;
+
+  if (summary.compared == 0) {
+    std::cout << "expected-value gate: skipped (no expectations "
+                 "available)\n";
+    return 0;
+  }
+  if (summary.all_pass()) {
+    std::cout << "expected-value gate: PASS (" << summary.passed << "/"
+              << summary.compared << " experiments)\n";
+    return 0;
+  }
+  std::cout << "expected-value gate: FAIL (" << summary.deviations
+            << " deviations, " << summary.missing << " missing)\n";
+  if (!gate) {
+    std::cout << "--no-gate: exiting 0 despite failures\n";
+    return 0;
+  }
+  return 1;
+}

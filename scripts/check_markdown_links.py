@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans the repo's *.md files (skipping build trees) and verifies that every
+relative link target exists, and that same-file ``#anchor`` links match a
+heading. External links (http/https/mailto) are not fetched — this is the
+CI docs job's offline gate, not a crawler.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link: ``file:line: broken link 'target' (reason)``).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+SKIP_DIRS = {"build", "build-debug", "build-asan", ".git", "_deps"}
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, spaces to dashes, drop
+    punctuation (backticks, parens, ...)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set:
+    slugs = set()
+    in_code = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(slugify(m.group(1)))
+    return slugs
+
+
+def md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    root = root.resolve()
+    errors = []
+    checked = 0
+    heading_cache = {}
+
+    def headings(path: Path) -> set:
+        if path not in heading_cache:
+            heading_cache[path] = headings_of(path)
+        return heading_cache[path]
+
+    for md in md_files(root):
+        in_code = False
+        for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL):
+                    continue
+                checked += 1
+                if target.startswith("#"):
+                    if slugify(target[1:]) not in headings(md):
+                        errors.append(
+                            f"{md.relative_to(root)}:{lineno}: broken link "
+                            f"'{target}' (no such heading)"
+                        )
+                    continue
+                file_part, _, fragment = target.partition("#")
+                dest = (md.parent / file_part).resolve()
+                if not dest.exists():
+                    errors.append(
+                        f"{md.relative_to(root)}:{lineno}: broken link "
+                        f"'{target}' (no such file)"
+                    )
+                    continue
+                if fragment and dest.suffix == ".md":
+                    if slugify(fragment) not in headings(dest):
+                        errors.append(
+                            f"{md.relative_to(root)}:{lineno}: broken link "
+                            f"'{target}' (no such heading in "
+                            f"{dest.relative_to(root)})"
+                        )
+
+    for err in errors:
+        print(err)
+    print(
+        f"checked {checked} intra-repo links, {len(errors)} broken",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

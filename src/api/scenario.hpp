@@ -128,10 +128,35 @@ std::uint64_t parse_checked_u64(const std::string& label,
                                 const std::string& text);
 
 // -- serialization -----------------------------------------------------------
+//
+// The `key=value` grammar (what artifact files embed and parse_scenario
+// accepts): one pair per line, keys in fixed order, values escaped with
+// `\n` -> "\n" and `\` -> "\\". Trace fields are prefixed `trace.`, the
+// Fig-14-style history trace `history.`, cluster fields `cluster.`:
+//
+//   name=<string>
+//   trace.source=<registry spec>          synthetic | csv:<p>[?m] | google:<p>[?o]
+//   trace.seed=<u64>          trace.horizon_s=<double>
+//   trace.arrival_rate=<double>           trace.max_jobs=<u64>
+//   trace.sample_job_filter=<bool>        trace.priority_change_midway=<bool>
+//   trace.long_service_fraction=<double>  trace.replay_max_task_length_s=<double>
+//   policy=<registry key>                 formula3 | young | daly | none | fixed:<s>
+//   predictor=<registry key>              oracle | grouped[:limit] | submission[:limit]
+//   estimation=replay|full|history
+//   history.<same keys as trace.>         (only meaningful with estimation=history)
+//   placement=auto|local|shared           adaptation=adaptive|static
+//   shared_device=local_ramdisk|shared_nfs|dm_nfs
+//   storage_noise=<double>                sim_seed=<u64>
+//   detection_delay_s=<double>
+//   cluster.hosts=<u64> cluster.vms_per_host=<u64> cluster.vm_memory_mb=<double>
+//
+// Bools serialize as true/false (parse also accepts 1/0). Unlisted keys
+// keep their defaults on parse; unknown keys throw — so an artifact from a
+// newer schema fails loudly instead of silently dropping a field.
 
-/// Serializes a spec as newline-separated `key=value` pairs. Doubles are
-/// printed with max_digits10 precision so parse(serialize(s)) reproduces
-/// every field bit-exactly.
+/// Serializes a spec as newline-separated `key=value` pairs (grammar
+/// above). Doubles are printed with max_digits10 precision so
+/// parse(serialize(s)) reproduces every field bit-exactly.
 std::string serialize(const ScenarioSpec& spec);
 
 /// Inverse of serialize(). Unlisted keys keep their defaults; unknown keys

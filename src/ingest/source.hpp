@@ -24,6 +24,30 @@
 /// recorded in the IngestReport (line number + reason) instead of aborting
 /// the whole ingestion; structural problems (missing file, missing required
 /// column) still throw.
+///
+/// The TraceSource contract, in full:
+///   - load() is const and *deterministic*: two loads of the same source
+///     over the same input produce identical traces (this is what lets
+///     api::BatchRunner memoize ingested traces exactly like generated
+///     ones, and what makes the repro_report expected-value gate
+///     meaningful for ingested workloads).
+///   - Structural failure (missing file, unreadable header, missing
+///     required column, malformed mapping/options) throws
+///     std::runtime_error / std::invalid_argument.
+///   - Row-level failure (unparsable number, out-of-range priority,
+///     negative length) never throws: the row is skipped and reported.
+///   - probe() is a cheap readiness check (file opens) with no ingestion;
+///     CLI frontends call it so a typo'd path fails fast.
+///   - describe() round-trips through TraceSourceRegistry::make for the
+///     file-backed sources, so provenance strings are re-runnable specs.
+///
+/// Skipped-row reporting semantics: rows_total counts every *data* row
+/// examined (headers and blank trailing lines excluded); every data row is
+/// either used (rows_used) or skipped (rows_skipped) — the three counters
+/// always satisfy total == used + skipped, and exact counts are kept even
+/// when the per-row samples saturate (only the first kMaxSkipSamples
+/// SkippedRow entries are retained, in input order, each with its
+/// 1-based source line number and a human-readable reason).
 
 #include <cstddef>
 #include <fstream>

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file render.hpp
+/// \brief Report writers: REPRODUCTION.md, REPRODUCTION.json, and the
+/// generated docs/experiments.md.
+///
+/// Everything here is a pure function of registry entries, run results, and
+/// comparisons — no clocks, no hostnames — so the docs drift gate can diff
+/// regenerated output byte-for-byte and report artifacts are reproducible.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "report/compare.hpp"
+#include "report/runner.hpp"
+
+namespace cloudcr::report {
+
+/// REPRODUCTION.json schema tag; bump on breaking layout changes.
+inline constexpr const char* kReportSchema = "cloudcr-repro-report/1";
+
+/// One entry's run + gate outcome, as consumed by the writers.
+struct EntryReport {
+  EntryResult result;
+  /// Empty when the gate was skipped (overridden specs, missing doc).
+  std::vector<Comparison> comparisons;
+  bool compared = false;
+};
+
+/// Gate summary across entries.
+struct GateSummary {
+  std::size_t entries = 0;
+  std::size_t compared = 0;
+  std::size_t passed = 0;     ///< compared entries with no failing metric
+  std::size_t deviations = 0; ///< failing metric comparisons (all entries)
+  std::size_t missing = 0;    ///< missing metric comparisons (all entries)
+
+  [[nodiscard]] bool all_pass() const noexcept {
+    return deviations == 0 && missing == 0;
+  }
+};
+
+GateSummary summarize_gate(const std::vector<EntryReport>& entries);
+
+/// The human-facing reproduction matrix: per-entry metric tables
+/// (actual vs expected vs paper), pass/fail/deviation statuses, and a
+/// summary matrix up top.
+void write_reproduction_markdown(std::ostream& os,
+                                 const std::vector<EntryReport>& entries);
+
+/// The machine-facing document (schema kReportSchema).
+void write_reproduction_json(std::ostream& os,
+                             const std::vector<EntryReport>& entries);
+
+/// docs/experiments.md, generated from the registry alone (no run needed):
+/// what each entry reproduces, how, and its expected-value metric list.
+/// The CI docs job regenerates this and fails on drift.
+void write_experiments_doc(std::ostream& os);
+
+}  // namespace cloudcr::report

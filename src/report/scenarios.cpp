@@ -1,0 +1,47 @@
+#include "report/scenarios.hpp"
+
+#include <ostream>
+
+#include "metrics/report.hpp"
+#include "stats/empirical.hpp"
+
+namespace cloudcr::report {
+
+SplitOutcomes split_by_structure(
+    const std::vector<metrics::JobOutcome>& outcomes) {
+  SplitOutcomes s;
+  for (const auto& o : outcomes) {
+    (o.bag_of_tasks ? s.bot : s.st).push_back(o);
+  }
+  return s;
+}
+
+void print_wpr_cdf(std::ostream& os, const std::string& name,
+                   const std::vector<metrics::JobOutcome>& outcomes,
+                   std::size_t points) {
+  if (outcomes.empty()) {
+    os << "# series: " << name << " (empty)\n\n";
+    return;
+  }
+  const stats::EmpiricalCdf cdf(metrics::wpr_values(outcomes));
+  std::vector<std::pair<double, double>> series;
+  for (const auto& pt : stats::cdf_series(cdf, points, 0.0, 1.0)) {
+    series.emplace_back(pt.x, pt.p);
+  }
+  metrics::print_series(os, name, series);
+}
+
+std::vector<std::pair<double, double>> pair_wallclocks(
+    const std::vector<metrics::JobOutcome>& a,
+    const std::vector<metrics::JobOutcome>& b) {
+  std::map<std::uint64_t, double> b_by_id;
+  for (const auto& o : b) b_by_id[o.job_id] = o.wallclock_s;
+  std::vector<std::pair<double, double>> pairs;
+  for (const auto& o : a) {
+    const auto it = b_by_id.find(o.job_id);
+    if (it != b_by_id.end()) pairs.emplace_back(o.wallclock_s, it->second);
+  }
+  return pairs;
+}
+
+}  // namespace cloudcr::report

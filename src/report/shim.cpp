@@ -1,0 +1,209 @@
+#include "report/shim.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/artifact_io.hpp"
+#include "api/scenario.hpp"
+#include "ingest/registry.hpp"
+#include "metrics/report.hpp"
+#include "report/compare.hpp"
+#include "report/registry.hpp"
+#include "report/runner.hpp"
+
+namespace cloudcr::report {
+
+namespace {
+
+/// The historical bench CLI (bench/bench_args.hpp contract), re-parsed here
+/// so src/report does not depend on bench/.
+struct ShimArgs {
+  std::optional<std::uint64_t> seed;
+  std::optional<double> horizon_s;
+  std::optional<std::size_t> jobs;
+  std::optional<std::string> trace_source;
+  std::optional<std::size_t> threads;
+  std::string json_path;
+  std::string csv_path;
+
+  [[nodiscard]] bool overrides_trace() const {
+    return seed || horizon_s || jobs || trace_source;
+  }
+
+  static ShimArgs parse(int argc, char** argv, bool exports) {
+    ShimArgs args;
+    auto value = [&](int& i, const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto parse_u64 = [&](int& i, const char* flag) -> std::uint64_t {
+      try {
+        return api::parse_checked_u64(flag, value(i, flag));
+      } catch (const std::invalid_argument& e) {
+        std::cerr << argv[0] << ": " << e.what() << "\n";
+        std::exit(2);
+      }
+    };
+    auto parse_double = [&](int& i, const char* flag) -> double {
+      try {
+        return api::parse_checked_double(flag, value(i, flag));
+      } catch (const std::invalid_argument& e) {
+        std::cerr << argv[0] << ": " << e.what() << "\n";
+        std::exit(2);
+      }
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "-h" || flag == "--help") {
+        std::cout << "usage: " << argv[0]
+                  << " [--seed N] [--horizon S] [--jobs N] [--trace SPEC]"
+                  << " [--threads N]"
+                  << (exports ? " [--json PATH] [--csv PATH]" : "") << "\n";
+        std::exit(0);
+      } else if ((flag == "--json" || flag == "--csv") && !exports) {
+        std::cerr << argv[0] << ": " << flag
+                  << " is not supported (this bench produces no "
+                     "artifacts)\n";
+        std::exit(2);
+      } else if (flag == "--seed") {
+        args.seed = parse_u64(i, "--seed");
+      } else if (flag == "--horizon") {
+        args.horizon_s = parse_double(i, "--horizon");
+      } else if (flag == "--jobs") {
+        args.jobs = static_cast<std::size_t>(parse_u64(i, "--jobs"));
+      } else if (flag == "--trace") {
+        const std::string spec = value(i, "--trace");
+        try {
+          // Validates the scheme/mapping and — via probe() — that a
+          // file-backed source's input actually opens, so a typo'd path
+          // fails here instead of aborting mid-run.
+          ingest::TraceSourceRegistry::instance().make(spec)->probe();
+        } catch (const std::exception& e) {
+          std::cerr << argv[0] << ": --trace: " << e.what() << "\n";
+          std::exit(2);
+        }
+        args.trace_source = spec;
+      } else if (flag == "--threads") {
+        args.threads = static_cast<std::size_t>(parse_u64(i, "--threads"));
+      } else if (flag == "--json") {
+        args.json_path = value(i, "--json");
+      } else if (flag == "--csv") {
+        args.csv_path = value(i, "--csv");
+      } else {
+        std::cerr << argv[0] << ": unknown flag '" << flag
+                  << "' (try --help)\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+void print_comparisons(const EntryResult& result,
+                       const std::vector<Comparison>& comparisons) {
+  metrics::print_banner(std::cout, "expected-value check");
+  metrics::Table table({"metric", "actual", "expected", "tol", "status"});
+  for (const auto& c : comparisons) {
+    const bool has_actual = c.status != ComparisonStatus::kMissing;
+    const bool has_expected = c.status != ComparisonStatus::kNew;
+    table.add_row({c.metric,
+                   has_actual ? metrics::fmt(c.actual, 4) : "-",
+                   has_expected ? metrics::fmt(c.expected, 4) : "-",
+                   has_expected ? metrics::fmt(c.tolerance, 4) : "-",
+                   comparison_token(c.status)});
+  }
+  table.print(std::cout);
+  if (all_pass(comparisons)) {
+    std::cout << "expected values: all within tolerance\n";
+  } else {
+    std::cout << "expected values: DEVIATION — rerun `repro_report --only "
+              << result.experiment->id
+              << "` (the gate) or refresh with --update-expected after an "
+                 "intended change\n";
+  }
+}
+
+}  // namespace
+
+int bench_shim_main(const char* experiment_id, int argc, char** argv) {
+  const Experiment* experiment =
+      ExperimentRegistry::instance().find(experiment_id);
+  if (experiment == nullptr) {
+    std::cerr << argv[0] << ": experiment '" << experiment_id
+              << "' is not registered\n";
+    return 2;
+  }
+  const bool exports = !experiment->specs.empty();
+  const ShimArgs args = ShimArgs::parse(argc, argv, exports);
+
+  ReportOptions options;
+  options.only = {experiment->id};
+  options.threads = args.threads.value_or(0);
+  options.human = &std::cout;
+  if (args.overrides_trace()) {
+    options.trace_override = [&args](api::TraceSpec& spec) {
+      if (args.seed) spec.seed = *args.seed;
+      if (args.horizon_s) spec.horizon_s = *args.horizon_s;
+      if (args.jobs) spec.max_jobs = *args.jobs;
+      if (args.trace_source) spec.source = *args.trace_source;
+    };
+  }
+
+  ReportResult report;
+  try {
+    report = run_report(options);
+  } catch (const std::exception& e) {
+    std::cerr << "run failed: " << e.what() << "\n";
+    return 2;
+  }
+  const EntryResult& result = report.entries.front();
+
+  if (args.overrides_trace()) {
+    std::cout << "# expected-value check skipped: trace overridden "
+                 "(expectations are pinned to the default specs)\n";
+  } else {
+    const std::string expected_path = default_expected_path();
+    try {
+      const ExpectedDoc doc = read_expected_file(expected_path);
+      const EntryExpectations* expected = doc.find(experiment->id);
+      if (expected == nullptr) {
+        std::cout << "# no expected values recorded for '" << experiment->id
+                  << "' yet (repro_report --update-expected)\n";
+      } else {
+        print_comparisons(result, compare_entry(*expected, result.metrics));
+      }
+    } catch (const std::exception& e) {
+      std::cout << "# expected-value check skipped: " << e.what() << "\n";
+    }
+  }
+
+  bool export_ok = true;
+  if (!args.json_path.empty()) {
+    if (api::write_artifacts_json_file(args.json_path, result.artifacts)) {
+      std::cout << "# artifacts: " << args.json_path << " (JSON, "
+                << result.artifacts.size() << " runs)\n";
+    } else {
+      std::cerr << "cannot write " << args.json_path << "\n";
+      export_ok = false;
+    }
+  }
+  if (!args.csv_path.empty()) {
+    if (api::write_artifacts_csv_file(args.csv_path, result.artifacts)) {
+      std::cout << "# artifacts: " << args.csv_path << " (CSV summary)\n";
+    } else {
+      std::cerr << "cannot write " << args.csv_path << "\n";
+      export_ok = false;
+    }
+  }
+  return export_ok ? 0 : 1;
+}
+
+}  // namespace cloudcr::report

@@ -201,7 +201,8 @@ class EventQueue {
     release_slot(top.slot);
     --live_;
     if (resident_ * 8 < buckets_.size() && buckets_.size() > kMinBuckets) {
-      rebuild(buckets_.size() / 4);
+      // Clamp: size/4 from just above the floor would undershoot it.
+      rebuild(std::max(buckets_.size() / 4, kMinBuckets));
     }
     return {top.time, std::move(fn)};
   }

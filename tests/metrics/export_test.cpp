@@ -5,8 +5,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "api/artifact_io.hpp"
 #include "metrics/export.hpp"
@@ -139,6 +142,81 @@ TEST(ArtifactCsv, OneSummaryRowPerArtifact) {
   std::size_t lines = 0;
   while (std::getline(is, line)) ++lines;
   EXPECT_EQ(lines, 3u);  // header + 2 rows
+}
+
+// -- numeric round trips -----------------------------------------------------
+// The export formats feed the reproduction report and plotting pipelines;
+// every finite double must survive format -> parse bit-exactly, and the CSV
+// cells must re-parse to the same values the outcome carried.
+
+TEST(JsonRoundTrip, FiniteDoublesSurviveBitExactly) {
+  for (const double v :
+       {0.0, -0.0, 1.0 / 3.0, 0.89943741909499431, 1e-308, 1.7976931348623157e308,
+        -2.5, 12345.6789, 5e-324}) {
+    const std::string text = metrics::json_double(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(CsvRoundTrip, FiniteDoublesSurviveBitExactly) {
+  for (const double v : {0.25, -1.0 / 7.0, 3.22, 86400.0, 1e-12}) {
+    const std::string text = metrics::csv_double(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(CsvRoundTrip, OutcomeRowReparsesToOriginalValues) {
+  const auto outcome = sample_outcome();
+  std::ostringstream os;
+  metrics::write_outcome_csv(os, outcome);
+  // Split the row into cells.
+  std::vector<std::string> cells;
+  std::string row = os.str();
+  if (!row.empty() && row.back() == '\n') row.pop_back();
+  std::istringstream is(row);
+  std::string cell;
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  // Header and row agree on arity.
+  std::istringstream hs(metrics::outcome_csv_header());
+  std::vector<std::string> headers;
+  while (std::getline(hs, cell, ',')) headers.push_back(cell);
+  ASSERT_EQ(cells.size(), headers.size());
+  // Spot-check the numeric columns against the outcome by header name.
+  const auto cell_for = [&](const std::string& name) -> std::string {
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      if (headers[i] == name) return cells[i];
+    }
+    ADD_FAILURE() << "no column " << name;
+    return "";
+  };
+  EXPECT_EQ(std::strtod(cell_for("workload_s").c_str(), nullptr),
+            outcome.workload_s);
+  EXPECT_EQ(std::strtod(cell_for("wallclock_s").c_str(), nullptr),
+            outcome.wallclock_s);
+  EXPECT_EQ(std::strtod(cell_for("task_wallclock_s").c_str(), nullptr),
+            outcome.task_wallclock_s);
+  EXPECT_EQ(std::strtod(cell_for("checkpoint_s").c_str(), nullptr),
+            outcome.checkpoint_s);
+  EXPECT_EQ(std::strtoull(cell_for("job_id").c_str(), nullptr, 10),
+            outcome.job_id);
+}
+
+TEST(JsonRoundTrip, OutcomeJsonValuesReparse) {
+  const auto outcome = sample_outcome();
+  std::ostringstream os;
+  metrics::write_outcome_json(os, outcome);
+  const std::string json = os.str();
+  // Extract "key":value and re-parse the double bit-exactly.
+  const auto value_of = [&](const std::string& key) -> double {
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = json.find(needle);
+    EXPECT_NE(pos, std::string::npos) << key;
+    return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+  };
+  EXPECT_EQ(value_of("workload_s"), outcome.workload_s);
+  EXPECT_EQ(value_of("wallclock_s"), outcome.wallclock_s);
+  EXPECT_EQ(value_of("rollback_s"), outcome.rollback_s);
+  EXPECT_EQ(value_of("wpr"), outcome.wpr());
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// The reproduction expected-value gate: comparator semantics (tolerance
+// pass, deviation fail, missing-metric fail, new-metric informational) and
+// the expected-document round trip — mirroring the perf-baseline gate
+// tests' role for the perf matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "report/compare.hpp"
+
+namespace cloudcr {
+namespace {
+
+report::MetricValue actual(const std::string& name, double value,
+                           double hint = 0.1) {
+  return report::metric(name, value, hint);
+}
+
+report::EntryExpectations expectations() {
+  report::EntryExpectations e;
+  e.id = "figXX";
+  // Binary-exact values: the boundary tests below exercise the comparator's
+  // inclusive <=, not double rounding.
+  e.metrics = {{"avg_wpr", 0.9375, 0.03125}, {"frac_fast", 0.75, 0.0625}};
+  return e;
+}
+
+TEST(Comparator, WithinToleranceIsPass) {
+  const auto cs = report::compare_entry(
+      expectations(),
+      {actual("avg_wpr", 0.9375 + 0.015625), actual("frac_fast", 0.78125)});
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].status, report::ComparisonStatus::kPass);
+  EXPECT_EQ(cs[1].status, report::ComparisonStatus::kPass);
+  EXPECT_TRUE(report::all_pass(cs));
+}
+
+TEST(Comparator, ToleranceBoundaryIsInclusive) {
+  const auto cs =
+      report::compare_entry(expectations(), {actual("avg_wpr", 0.96875),
+                                             actual("frac_fast", 0.75)});
+  EXPECT_EQ(cs[0].status, report::ComparisonStatus::kPass);  // exactly +tol
+}
+
+TEST(Comparator, OutsideToleranceIsDeviationAndFailsGate) {
+  const auto cs = report::compare_entry(
+      expectations(), {actual("avg_wpr", 0.875), actual("frac_fast", 0.75)});
+  EXPECT_EQ(cs[0].status, report::ComparisonStatus::kDeviation);
+  EXPECT_TRUE(cs[0].fails());
+  EXPECT_EQ(cs[1].status, report::ComparisonStatus::kPass);
+  EXPECT_FALSE(report::all_pass(cs));
+}
+
+TEST(Comparator, ExpectedMetricAbsentFromRunIsMissingAndFailsGate) {
+  const auto cs =
+      report::compare_entry(expectations(), {actual("avg_wpr", 0.9375)});
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[1].metric, "frac_fast");
+  EXPECT_EQ(cs[1].status, report::ComparisonStatus::kMissing);
+  EXPECT_TRUE(cs[1].fails());
+  EXPECT_FALSE(report::all_pass(cs));
+}
+
+TEST(Comparator, UnexpectedActualIsNewAndDoesNotFail) {
+  const auto cs = report::compare_entry(
+      expectations(), {actual("avg_wpr", 0.9375), actual("frac_fast", 0.75),
+                       actual("brand_new", 1.0)});
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs[2].metric, "brand_new");
+  EXPECT_EQ(cs[2].status, report::ComparisonStatus::kNew);
+  EXPECT_FALSE(cs[2].fails());
+  EXPECT_TRUE(report::all_pass(cs));
+}
+
+TEST(Comparator, NanActualIsDeviationNotSilentPass) {
+  const auto cs = report::compare_entry(
+      expectations(),
+      {actual("avg_wpr", std::nan("")), actual("frac_fast", 0.75)});
+  EXPECT_EQ(cs[0].status, report::ComparisonStatus::kDeviation);
+}
+
+TEST(Comparator, ZeroToleranceRequiresExactMatch) {
+  report::EntryExpectations e;
+  e.id = "x";
+  e.metrics = {{"structural_flag", 1.0, 0.0}};
+  EXPECT_TRUE(report::all_pass(
+      report::compare_entry(e, {actual("structural_flag", 1.0)})));
+  EXPECT_FALSE(report::all_pass(
+      report::compare_entry(e, {actual("structural_flag", 0.0)})));
+}
+
+// -- expected-document IO ----------------------------------------------------
+
+report::ExpectedDoc sample_doc() {
+  report::ExpectedDoc doc;
+  doc.entries.push_back(
+      {"fig09", {{"avg_wpr", 0.89943741909499431, 0.02}, {"frac", 0.7, 0.05}}});
+  doc.entries.push_back({"tab02", {{"cost_x1", 0.632, 0.3}}});
+  return doc;
+}
+
+TEST(ExpectedDoc, RoundTripsExactly) {
+  std::ostringstream os;
+  report::write_expected(os, sample_doc());
+  const auto parsed = report::parse_expected(os.str());
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].id, "fig09");
+  ASSERT_EQ(parsed.entries[0].metrics.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].metrics[0].metric, "avg_wpr");
+  // Bit-exact doubles: the writer uses round-trip precision.
+  EXPECT_EQ(parsed.entries[0].metrics[0].value, 0.89943741909499431);
+  EXPECT_EQ(parsed.entries[0].metrics[0].tolerance, 0.02);
+  EXPECT_EQ(parsed.entries[1].id, "tab02");
+  ASSERT_EQ(parsed.entries[1].metrics.size(), 1u);
+  EXPECT_EQ(parsed.entries[1].metrics[0].metric, "cost_x1");
+}
+
+TEST(ExpectedDoc, FindLocatesEntries) {
+  const auto doc = sample_doc();
+  ASSERT_NE(doc.find("tab02"), nullptr);
+  EXPECT_EQ(doc.find("tab02")->metrics.size(), 1u);
+  EXPECT_EQ(doc.find("nope"), nullptr);
+}
+
+TEST(ExpectedDoc, SchemaMismatchThrows) {
+  EXPECT_THROW(report::parse_expected("{\"schema\":\"something-else/9\"}"),
+               std::runtime_error);
+  EXPECT_THROW(report::parse_expected("{}"), std::runtime_error);
+}
+
+TEST(ExpectedDoc, MetricMissingItsValueThrowsInsteadOfBorrowing) {
+  // Hand-editing hazard: if a metric loses its "value" field, the parser
+  // must reject the document rather than silently read the next metric's
+  // (or next entry's) number.
+  std::ostringstream os;
+  report::write_expected(os, sample_doc());
+  std::string text = os.str();
+  const auto pos = text.find(",\"value\":0.89943741909499431");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, std::string(",\"value\":0.89943741909499431").size());
+  EXPECT_THROW(report::parse_expected(text), std::runtime_error);
+}
+
+TEST(ExpectedDoc, MergeReplacesFreshAndKeepsBaseEntries) {
+  // A subset --update-expected must refresh the run entries without
+  // truncating the rest of the baseline.
+  const auto base = sample_doc();  // fig09, tab02
+  report::ExpectedDoc fresh;
+  fresh.entries.push_back({"tab02", {{"cost_x1", 0.7, 0.3}}});
+  fresh.entries.push_back({"zz_new", {{"m", 1.0, 0.0}}});
+  const auto merged = report::merge_expected(base, fresh);
+  ASSERT_EQ(merged.entries.size(), 3u);
+  EXPECT_EQ(merged.entries[0].id, "fig09");  // kept from base, sorted order
+  EXPECT_EQ(merged.entries[1].id, "tab02");
+  EXPECT_EQ(merged.entries[1].metrics[0].value, 0.7);  // fresh wins
+  EXPECT_EQ(merged.entries[2].id, "zz_new");
+}
+
+TEST(ExpectedDoc, BuiltFromResultsUsesToleranceHints) {
+  std::vector<std::pair<std::string, std::vector<report::MetricValue>>>
+      results;
+  results.emplace_back(
+      "figXX", std::vector<report::MetricValue>{
+                   report::metric("m1", 1.5, /*tolerance_hint=*/0.25)});
+  const auto doc = report::expected_from_results(results);
+  ASSERT_EQ(doc.entries.size(), 1u);
+  EXPECT_EQ(doc.entries[0].metrics[0].metric, "m1");
+  EXPECT_EQ(doc.entries[0].metrics[0].value, 1.5);
+  EXPECT_EQ(doc.entries[0].metrics[0].tolerance, 0.25);
+}
+
+}  // namespace
+}  // namespace cloudcr
