@@ -15,6 +15,17 @@
 //   perf_baseline --tolerance 0.20        relative slowdown allowed by --check
 //   perf_baseline --reps N                timed repetitions per metric (def 5)
 //
+// Month-scale memory mode (separate from the wall-time matrix — peak RSS is
+// process-wide and monotone, so each mode needs its own process):
+//   perf_baseline --month-scale streamed       streaming replay of a ~1M-task
+//                                              synthetic month
+//   perf_baseline --month-scale materialized   the same month, materialized
+//   perf_baseline --month-scale streamed --max-rss-mb 512
+//                                              hard peak-RSS ceiling (exit 1
+//                                              when exceeded) — the CI
+//                                              month-scale smoke job
+//   ... --json OUT.json                        schema cloudcr-month-scale/1
+//
 // Refreshing the checked-in baseline after an intended perf change:
 //   ./perf_baseline --update ../bench/BENCH_engine.baseline.json
 //
@@ -44,12 +55,125 @@
 #include "sim/event_queue.hpp"
 #include "trace/generator.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace {
 
 using namespace cloudcr;
 using Clock = std::chrono::steady_clock;
 
 constexpr const char* kSchema = "cloudcr-perf-baseline/1";
+constexpr const char* kMonthSchema = "cloudcr-month-scale/1";
+
+/// Process peak RSS in MB (0 when the platform offers no getrusage).
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage = {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// The month-scale scenario: ~1M tasks of synthetic arrivals over 30 days
+/// (the google_fixture() config stretched to a month — no sample-job
+/// filter, no service-class tails, so the row count is the full arrival
+/// volume and the replay horizon stays the trace horizon).
+api::ScenarioSpec month_spec() {
+  api::ScenarioSpec spec;
+  spec.name = "perf_month";
+  spec.trace.seed = 20130917;
+  spec.trace.horizon_s = 30.0 * 86400.0;
+  spec.trace.arrival_rate = 0.116;
+  spec.trace.sample_job_filter = false;
+  spec.trace.long_service_fraction = 0.0;
+  // The oracle predictor reads per-task records only: estimation needs no
+  // trace, materialized or streamed, so the memory comparison below is
+  // purely replay-side.
+  spec.predictor = "oracle";
+  return spec;
+}
+
+/// --month-scale MODE: replays the month spec through the requested path
+/// and reports wall time, peak RSS, and the workspace high-water marks
+/// (allocation counters: task rows and job slots ever resident). With
+/// --max-rss-mb, exits nonzero when peak RSS exceeds the ceiling — the CI
+/// month-scale smoke gate. Runs one mode per process: peak RSS is
+/// monotone, so streamed-after-materialized would inherit the larger
+/// footprint.
+int run_month_scale(const std::string& mode, double max_rss_mb,
+                    const std::string& json_path) {
+  if (mode != "streamed" && mode != "materialized") {
+    std::cerr << "--month-scale wants 'streamed' or 'materialized', got '"
+              << mode << "'\n";
+    return 2;
+  }
+  const api::ScenarioSpec spec = month_spec();
+  const api::ScenarioRunner runner(spec);
+  sim::ReplayWorkspace workspace;
+  api::RunHooks hooks;
+  hooks.workspace = &workspace;
+
+  const auto start = Clock::now();
+  const api::RunArtifact artifact = mode == "streamed"
+                                        ? runner.run_streamed(hooks)
+                                        : runner.run(hooks);
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const double rss_mb = peak_rss_mb();
+  // The workspace is cleared at the *start* of a run, so after it the table
+  // sizes are the run's high-water marks: O(trace) for the materialized
+  // path, O(active + recycling pools) for the streaming path.
+  const std::size_t task_rows = workspace.tasks.size();
+  const std::size_t job_slots = workspace.jobs.size();
+
+  std::printf("month-scale %s: %zu jobs, %zu tasks, %zu events\n",
+              mode.c_str(), artifact.trace_jobs, artifact.trace_tasks,
+              artifact.result.events_dispatched);
+  std::printf("  wall            %10.2f s\n", wall_s);
+  std::printf("  peak RSS        %10.1f MB\n", rss_mb);
+  std::printf("  task rows       %10zu (high water)\n", task_rows);
+  std::printf("  job slots       %10zu (high water)\n", job_slots);
+  std::printf("  completed jobs  %10zu\n", artifact.result.outcomes.size());
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    os << "{\"schema\":" << metrics::json_quote(kMonthSchema)
+       << ",\"mode\":" << metrics::json_quote(mode)
+       << ",\"jobs\":" << artifact.trace_jobs
+       << ",\"tasks\":" << artifact.trace_tasks
+       << ",\"events\":" << artifact.result.events_dispatched
+       << ",\"wall_s\":" << metrics::json_double(wall_s)
+       << ",\"peak_rss_mb\":" << metrics::json_double(rss_mb)
+       << ",\"task_rows_high_water\":" << task_rows
+       << ",\"job_slots_high_water\":" << job_slots
+       << ",\"max_rss_mb\":" << metrics::json_double(max_rss_mb) << "}\n";
+    std::cout << "# wrote " << json_path << "\n";
+  }
+
+  if (max_rss_mb > 0.0 && rss_mb > max_rss_mb) {
+    std::cerr << "peak RSS " << rss_mb << " MB exceeds the ceiling "
+              << max_rss_mb << " MB — failing the month-scale gate\n";
+    return 1;
+  }
+  if (max_rss_mb > 0.0) {
+    std::cout << "month-scale RSS gate passed (" << rss_mb << " MB <= "
+              << max_rss_mb << " MB)\n";
+  }
+  return 0;
+}
 
 struct Metric {
   std::string name;
@@ -311,7 +435,9 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string check_path;
   std::string update_path;
+  std::string month_mode;
   double tolerance = 0.20;
+  double max_rss_mb = 0.0;
   std::size_t reps = 5;
 
   for (int i = 1; i < argc; ++i) {
@@ -329,6 +455,10 @@ int main(int argc, char** argv) {
       check_path = value();
     } else if (arg == "--update") {
       update_path = value();
+    } else if (arg == "--month-scale") {
+      month_mode = value();
+    } else if (arg == "--max-rss-mb") {
+      max_rss_mb = std::strtod(value().c_str(), nullptr);
     } else if (arg == "--tolerance") {
       tolerance = std::strtod(value().c_str(), nullptr);
     } else if (arg == "--reps") {
@@ -337,12 +467,18 @@ int main(int argc, char** argv) {
       if (reps == 0) reps = 1;
     } else if (arg == "-h" || arg == "--help") {
       std::cout << "usage: perf_baseline [--json OUT] [--check BASE] "
-                   "[--update BASE] [--tolerance T] [--reps N]\n";
+                   "[--update BASE] [--tolerance T] [--reps N]\n"
+                   "       perf_baseline --month-scale streamed|materialized "
+                   "[--max-rss-mb M] [--json OUT]\n";
       return 0;
     } else {
       std::cerr << "unknown flag " << arg << "\n";
       return 2;
     }
+  }
+
+  if (!month_mode.empty()) {
+    return run_month_scale(month_mode, max_rss_mb, json_path);
   }
 
   const auto metrics = run_matrix(reps);

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   // -- characterize: does this workload look like the paper's? ------------
-  ingest::print_profile(std::cout, ingest::profile(ingested.trace),
+  ingest::print_profile(std::cout, ingest::profile(ingested),
                         "ingested workload vs paper Figs 4/8");
   std::cout << "\n";
 

@@ -2,9 +2,13 @@
 """Check that intra-repo markdown links resolve.
 
 Scans the repo's *.md files (skipping build trees) and verifies that every
-relative link target exists, and that same-file ``#anchor`` links match a
-heading. External links (http/https/mailto) are not fetched — this is the
-CI docs job's offline gate, not a crawler.
+relative link target exists, and that every ``#anchor`` fragment — in
+same-file links (``#section``) and cross-file links
+(``PAPERS.md#source-paper-canonical-citation``) — matches a heading or an
+explicit HTML anchor of the target document. Anchors follow GitHub's
+slugging rules, including the ``-1``/``-2`` suffixes that deduplicate
+repeated headings. External links (http/https/mailto) are not fetched —
+this is the CI docs job's offline gate, not a crawler.
 
 Exit status: 0 when every link resolves, 1 otherwise (one line per broken
 link: ``file:line: broken link 'target' (reason)``).
@@ -16,6 +20,7 @@ from pathlib import Path
 
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+HTML_ANCHOR_RE = re.compile(r"<[^>]*\b(?:id|name)=[\"']([^\"']+)[\"']")
 SKIP_DIRS = {"build", "build-debug", "build-asan", ".git", "_deps"}
 EXTERNAL = ("http://", "https://", "mailto:")
 
@@ -29,7 +34,11 @@ def slugify(heading: str) -> str:
 
 
 def headings_of(path: Path) -> set:
+    """Anchors the document exposes: slugs of its headings (repeated
+    headings get GitHub's ``-N`` suffixes) plus explicit ``id=``/``name=``
+    HTML anchors."""
     slugs = set()
+    counts = {}
     in_code = False
     for line in path.read_text(encoding="utf-8").splitlines():
         if line.lstrip().startswith("```"):
@@ -37,10 +46,22 @@ def headings_of(path: Path) -> set:
             continue
         if in_code:
             continue
+        for m in HTML_ANCHOR_RE.finditer(line):
+            slugs.add(m.group(1))
         m = HEADING_RE.match(line)
         if m:
-            slugs.add(slugify(m.group(1)))
+            slug = slugify(m.group(1))
+            seen = counts.get(slug, 0)
+            counts[slug] = seen + 1
+            slugs.add(slug if seen == 0 else f"{slug}-{seen}")
     return slugs
+
+
+def anchor_resolves(fragment: str, anchors: set) -> bool:
+    """Heading anchors match after slugging; explicit ``id=``/``name=``
+    anchors match verbatim (GitHub resolves those case-sensitively, without
+    slugging)."""
+    return fragment in anchors or slugify(fragment) in anchors
 
 
 def md_files(root: Path):
@@ -78,7 +99,7 @@ def main() -> int:
                     continue
                 checked += 1
                 if target.startswith("#"):
-                    if slugify(target[1:]) not in headings(md):
+                    if not anchor_resolves(target[1:], headings(md)):
                         errors.append(
                             f"{md.relative_to(root)}:{lineno}: broken link "
                             f"'{target}' (no such heading)"
@@ -93,7 +114,7 @@ def main() -> int:
                     )
                     continue
                 if fragment and dest.suffix == ".md":
-                    if slugify(fragment) not in headings(dest):
+                    if not anchor_resolves(fragment, headings(dest)):
                         errors.append(
                             f"{md.relative_to(root)}:{lineno}: broken link "
                             f"'{target}' (no such heading in "

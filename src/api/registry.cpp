@@ -1,5 +1,6 @@
 #include "api/registry.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -120,6 +121,9 @@ PredictorRegistry::PredictorRegistry() {
     return sim::make_submission_priority_predictor(inputs.estimation_trace,
                                                    effective_limit(arg));
   });
+  // Recorded after the add() calls above (add() drops a name from this
+  // list, so seeding must come last).
+  builtin_names_ = {"oracle", "grouped", "submission"};
 }
 
 PredictorRegistry& PredictorRegistry::instance() {
@@ -134,11 +138,19 @@ PredictorRegistry PredictorRegistry::with_builtins() {
 void PredictorRegistry::add(const std::string& name, Factory factory) {
   const std::lock_guard<std::mutex> lock(mutex_);
   factories_[name] = std::move(factory);
+  // A (re)registered name is no longer the seeded built-in.
+  std::erase(builtin_names_, name);
 }
 
 bool PredictorRegistry::contains(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return factories_.count(split_key(name).name) > 0;
+}
+
+bool PredictorRegistry::is_builtin(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::find(builtin_names_.begin(), builtin_names_.end(), name) !=
+         builtin_names_.end();
 }
 
 std::vector<std::string> PredictorRegistry::names() const {

@@ -92,6 +92,13 @@ class PredictorRegistry {
 
   [[nodiscard]] bool contains(const std::string& name) const;
 
+  /// True while `name` still maps to the factory the registry was seeded
+  /// with; re-registering a built-in name clears it. Callers with a
+  /// specialized path for the built-ins (the streaming estimation in
+  /// ScenarioRunner::run_streamed) consult this so a user-replaced
+  /// "grouped"/"submission"/"oracle" wins on every path.
+  [[nodiscard]] bool is_builtin(const std::string& name) const;
+
   [[nodiscard]] std::vector<std::string> names() const;
 
   /// Builds the predictor for a spec key like "grouped" or "grouped:1000"
@@ -107,6 +114,7 @@ class PredictorRegistry {
 
   mutable std::mutex mutex_;
   std::map<std::string, Factory> factories_;
+  std::vector<std::string> builtin_names_;  ///< still-unreplaced built-ins
 };
 
 }  // namespace cloudcr::api

@@ -7,8 +7,10 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "api/stream.hpp"
 #include "ingest/registry.hpp"
 #include "ingest/source.hpp"
+#include "sim/predictors.hpp"
 #include "sim/simulation.hpp"
 #include "trace/generator.hpp"
 
@@ -115,6 +117,121 @@ RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
   artifact.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  return artifact;
+}
+
+namespace {
+
+/// Streams the estimation view of `spec` through the estimator — the
+/// bounded-memory equivalent of sim::build_estimator(make_trace(...)):
+/// observation order equals the materialized trace's job/task order, so
+/// the estimates are bit-identical.
+core::GroupedEstimator estimate_from_stream(const TraceSpec& spec,
+                                            bool replay_view,
+                                            double length_limit) {
+  core::GroupedEstimator estimator(length_limit);
+  auto stream = open_trace_stream(spec, replay_view);
+  std::vector<trace::JobRecord> batch;
+  while (stream->next_batch(sim::Simulation::kDefaultBatchJobs, batch) > 0) {
+    for (const auto& job : batch) {
+      for (const auto& task : job.tasks) sim::observe_task(estimator, task);
+    }
+    batch.clear();
+  }
+  return estimator;
+}
+
+/// Resolves the spec's predictor for the streaming path. The built-ins
+/// never materialize a trace: oracle is per-record; grouped/submission
+/// estimate from a streaming pass over the spec's estimation view — but
+/// only while the registry still maps those names to the built-in
+/// factories (a re-registered name must win on every path). Custom
+/// predictors fall back to a materialized estimation trace, owned by
+/// `owned_estimation`: a registered factory may return a lambda that keeps
+/// the PredictorInputs reference, so the caller must keep the trace alive
+/// until the simulation finishes (exactly as ScenarioRunner::run does).
+sim::StatsPredictor make_streaming_predictor(
+    const ScenarioSpec& spec, std::optional<trace::Trace>& owned_estimation) {
+  const RegistryKey key = split_key(spec.predictor);
+  if (PredictorRegistry::instance().is_builtin(key.name)) {
+    if (key.name == "oracle") return sim::make_oracle_predictor();
+    const double limit =
+        key.arg.empty() ? trace::kNoLengthLimit
+                        : parse_checked_double("predictor length limit",
+                                               key.arg);
+    core::GroupedEstimator estimator =
+        spec.estimation == EstimationSource::kHistory
+            ? estimate_from_stream(spec.history, true, limit)
+            : estimate_from_stream(spec.trace,
+                                   spec.estimation ==
+                                       EstimationSource::kReplay,
+                                   limit);
+    return key.name == "grouped"
+               ? sim::make_grouped_predictor(std::move(estimator))
+               : sim::make_submission_priority_predictor(
+                     std::move(estimator));
+  }
+  // Custom predictor: materialize the estimation trace it requires.
+  switch (spec.estimation) {
+    case EstimationSource::kReplay:
+      owned_estimation = make_replay_trace(spec.trace);
+      break;
+    case EstimationSource::kFull:
+      owned_estimation = make_trace(spec.trace);
+      break;
+    case EstimationSource::kHistory:
+      owned_estimation = make_replay_trace(spec.history);
+      break;
+  }
+  return PredictorRegistry::instance().make(
+      spec.predictor, PredictorInputs{*owned_estimation});
+}
+
+}  // namespace
+
+RunArtifact ScenarioRunner::run_streamed(const RunHooks& hooks,
+                                         std::size_t batch_jobs) const {
+  // A caller-materialized replay trace leaves nothing to stream.
+  if (hooks.replay_trace != nullptr) return run(hooks);
+
+  // A custom predictor's materialized estimation trace lives on this frame
+  // (a registered factory may keep the PredictorInputs reference until the
+  // simulation finishes, as in run()).
+  std::optional<trace::Trace> owned_estimation;
+  sim::StatsPredictor predictor = hooks.predictor_override;
+  if (!predictor) {
+    if (hooks.estimation_trace != nullptr) {
+      predictor = PredictorRegistry::instance().make(
+          spec_.predictor, PredictorInputs{*hooks.estimation_trace});
+    } else {
+      predictor = make_streaming_predictor(spec_, owned_estimation);
+    }
+  }
+
+  const core::PolicyPtr policy = PolicyRegistry::instance().make(spec_.policy);
+  sim::SimConfig config = to_sim_config(spec_);
+  config.length_predictor = hooks.length_predictor;
+
+  RunArtifact artifact;
+  artifact.spec = spec_;
+
+  auto stream = open_trace_stream(spec_.trace, true);
+  StreamJobSource source(*stream);
+  const auto start = std::chrono::steady_clock::now();
+  sim::Simulation simulation(std::move(config), *policy, std::move(predictor),
+                             hooks.workspace);
+  artifact.result = simulation.run_stream(source, batch_jobs);
+  artifact.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  artifact.trace_jobs = source.jobs();
+  artifact.trace_tasks = source.tasks();
+  // Recoverable row skips stay visible on the streaming path too (the
+  // report is complete once the stream is drained).
+  if (stream->report().rows_skipped > 0) {
+    std::cerr << "warning: ingest skipped rows: "
+              << stream->report().summary() << "\n";
+  }
   return artifact;
 }
 

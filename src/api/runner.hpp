@@ -82,6 +82,22 @@ class ScenarioRunner {
   /// artifact. Reusable and const: each call builds a fresh Simulation.
   [[nodiscard]] RunArtifact run(const RunHooks& hooks = {}) const;
 
+  /// Streaming replay of the same scenario, bit-identical to run() (pinned
+  /// by tests/api/stream_determinism_test.cpp): the replay set is pulled
+  /// chunk-by-chunk through api::open_trace_stream and admitted lazily
+  /// (sim::Simulation::run_stream), never materialized. For the built-in
+  /// predictors the estimation view streams too — oracle needs no trace;
+  /// grouped/submission build their estimator from a separate streaming
+  /// pass. With a lazily-streaming source (spec_streams_lazily) memory is
+  /// therefore bounded by the active task set, which is what lets a
+  /// month-scale trace replay in a fixed footprint. Custom registered
+  /// predictors still materialize the estimation trace (their factories
+  /// take a trace::Trace&); hooks.replay_trace delegates to run() — a
+  /// caller-materialized trace has nothing left to stream.
+  [[nodiscard]] RunArtifact run_streamed(
+      const RunHooks& hooks = {},
+      std::size_t batch_jobs = sim::Simulation::kDefaultBatchJobs) const;
+
  private:
   ScenarioSpec spec_;
 };

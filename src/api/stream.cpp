@@ -1,0 +1,117 @@
+#include "api/stream.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "ingest/registry.hpp"
+#include "ingest/synthetic_source.hpp"
+
+namespace cloudcr::api {
+
+namespace {
+
+/// Applies a TraceSpec's post-processing per job, preserving the
+/// materialized pipeline's order and semantics exactly:
+///   1. sample-job filter (ingest::apply_sample_job_filter's predicate);
+///   2. max_jobs cap — counts jobs that *survive the filter*, like
+///      cap_jobs on the filtered trace, and ends the stream once reached;
+///   3. replay length restriction (trace::restrict_length's predicate) —
+///      restricted-away jobs still count toward the cap, as they do when
+///      restrict_length runs after cap_jobs.
+/// The synthetic source applies 1. and 2. inside the generator, so its
+/// wrapper only restricts.
+class PostProcessStream final : public ingest::TaskStream {
+ public:
+  PostProcessStream(ingest::StreamPtr inner, bool sample_filter,
+                    std::size_t max_jobs, double max_task_length_s)
+      : inner_(std::move(inner)),
+        sample_filter_(sample_filter),
+        max_jobs_(max_jobs),
+        max_task_length_s_(max_task_length_s) {}
+
+  std::size_t next_batch(std::size_t max_jobs,
+                         std::vector<trace::JobRecord>& out) override {
+    std::size_t added = 0;
+    while (added < max_jobs && !done_) {
+      scratch_.clear();
+      if (inner_->next_batch(max_jobs - added, scratch_) == 0) {
+        done_ = true;
+        break;
+      }
+      for (auto& job : scratch_) {
+        if (sample_filter_ &&
+            2 * job.failed_task_count() < job.tasks.size()) {
+          continue;
+        }
+        if (max_jobs_ != 0 && accepted_ >= max_jobs_) {
+          done_ = true;
+          break;
+        }
+        ++accepted_;
+        if (!within_length_limit(job)) continue;
+        out.push_back(std::move(job));
+        ++added;
+      }
+    }
+    return added;
+  }
+
+  [[nodiscard]] bool exhausted() const override { return done_; }
+
+  [[nodiscard]] double horizon_s() const override {
+    return inner_->horizon_s();
+  }
+
+  [[nodiscard]] const ingest::IngestReport& report() const override {
+    return inner_->report();
+  }
+
+ private:
+  [[nodiscard]] bool within_length_limit(const trace::JobRecord& job) const {
+    if (std::isinf(max_task_length_s_)) return true;
+    for (const auto& task : job.tasks) {
+      if (task.length_s > max_task_length_s_) return false;
+    }
+    return true;
+  }
+
+  ingest::StreamPtr inner_;
+  std::vector<trace::JobRecord> scratch_;
+  const bool sample_filter_;
+  const std::size_t max_jobs_;
+  const double max_task_length_s_;
+  std::size_t accepted_ = 0;  ///< jobs past the filter (cap denominator)
+  bool done_ = false;
+};
+
+}  // namespace
+
+ingest::StreamPtr open_trace_stream(const TraceSpec& spec, bool replay_view) {
+  const double limit =
+      replay_view ? spec.replay_max_task_length_s : trace::kNoLengthLimit;
+  if (spec.source == "synthetic") {
+    // The generator applies the sample-job filter and job cap itself
+    // (to_generator_config carries them), exactly as make_trace's direct
+    // generator path does.
+    ingest::SyntheticSource source(to_generator_config(spec));
+    return std::make_unique<PostProcessStream>(source.open_stream(), false,
+                                               0, limit);
+  }
+  ingest::SourceEnv env;
+  env.generator = to_generator_config(spec);
+  auto source = ingest::TraceSourceRegistry::instance().make(spec.source, env);
+  return std::make_unique<PostProcessStream>(
+      source->open_stream(), spec.sample_job_filter, spec.max_jobs, limit);
+}
+
+bool spec_streams_lazily(const TraceSpec& spec) {
+  if (spec.source == "synthetic") return true;
+  ingest::SourceEnv env;
+  env.generator = to_generator_config(spec);
+  return ingest::TraceSourceRegistry::instance()
+      .make(spec.source, env)
+      ->streams_lazily();
+}
+
+}  // namespace cloudcr::api

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file stream.hpp
+/// \brief Streaming view of a TraceSpec: the pull-based counterpart of
+/// api::make_trace / api::make_replay_trace.
+///
+/// open_trace_stream() resolves the spec's source (the synthetic generator
+/// or the ingest registry) to an ingest::TaskStream and applies the spec's
+/// post-processing per job, in the exact order the materialized path
+/// applies it to the whole trace: the paper's sample-job filter, then the
+/// max_jobs cap, then (for the replay view) the replay length restriction.
+/// Draining the stream therefore reproduces make_trace()/make_replay_trace()
+/// bit-for-bit — pinned by tests/api/stream_determinism_test.cpp.
+///
+/// Whether the stream is also memory-bounded depends on the source
+/// (TraceSource::streams_lazily, surfaced here as spec_streams_lazily):
+/// synthetic workloads generate on demand; event logs chunk a materialized
+/// parse. StreamJobSource bridges the stream onto the simulator's
+/// sim::JobSource seam and counts what passed through, which is how
+/// ScenarioRunner::run_streamed fills the artifact's replay-set shape.
+
+#include <cstddef>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "ingest/stream.hpp"
+#include "sim/simulation.hpp"
+
+namespace cloudcr::api {
+
+/// Opens the post-processed pull view of `spec`: sample-job filter and job
+/// cap applied per job; `replay_view` additionally drops jobs whose
+/// longest task exceeds spec.replay_max_task_length_s. Throws like
+/// make_trace on structural failure.
+ingest::StreamPtr open_trace_stream(const TraceSpec& spec, bool replay_view);
+
+/// True when the spec's source yields jobs without materializing the whole
+/// workload (streaming replay then bounds memory by the active set).
+bool spec_streams_lazily(const TraceSpec& spec);
+
+/// sim::JobSource over an ingest::TaskStream, counting jobs/tasks yielded.
+class StreamJobSource final : public sim::JobSource {
+ public:
+  explicit StreamJobSource(ingest::TaskStream& stream) : stream_(&stream) {}
+
+  std::size_t next_jobs(std::size_t max_jobs,
+                        std::vector<trace::JobRecord>& out) override {
+    const std::size_t n = stream_->next_batch(max_jobs, out);
+    jobs_ += n;
+    for (std::size_t i = out.size() - n; i < out.size(); ++i) {
+      tasks_ += out[i].tasks.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::size_t tasks() const noexcept { return tasks_; }
+
+ private:
+  ingest::TaskStream* stream_;
+  std::size_t jobs_ = 0;
+  std::size_t tasks_ = 0;
+};
+
+}  // namespace cloudcr::api

@@ -247,11 +247,17 @@ IngestResult GoogleTraceSource::load() const {
   result.trace.horizon_s = max_t - min_t;
   std::map<std::uint64_t, std::size_t> job_slot;
   for (auto& [key, state] : tasks) {
+    bool censored = false;
     if (state.running_since_s >= 0.0) {
       state.active_s += max_t - state.running_since_s;
       state.running_since_s = -1.0;
+      censored = true;
     }
     if (state.active_s <= 0.0) continue;  // never ran: nothing to replay
+    // The length below is the accrued execution of a task still running at
+    // trace end — a censored observation, reported so consumers know how
+    // many lengths are lower bounds rather than completed runs.
+    if (censored) ++result.report.censored_tail_count;
 
     trace::TaskRecord task;
     task.job_id = key.first;

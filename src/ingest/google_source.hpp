@@ -83,7 +83,9 @@ class GoogleTraceSource final : public TraceSource {
   /// unknown event type, out-of-range priority) are skipped and reported.
   /// Tasks that never accrued active time are dropped. Jobs are ordered by
   /// arrival; timestamps are rebased so the earliest event is t = 0 and the
-  /// horizon is the latest event.
+  /// horizon is the latest event. Lengths taken from the accrued execution
+  /// of tasks still running at trace end are counted in
+  /// IngestReport::censored_tail_count.
   [[nodiscard]] IngestResult load() const override;
 
  private:

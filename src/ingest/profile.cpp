@@ -31,6 +31,12 @@ TraceProfile profile(const trace::Trace& trace) {
   return p;
 }
 
+TraceProfile profile(const IngestResult& ingested) {
+  TraceProfile p = profile(ingested.trace);
+  p.censored_tails = ingested.report.censored_tail_count;
+  return p;
+}
+
 void print_profile(std::ostream& os, const TraceProfile& profile,
                    const std::string& title) {
   metrics::print_banner(os, title);
@@ -42,7 +48,11 @@ void print_profile(std::ostream& os, const TraceProfile& profile,
   if (profile.tasks == 0) return;
   os << "task length (s): min " << metrics::fmt(profile.task_length_s.min(), 1)
      << " / mean " << metrics::fmt(profile.task_length_s.mean(), 1)
-     << " / max " << metrics::fmt(profile.task_length_s.max(), 1) << "\n";
+     << " / max " << metrics::fmt(profile.task_length_s.max(), 1);
+  if (profile.censored_tails > 0) {
+    os << " (" << profile.censored_tails << " censored tails)";
+  }
+  os << "\n";
   os << "task memory (MB): min "
      << metrics::fmt(profile.task_memory_mb.min(), 1) << " / mean "
      << metrics::fmt(profile.task_memory_mb.mean(), 1) << " / max "

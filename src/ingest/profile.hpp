@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "ingest/source.hpp"
 #include "stats/summary.hpp"
 #include "trace/estimators.hpp"
 #include "trace/records.hpp"
@@ -47,11 +48,21 @@ struct TraceProfile {
 
   /// Aggregate MNOF/MTBF over every task.
   trace::GroupStats overall;
+
+  /// Tasks whose length is a censored accrued-execution tail (only known
+  /// when the profile was computed from an IngestResult; the trace alone
+  /// cannot tell a censored length from a completed one).
+  std::size_t censored_tails = 0;
 };
 
 /// Computes the profile in one pass over the trace (plus the estimator
 /// passes it reuses).
 TraceProfile profile(const trace::Trace& trace);
+
+/// Like profile(trace) but also carries the ingestion report's
+/// censored-tail count, so print_profile can flag how many task lengths
+/// are lower bounds rather than completed runs.
+TraceProfile profile(const IngestResult& ingested);
 
 /// Prints the profile as an ASCII report: shape line, length/memory
 /// summaries, and a per-priority table (tasks, share, MNOF, MTBF). Empty

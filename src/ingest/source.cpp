@@ -5,9 +5,47 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ingest/stream.hpp"
 #include "trace/csv.hpp"
 
 namespace cloudcr::ingest {
+
+namespace {
+
+/// Flags re-entry into the mutual TraceSource defaults (see
+/// TraceSource::in_default_entry_).
+class DefaultEntryGuard {
+ public:
+  explicit DefaultEntryGuard(bool& flag, const char* what) : flag_(flag) {
+    if (flag_) {
+      throw std::logic_error(std::string(what) +
+                             ": subclass must override load() or "
+                             "open_stream() (the defaults call each other)");
+    }
+    flag_ = true;
+  }
+  ~DefaultEntryGuard() { flag_ = false; }
+
+ private:
+  bool& flag_;
+};
+
+}  // namespace
+
+StreamPtr TraceSource::open_stream() const {
+  // Default for formats that must aggregate the whole input first: chunk
+  // the materialized result (subclasses with a genuinely incremental
+  // producer override this instead and inherit load() as a drain).
+  const DefaultEntryGuard guard(in_default_entry_,
+                                "TraceSource::open_stream");
+  return std::make_unique<ChunkedTraceStream>(load());
+}
+
+IngestResult TraceSource::load() const {
+  const DefaultEntryGuard guard(in_default_entry_, "TraceSource::load");
+  auto stream = open_stream();
+  return drain(*stream);
+}
 
 void IngestReport::skip(std::size_t line_number, std::string reason) {
   ++rows_skipped;
@@ -20,6 +58,9 @@ std::string IngestReport::summary() const {
   std::ostringstream os;
   os << source << ": " << rows_total << " rows, " << rows_used << " used, "
      << rows_skipped << " skipped";
+  if (censored_tail_count > 0) {
+    os << ", " << censored_tail_count << " censored tails";
+  }
   if (rows_skipped > 0 && !skipped.empty()) {
     // Reasons come from trace::csv::field_error and already carry the line
     // number.

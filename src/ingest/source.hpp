@@ -75,6 +75,12 @@ struct IngestReport {
   std::size_t rows_used = 0;     ///< rows that contributed to the trace
   std::size_t rows_skipped = 0;  ///< rows rejected by validation
 
+  /// Tasks whose length is a *censored* observation: they were still
+  /// running when the log ended, so the length is the accrued execution up
+  /// to the last event, not a completed run (GoogleTraceSource; the paper's
+  /// horizon-clipped intervals).
+  std::size_t censored_tail_count = 0;
+
   /// First kMaxSkipSamples rejections, in input order (rows_skipped keeps
   /// the exact total even after sampling saturates).
   static constexpr std::size_t kMaxSkipSamples = 32;
@@ -93,10 +99,24 @@ struct IngestResult {
   IngestReport report;
 };
 
+class TaskStream;
+using StreamPtr = std::unique_ptr<TaskStream>;
+
 /// A workload origin. load() is const and deterministic: two calls on the
 /// same source over the same input produce identical traces, which is what
 /// lets api::BatchRunner memoize ingested traces exactly like generated
 /// ones.
+///
+/// Every source is also *streamable* (stream.hpp): open_stream() returns a
+/// pull cursor yielding arrival-ordered job chunks, and load() is a thin
+/// drain of that stream. The two defaults below are mutually implemented —
+/// a subclass must override at least one:
+///   - override open_stream() when the workload can be produced
+///     incrementally (the synthetic generator); load() then drains it;
+///   - override load() when the format needs whole-input aggregation before
+///     any job is complete (event logs: a task's length is unknown until
+///     its last event); open_stream() then chunks the materialized result,
+///     releasing each consumed job's storage.
 class TraceSource {
  public:
   virtual ~TraceSource() = default;
@@ -105,16 +125,36 @@ class TraceSource {
   /// TraceSourceRegistry::make for the file-backed sources).
   [[nodiscard]] virtual std::string describe() const = 0;
 
-  /// Reads/generates the full trace. Throws std::runtime_error on
-  /// structural failure (missing file, missing header/column); row-level
-  /// problems are reported, not thrown.
-  [[nodiscard]] virtual IngestResult load() const = 0;
+  /// Opens a pull stream over the workload (arrival-ordered job chunks plus
+  /// an incremental IngestReport; see stream.hpp for the full contract).
+  /// Draining it yields exactly the trace load() returns. Throws like
+  /// load() on structural failure — eagerly or from next_batch().
+  [[nodiscard]] virtual StreamPtr open_stream() const;
+
+  /// True when open_stream() yields jobs without materializing the whole
+  /// workload first, i.e. memory is bounded by the batch size instead of
+  /// the trace (the synthetic generator streams lazily; event-log sources
+  /// do not). Callers use this to decide whether a streaming replay
+  /// actually buys bounded memory.
+  [[nodiscard]] virtual bool streams_lazily() const { return false; }
+
+  /// Reads/generates the full trace (a drain of open_stream()). Throws
+  /// std::runtime_error on structural failure (missing file, missing
+  /// header/column); row-level problems are reported, not thrown.
+  [[nodiscard]] virtual IngestResult load() const;
 
   /// Cheap readiness check without ingesting anything: file-backed sources
   /// verify their input opens (throwing the same std::runtime_error load()
   /// would). CLI frontends call this so a typo'd path fails fast with a
   /// diagnostic instead of mid-run.
   virtual void probe() const {}
+
+ private:
+  /// Guards the mutual defaults: a subclass overriding neither load() nor
+  /// open_stream() would recurse forever — the flag turns that into a
+  /// std::logic_error naming the missing override instead of a stack
+  /// overflow.
+  mutable bool in_default_entry_ = false;
 };
 
 using SourcePtr = std::unique_ptr<TraceSource>;

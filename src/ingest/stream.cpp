@@ -1,0 +1,34 @@
+#include "ingest/stream.hpp"
+
+#include <utility>
+
+namespace cloudcr::ingest {
+
+std::size_t ChunkedTraceStream::next_batch(std::size_t max_jobs,
+                                           std::vector<trace::JobRecord>& out) {
+  auto& jobs = result_.trace.jobs;
+  std::size_t n = 0;
+  while (n < max_jobs && next_ < jobs.size()) {
+    // Moving the job transfers its task buffer: the consumed entry keeps
+    // only an empty husk, so resident memory tracks the unconsumed suffix.
+    out.push_back(std::move(jobs[next_]));
+    ++next_;
+    ++n;
+  }
+  return n;
+}
+
+IngestResult drain(TaskStream& stream) {
+  IngestResult result;
+  std::vector<trace::JobRecord> batch;
+  constexpr std::size_t kDrainBatch = 1024;
+  while (stream.next_batch(kDrainBatch, batch) > 0) {
+    for (auto& job : batch) result.trace.jobs.push_back(std::move(job));
+    batch.clear();
+  }
+  result.trace.horizon_s = stream.horizon_s();
+  result.report = stream.report();
+  return result;
+}
+
+}  // namespace cloudcr::ingest

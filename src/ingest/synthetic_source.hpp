@@ -26,9 +26,15 @@ class SyntheticSource final : public TraceSource {
 
   [[nodiscard]] std::string describe() const override;
 
-  /// Generates the trace; the report counts one "row" per generated task
-  /// (nothing is ever skipped — the generator only emits valid records).
-  [[nodiscard]] IngestResult load() const override;
+  /// Pull stream straight off the generator's RNG cursor: jobs are
+  /// produced on demand, so a month-scale trace never becomes resident.
+  /// The inherited load() drains this stream; the report counts one "row"
+  /// per generated task (nothing is ever skipped — the generator only
+  /// emits valid records).
+  [[nodiscard]] StreamPtr open_stream() const override;
+
+  /// Generation is incremental: memory is bounded by the pull batch size.
+  [[nodiscard]] bool streams_lazily() const override { return true; }
 
  private:
   trace::GeneratorConfig config_;

@@ -44,6 +44,32 @@ class Engine {
   /// t_end stay queued). Returns the number of events dispatched.
   std::size_t run_until(double t_end);
 
+  /// Dispatches every event strictly before `t_stop`, leaving events at
+  /// t_stop (and later) queued and the clock at the last dispatched event.
+  /// This is the lazy-admission boundary: the streaming replay drains the
+  /// engine up to — but not into — the next arrival instant, then admits
+  /// the arrival, reproducing exactly the ordering of an engine that had
+  /// every arrival scheduled up front (arrivals win ties against
+  /// dynamically scheduled events). Returns the number dispatched.
+  std::size_t run_until_before(double t_stop) {
+    std::size_t dispatched = 0;
+    while (!queue_.empty() && queue_.next_time() < t_stop) {
+      auto [time, fn] = queue_.pop();
+      now_ = time;
+      fn();
+      ++dispatched;
+    }
+    return dispatched;
+  }
+
+  /// Moves the clock forward to `t` without dispatching anything; `t` must
+  /// not be in the past. Used when work is injected at its own timestamp
+  /// instead of through a queued event (streamed job arrivals).
+  void advance_to(double t) {
+    if (t < now_) throw_bad_schedule("Engine::advance_to: time is in the past");
+    now_ = t;
+  }
+
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return queue_.size();

@@ -13,20 +13,42 @@ StatsPredictor make_oracle_predictor() {
   };
 }
 
+void observe_task(core::GroupedEstimator& estimator,
+                  const trace::TaskRecord& task) {
+  core::TaskObservation obs;
+  obs.priority = task.priority;
+  obs.length_s = task.length_s;
+  obs.failures = task.failures_within(task.length_s);
+  obs.intervals_s = task.uninterrupted_intervals(task.length_s);
+  estimator.observe(obs);
+}
+
 core::GroupedEstimator build_estimator(const trace::Trace& trace,
                                        double length_limit) {
   core::GroupedEstimator est(length_limit);
   for (const auto& job : trace.jobs) {
     for (const auto& task : job.tasks) {
-      core::TaskObservation obs;
-      obs.priority = task.priority;
-      obs.length_s = task.length_s;
-      obs.failures = task.failures_within(task.length_s);
-      obs.intervals_s = task.uninterrupted_intervals(task.length_s);
-      est.observe(obs);
+      observe_task(est, task);
     }
   }
   return est;
+}
+
+StatsPredictor make_grouped_predictor(core::GroupedEstimator estimator) {
+  auto est =
+      std::make_shared<core::GroupedEstimator>(std::move(estimator));
+  return [est](const trace::TaskRecord& /*task*/, int current_priority) {
+    return est->query(current_priority);
+  };
+}
+
+StatsPredictor make_submission_priority_predictor(
+    core::GroupedEstimator estimator) {
+  auto est =
+      std::make_shared<core::GroupedEstimator>(std::move(estimator));
+  return [est](const trace::TaskRecord& task, int /*current_priority*/) {
+    return est->query(task.priority);
+  };
 }
 
 StatsPredictor make_grouped_predictor(const trace::Trace& trace,

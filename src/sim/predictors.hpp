@@ -43,4 +43,22 @@ core::GroupedEstimator build_estimator(
     const trace::Trace& trace,
     double length_limit = trace::kNoLengthLimit);
 
+/// Feeds one task into an estimator being built incrementally — the exact
+/// observation build_estimator derives per task, exposed so the streaming
+/// path can estimate from a trace stream without materializing it
+/// (observation order must match the materialized trace's job/task order
+/// for bit-identical estimates).
+void observe_task(core::GroupedEstimator& estimator,
+                  const trace::TaskRecord& task);
+
+/// Predictor over a pre-built estimator: the streaming path builds the
+/// estimator from a pull stream, then wraps it here. Equivalent to
+/// make_grouped_predictor(trace, limit) when the estimator observed the
+/// same tasks in the same order.
+StatsPredictor make_grouped_predictor(core::GroupedEstimator estimator);
+
+/// Submission-priority variant over a pre-built estimator.
+StatsPredictor make_submission_priority_predictor(
+    core::GroupedEstimator estimator);
+
 }  // namespace cloudcr::sim

@@ -31,13 +31,16 @@ storage::StorageBackend* Simulation::backend_for(storage::DeviceKind kind) {
                                                     : shared_backend_.get();
 }
 
-SimResult Simulation::run(const trace::Trace& trace) {
+void Simulation::begin_run() {
   // Reset every pooled component to its just-constructed state, so a reused
   // workspace (or a second run() call) is bit-identical to a fresh engine.
   engine_.reset();
   tasks_.clear();
   ws_.jobs.clear();
   ws_.pending.clear();
+  ws_.free_jobs.clear();
+  ws_.free_spans.clear();
+  ws_.chunk.clear();
   pending_min_mb_ = kInf;
   cluster_.reset();
   rng_ = stats::Rng(config_.seed);
@@ -46,49 +49,154 @@ SimResult Simulation::run(const trace::Trace& trace) {
   shared_backend_ = storage::make_backend(config_.shared_kind, rng_,
                                           config_.storage_noise,
                                           config_.cluster.hosts);
+  result_ = SimResult{};
+  release_rows_ = false;
+}
 
-  // Build task and job state tables.
+SimResult Simulation::end_run() {
+  result_.events_dispatched += engine_.run();
+  result_.makespan_s = engine_.now();
+  // Finished jobs accumulated their totals in finish_job (their rows may
+  // already be recycled); whatever is still active never finished.
+  for (const auto& job : ws_.jobs) {
+    if (!job.active) continue;
+    ++result_.incomplete_jobs;
+    result_.total_unschedulable += job.unschedulable;
+    for (std::size_t i = 0; i < job.n_tasks; ++i) {
+      const TaskAccounting& acct = tasks_.acct[job.first_task + i];
+      result_.total_checkpoints += acct.checkpoints;
+      result_.total_failures += acct.failures;
+    }
+  }
+  return std::move(result_);
+}
+
+std::uint32_t Simulation::alloc_job_slot() {
+  if (!ws_.free_jobs.empty()) {
+    const std::uint32_t slot = ws_.free_jobs.back();
+    ws_.free_jobs.pop_back();
+    return slot;
+  }
+  ws_.jobs.emplace_back();
+  return static_cast<std::uint32_t>(ws_.jobs.size() - 1);
+}
+
+std::size_t Simulation::alloc_task_span(std::uint32_t n_tasks) {
+  if (n_tasks == 0) return 0;
+  const auto it = ws_.free_spans.find(n_tasks);
+  if (it != ws_.free_spans.end() && !it->second.empty()) {
+    const std::size_t first = it->second.back();
+    it->second.pop_back();
+    return first;
+  }
+  const std::size_t first = tasks_.size();
+  tasks_.resize(first + n_tasks);
+  return first;
+}
+
+void Simulation::retire_job(std::uint32_t job_slot) {
+  JobState& job = ws_.jobs[job_slot];
+  if (job.n_tasks > 0) {
+    ws_.free_spans[job.n_tasks].push_back(
+        static_cast<std::uint32_t>(job.first_task));
+  }
+  job.owned.clear();  // releases each record's failure-date storage
+  job.task_recs = nullptr;
+  ws_.free_jobs.push_back(job_slot);
+}
+
+void Simulation::admit_job(const trace::JobRecord& rec,
+                           trace::JobRecord* owned) {
+  const std::uint32_t slot = alloc_job_slot();
+  JobState& job = ws_.jobs[slot];
+  job.id = rec.id;
+  job.arrival_s = rec.arrival_s;
+  job.structure = rec.structure;
+  job.n_tasks = static_cast<std::uint32_t>(rec.tasks.size());
+  job.remaining = rec.tasks.size();
+  job.next_sequential = 0;
+  job.unschedulable = 0;
+  job.done = false;
+  job.active = true;
+  if (owned != nullptr) {
+    job.owned = std::move(owned->tasks);
+    job.task_recs = job.owned.data();
+  } else {
+    job.task_recs = rec.tasks.data();
+  }
+  job.first_task = alloc_task_span(job.n_tasks);
+  for (std::size_t i = 0; i < job.n_tasks; ++i) {
+    tasks_.init_row(job.first_task + i, job.task_recs[i], slot);
+  }
+  // The arrival itself counts as one dispatched event, as it did when every
+  // arrival was a queued engine event.
+  ++result_.events_dispatched;
+  if (job.n_tasks > 0) on_job_arrival(slot);
+}
+
+SimResult Simulation::run(const trace::Trace& trace) {
+  begin_run();
   const std::size_t n_tasks = trace.task_count();
   ws_.jobs.reserve(trace.jobs.size());
   tasks_.reserve(n_tasks);
   ws_.pending.reserve(n_tasks);
   engine_.reserve(n_tasks + 64);
-  for (const auto& job : trace.jobs) {
-    JobState js;
-    js.rec = &job;
-    js.first_task = tasks_.size();
-    js.remaining = job.tasks.size();
-    ws_.jobs.push_back(js);
-    const auto job_idx = static_cast<std::uint32_t>(ws_.jobs.size() - 1);
-    for (const auto& task : job.tasks) {
-      tasks_.push_back(task, job_idx);
+  result_.outcomes.reserve(trace.jobs.size());
+
+  // Admission order: stable by arrival — exactly the pop order of the old
+  // engine, which scheduled every arrival event up front (time order, ties
+  // in trace order). Real sources emit arrival-sorted jobs, so the common
+  // case is the identity permutation and skips the sort (and its scratch
+  // allocation) entirely; only hand-crafted unsorted traces pay it.
+  const bool sorted = std::is_sorted(
+      trace.jobs.begin(), trace.jobs.end(),
+      [](const trace::JobRecord& a, const trace::JobRecord& b) {
+        return a.arrival_s < b.arrival_s;
+      });
+  if (!sorted) {
+    ws_.admission_order.resize(trace.jobs.size());
+    for (std::size_t j = 0; j < trace.jobs.size(); ++j) {
+      ws_.admission_order[j] = static_cast<std::uint32_t>(j);
+    }
+    std::stable_sort(
+        ws_.admission_order.begin(), ws_.admission_order.end(),
+        [&trace](std::uint32_t a, std::uint32_t b) {
+          return trace.jobs[a].arrival_s < trace.jobs[b].arrival_s;
+        });
+  }
+
+  for (std::size_t j = 0; j < trace.jobs.size(); ++j) {
+    const trace::JobRecord& rec =
+        trace.jobs[sorted ? j : ws_.admission_order[j]];
+    result_.events_dispatched += engine_.run_until_before(rec.arrival_s);
+    engine_.advance_to(rec.arrival_s);
+    admit_job(rec, nullptr);
+  }
+  return end_run();
+}
+
+SimResult Simulation::run_stream(JobSource& source, std::size_t batch_jobs) {
+  begin_run();
+  release_rows_ = true;  // finish_job recycles rows, incl. in the final drain
+  if (batch_jobs == 0) batch_jobs = 1;
+  while (true) {
+    ws_.chunk.clear();
+    if (source.next_jobs(batch_jobs, ws_.chunk) == 0) break;
+    for (auto& rec : ws_.chunk) {
+      result_.events_dispatched += engine_.run_until_before(rec.arrival_s);
+      engine_.advance_to(rec.arrival_s);
+      admit_job(rec, &rec);
     }
   }
-
-  result_ = SimResult{};
-  result_.outcomes.reserve(trace.jobs.size());
-  for (std::size_t j = 0; j < ws_.jobs.size(); ++j) {
-    engine_.schedule_at(ws_.jobs[j].rec->arrival_s,
-                        [this, j] { on_job_arrival(j); });
-  }
-
-  result_.events_dispatched = engine_.run();
-  result_.makespan_s = engine_.now();
-  for (const auto& job : ws_.jobs) {
-    if (!job.done) ++result_.incomplete_jobs;
-    result_.total_unschedulable += job.unschedulable;
-  }
-  for (const auto& acct : tasks_.acct) {
-    result_.total_checkpoints += acct.checkpoints;
-    result_.total_failures += acct.failures;
-  }
-  return std::move(result_);
+  SimResult result = end_run();
+  release_rows_ = false;
+  return result;
 }
 
 void Simulation::on_job_arrival(std::size_t job_idx) {
   JobState& job = ws_.jobs[job_idx];
-  if (job.rec->structure == trace::JobStructure::kBagOfTasks) {
-    for (std::size_t i = 0; i < job.rec->tasks.size(); ++i) {
+  if (job.structure == trace::JobStructure::kBagOfTasks) {
+    for (std::size_t i = 0; i < job.n_tasks; ++i) {
       admit(job.first_task + i);
     }
   } else {
@@ -103,7 +211,7 @@ void Simulation::admit(std::size_t task_idx) {
   // old engine would re-scan such a task on every event, forever. Reject it
   // here, once, and let the job complete with the task on record.
   if (tasks_.memory_mb[task_idx] > cluster_.max_vm_capacity_mb()) {
-    tasks_.phase[task_idx] = TaskPhase::kUnschedulable;
+    tasks_.hot[task_idx].phase = TaskPhase::kUnschedulable;
     ++ws_.jobs[tasks_.job[task_idx]].unschedulable;
     on_task_terminal(task_idx);
     return;
@@ -112,7 +220,7 @@ void Simulation::admit(std::size_t task_idx) {
 }
 
 void Simulation::make_ready(std::size_t task_idx) {
-  tasks_.phase[task_idx] = TaskPhase::kQueued;
+  tasks_.hot[task_idx].phase = TaskPhase::kQueued;
   tasks_.acct[task_idx].last_enqueue_s = engine_.now();
   if (tasks_.acct[task_idx].first_ready_s < 0.0) {
     tasks_.acct[task_idx].first_ready_s = engine_.now();
@@ -196,32 +304,32 @@ bool Simulation::dispatch(std::size_t task_idx) {
   tasks_.vm[task_idx] = static_cast<std::int32_t>(*vm);
   TaskAccounting& acct = tasks_.acct[task_idx];
   acct.queue_s += engine_.now() - acct.last_enqueue_s;
-  tasks_.last_sync_s[task_idx] = engine_.now();
+  tasks_.hot[task_idx].last_sync_s = engine_.now();
 
   if (!tasks_.controller[task_idx]) init_controller(task_idx);
 
-  if (tasks_.flags[task_idx] & TaskTable::kPayRestart) {
+  if (tasks_.hot[task_idx].flags & TaskTable::kPayRestart) {
     const double r = tasks_.restart_price_s[task_idx];
     acct.restart_cost_s += r;
-    tasks_.phase[task_idx] = TaskPhase::kRestoring;
-    tasks_.phase_end_active[task_idx] = tasks_.active_s[task_idx] + r;
-    tasks_.controller[task_idx]->on_rollback(tasks_.saved_s[task_idx]);
+    tasks_.hot[task_idx].phase = TaskPhase::kRestoring;
+    tasks_.hot[task_idx].phase_end_active = tasks_.hot[task_idx].active_s + r;
+    tasks_.controller[task_idx]->on_rollback(tasks_.hot[task_idx].saved_s);
   } else {
-    tasks_.phase[task_idx] = TaskPhase::kExecuting;
+    tasks_.hot[task_idx].phase = TaskPhase::kExecuting;
   }
   arm(task_idx);
   return true;
 }
 
 void Simulation::sync_clock(std::size_t task_idx) {
-  const double elapsed = engine_.now() - tasks_.last_sync_s[task_idx];
+  const double elapsed = engine_.now() - tasks_.hot[task_idx].last_sync_s;
   if (elapsed > 0.0) {
-    tasks_.active_s[task_idx] += elapsed;
-    if (tasks_.phase[task_idx] == TaskPhase::kExecuting) {
-      tasks_.progress_s[task_idx] += elapsed;
+    tasks_.hot[task_idx].active_s += elapsed;
+    if (tasks_.hot[task_idx].phase == TaskPhase::kExecuting) {
+      tasks_.hot[task_idx].progress_s += elapsed;
     }
   }
-  tasks_.last_sync_s[task_idx] = engine_.now();
+  tasks_.hot[task_idx].last_sync_s = engine_.now();
 }
 
 void Simulation::cancel_pending_event(std::size_t task_idx) {
@@ -242,7 +350,7 @@ void Simulation::arm_from(std::size_t task_idx, double vt) {
   // (== deltas in active time, since the task is on a VM whenever this
   // runs). vt is engine_.now() for ordinary arms; checkpoint-run
   // compression passes the virtual wall time its inline replay reached.
-  const double active = tasks_.active_s[task_idx];
+  const double active = tasks_.hot[task_idx].active_s;
   double best_delta = kInf;
   Wakeup best = Wakeup::kComplete;
 
@@ -254,18 +362,18 @@ void Simulation::arm_from(std::size_t task_idx, double vt) {
   };
 
   // Kill event from the trace (failure cursor precomputed at admission).
-  if (tasks_.next_failure_date_s[task_idx] != kInf) {
-    consider(tasks_.next_failure_date_s[task_idx] - active, Wakeup::kKill);
+  if (tasks_.hot[task_idx].next_failure_date_s != kInf) {
+    consider(tasks_.hot[task_idx].next_failure_date_s - active, Wakeup::kKill);
   }
   // Scheduled priority change (active-time driven).
-  if (tasks_.flags[task_idx] & TaskTable::kPriorityChangePending) {
+  if (tasks_.hot[task_idx].flags & TaskTable::kPriorityChangePending) {
     consider(tasks_.rec[task_idx]->priority_change_time - active,
              Wakeup::kPriorityChange);
   }
 
-  switch (tasks_.phase[task_idx]) {
+  switch (tasks_.hot[task_idx].phase) {
     case TaskPhase::kExecuting: {
-      const double progress = tasks_.progress_s[task_idx];
+      const double progress = tasks_.hot[task_idx].progress_s;
       consider(tasks_.length_s[task_idx] - progress, Wakeup::kComplete);
       const auto next_ckpt =
           tasks_.controller[task_idx]->work_until_next_checkpoint(progress);
@@ -273,11 +381,11 @@ void Simulation::arm_from(std::size_t task_idx, double vt) {
       break;
     }
     case TaskPhase::kRestoring:
-      consider(tasks_.phase_end_active[task_idx] - active,
+      consider(tasks_.hot[task_idx].phase_end_active - active,
                Wakeup::kRestoreDone);
       break;
     case TaskPhase::kCheckpointing:
-      consider(tasks_.phase_end_active[task_idx] - active,
+      consider(tasks_.hot[task_idx].phase_end_active - active,
                Wakeup::kCheckpointDone);
       break;
     default:
@@ -334,22 +442,24 @@ void Simulation::handle_kill(std::size_t task_idx) {
   // Refund the unspent part of an interrupted checkpoint or restore phase:
   // the cost was charged in full when the phase began, but the kill cuts it
   // short (the wall-clock only absorbed the elapsed portion).
-  const double unspent = std::max(
-      0.0, tasks_.phase_end_active[task_idx] - tasks_.active_s[task_idx]);
-  if (tasks_.phase[task_idx] == TaskPhase::kCheckpointing) {
+  const double unspent =
+      std::max(0.0, tasks_.hot[task_idx].phase_end_active -
+                        tasks_.hot[task_idx].active_s);
+  if (tasks_.hot[task_idx].phase == TaskPhase::kCheckpointing) {
     acct.checkpoint_cost_s -= unspent;
-  } else if (tasks_.phase[task_idx] == TaskPhase::kRestoring) {
+  } else if (tasks_.hot[task_idx].phase == TaskPhase::kRestoring) {
     acct.restart_cost_s -= unspent;
   }
   // Roll back: progress since the last completed checkpoint is lost. A
   // checkpoint in flight is lost too (it never completed).
-  acct.rollback_s += tasks_.progress_s[task_idx] - tasks_.saved_s[task_idx];
-  tasks_.progress_s[task_idx] = tasks_.saved_s[task_idx];
+  acct.rollback_s +=
+      tasks_.hot[task_idx].progress_s - tasks_.hot[task_idx].saved_s;
+  tasks_.hot[task_idx].progress_s = tasks_.hot[task_idx].saved_s;
   tasks_.last_failed_host[task_idx] = static_cast<std::int32_t>(
       cluster_.vm(static_cast<VmId>(tasks_.vm[task_idx])).host());
   leave_vm(task_idx);
-  tasks_.flags[task_idx] |= TaskTable::kPayRestart;
-  tasks_.phase[task_idx] = TaskPhase::kQueued;
+  tasks_.hot[task_idx].flags |= TaskTable::kPayRestart;
+  tasks_.hot[task_idx].phase = TaskPhase::kQueued;
 
   // Failure detection latency before the task may be rescheduled.
   const double delay = config_.detection_delay_s;
@@ -359,7 +469,7 @@ void Simulation::handle_kill(std::size_t task_idx) {
       make_ready(idx);
       try_dispatch();
     });
-    tasks_.phase[task_idx] = TaskPhase::kNotReady;
+    tasks_.hot[task_idx].phase = TaskPhase::kNotReady;
   } else {
     acct.last_enqueue_s = engine_.now();
     push_pending(task_idx);
@@ -368,13 +478,13 @@ void Simulation::handle_kill(std::size_t task_idx) {
 }
 
 void Simulation::handle_priority_change(std::size_t task_idx) {
-  tasks_.flags[task_idx] &=
+  tasks_.hot[task_idx].flags &=
       static_cast<std::uint8_t>(~TaskTable::kPriorityChangePending);
   const trace::TaskRecord& rec = *tasks_.rec[task_idx];
   tasks_.priority[task_idx] = rec.new_priority;
   tasks_.controller[task_idx]->update_stats(
       predictor_(rec, tasks_.priority[task_idx]),
-      tasks_.progress_s[task_idx]);
+      tasks_.hot[task_idx].progress_s);
   arm(task_idx);  // same phase continues with refreshed wakeups
 }
 
@@ -408,10 +518,10 @@ void Simulation::handle_checkpoint_due(std::size_t task_idx) {
         backend->begin_priced(tasks_.ckpt_price[task_idx], host);
     ++acct.checkpoints;
     acct.checkpoint_cost_s += ticket.cost;
-    tasks_.ckpt_progress_s[task_idx] = tasks_.progress_s[task_idx];
-    tasks_.phase[task_idx] = TaskPhase::kCheckpointing;
-    tasks_.phase_end_active[task_idx] =
-        tasks_.active_s[task_idx] + ticket.cost;
+    tasks_.hot[task_idx].ckpt_progress_s = tasks_.hot[task_idx].progress_s;
+    tasks_.hot[task_idx].phase = TaskPhase::kCheckpointing;
+    tasks_.hot[task_idx].phase_end_active =
+        tasks_.hot[task_idx].active_s + ticket.cost;
 
     // The device stays busy for the full operation time, independently of
     // the task's fate (a killed task's half-written checkpoint still
@@ -428,14 +538,14 @@ void Simulation::handle_checkpoint_due(std::size_t task_idx) {
     }
 
     // -- can the write complete uninterrupted? ------------------------------
-    const double active0 = tasks_.active_s[task_idx];
-    const double done_delta = tasks_.phase_end_active[task_idx] - active0;
+    const double active0 = tasks_.hot[task_idx].active_s;
+    const double done_delta = tasks_.hot[task_idx].phase_end_active - active0;
     const double kill_delta =
-        tasks_.next_failure_date_s[task_idx] != kInf
-            ? tasks_.next_failure_date_s[task_idx] - active0
+        tasks_.hot[task_idx].next_failure_date_s != kInf
+            ? tasks_.hot[task_idx].next_failure_date_s - active0
             : kInf;
     const double prio_delta =
-        (tasks_.flags[task_idx] & TaskTable::kPriorityChangePending)
+        (tasks_.hot[task_idx].flags & TaskTable::kPriorityChangePending)
             ? tasks_.rec[task_idx]->priority_change_time - active0
             : kInf;
     if (!(done_delta < kill_delta && done_delta < prio_delta)) {
@@ -447,15 +557,15 @@ void Simulation::handle_checkpoint_due(std::size_t task_idx) {
     const double delta0 = std::max(0.0, done_delta);
     const double done_time = vt + delta0;         // the done wake's timestamp
     const double elapsed = done_time - vt;        // sync_clock at that wake
-    if (elapsed > 0.0) tasks_.active_s[task_idx] = active0 + elapsed;
-    tasks_.last_sync_s[task_idx] = done_time;
-    tasks_.saved_s[task_idx] = tasks_.ckpt_progress_s[task_idx];
-    tasks_.controller[task_idx]->on_checkpoint(tasks_.saved_s[task_idx]);
-    tasks_.phase[task_idx] = TaskPhase::kExecuting;
+    if (elapsed > 0.0) tasks_.hot[task_idx].active_s = active0 + elapsed;
+    tasks_.hot[task_idx].last_sync_s = done_time;
+    tasks_.hot[task_idx].saved_s = tasks_.hot[task_idx].ckpt_progress_s;
+    tasks_.controller[task_idx]->on_checkpoint(tasks_.hot[task_idx].saved_s);
+    tasks_.hot[task_idx].phase = TaskPhase::kExecuting;
     vt = done_time;
 
     // -- the post-checkpoint arm, against the virtual state -----------------
-    const double active1 = tasks_.active_s[task_idx];
+    const double active1 = tasks_.hot[task_idx].active_s;
     double best_delta = kInf;
     Wakeup best = Wakeup::kComplete;
     auto consider = [&](double delta, Wakeup kind) {
@@ -464,14 +574,15 @@ void Simulation::handle_checkpoint_due(std::size_t task_idx) {
         best = kind;
       }
     };
-    if (tasks_.next_failure_date_s[task_idx] != kInf) {
-      consider(tasks_.next_failure_date_s[task_idx] - active1, Wakeup::kKill);
+    if (tasks_.hot[task_idx].next_failure_date_s != kInf) {
+      consider(tasks_.hot[task_idx].next_failure_date_s - active1,
+               Wakeup::kKill);
     }
-    if (tasks_.flags[task_idx] & TaskTable::kPriorityChangePending) {
+    if (tasks_.hot[task_idx].flags & TaskTable::kPriorityChangePending) {
       consider(tasks_.rec[task_idx]->priority_change_time - active1,
                Wakeup::kPriorityChange);
     }
-    const double progress = tasks_.progress_s[task_idx];
+    const double progress = tasks_.hot[task_idx].progress_s;
     consider(tasks_.length_s[task_idx] - progress, Wakeup::kComplete);
     const auto next_ckpt =
         tasks_.controller[task_idx]->work_until_next_checkpoint(progress);
@@ -490,29 +601,29 @@ void Simulation::handle_checkpoint_due(std::size_t task_idx) {
     const double due_time = vt + best_delta;      // the due wake's timestamp
     const double run = due_time - vt;             // sync_clock at that wake
     if (run > 0.0) {
-      tasks_.active_s[task_idx] = active1 + run;
-      tasks_.progress_s[task_idx] = progress + run;  // kExecuting accrues
+      tasks_.hot[task_idx].active_s = active1 + run;
+      tasks_.hot[task_idx].progress_s = progress + run;  // kExecuting accrues
     }
-    tasks_.last_sync_s[task_idx] = due_time;
+    tasks_.hot[task_idx].last_sync_s = due_time;
     vt = due_time;
   }
 }
 
 void Simulation::handle_checkpoint_done(std::size_t task_idx) {
-  tasks_.saved_s[task_idx] = tasks_.ckpt_progress_s[task_idx];
-  tasks_.controller[task_idx]->on_checkpoint(tasks_.saved_s[task_idx]);
-  tasks_.phase[task_idx] = TaskPhase::kExecuting;
+  tasks_.hot[task_idx].saved_s = tasks_.hot[task_idx].ckpt_progress_s;
+  tasks_.controller[task_idx]->on_checkpoint(tasks_.hot[task_idx].saved_s);
+  tasks_.hot[task_idx].phase = TaskPhase::kExecuting;
   arm(task_idx);
 }
 
 void Simulation::handle_restore_done(std::size_t task_idx) {
-  tasks_.phase[task_idx] = TaskPhase::kExecuting;
+  tasks_.hot[task_idx].phase = TaskPhase::kExecuting;
   arm(task_idx);
 }
 
 void Simulation::handle_complete(std::size_t task_idx) {
-  tasks_.progress_s[task_idx] = tasks_.length_s[task_idx];
-  tasks_.phase[task_idx] = TaskPhase::kDone;
+  tasks_.hot[task_idx].progress_s = tasks_.length_s[task_idx];
+  tasks_.hot[task_idx].phase = TaskPhase::kDone;
   tasks_.acct[task_idx].done_s = engine_.now();
   leave_vm(task_idx);
   on_task_terminal(task_idx);
@@ -520,28 +631,36 @@ void Simulation::handle_complete(std::size_t task_idx) {
 }
 
 void Simulation::on_task_terminal(std::size_t task_idx) {
-  JobState& job = ws_.jobs[tasks_.job[task_idx]];
-  if (job.rec->structure == trace::JobStructure::kSequentialTasks &&
-      job.next_sequential < job.rec->tasks.size()) {
+  const std::uint32_t job_slot = tasks_.job[task_idx];
+  JobState& job = ws_.jobs[job_slot];
+  if (job.structure == trace::JobStructure::kSequentialTasks &&
+      job.next_sequential < job.n_tasks) {
     const std::size_t successor = job.first_task + job.next_sequential;
     ++job.next_sequential;
     admit(successor);  // may recurse through another unschedulable successor
   }
-  if (--job.remaining == 0) finish_job(job);
+  if (--job.remaining == 0) finish_job(job_slot);
 }
 
-void Simulation::finish_job(JobState& job) {
+void Simulation::finish_job(std::uint32_t job_slot) {
+  JobState& job = ws_.jobs[job_slot];
   job.done = true;
+  job.active = false;
   metrics::JobOutcome out;
-  out.job_id = job.rec->id;
-  out.bag_of_tasks = job.rec->structure == trace::JobStructure::kBagOfTasks;
-  out.priority = job.rec->tasks.empty() ? 1 : job.rec->tasks.front().priority;
-  out.wallclock_s = engine_.now() - job.rec->arrival_s;
+  out.job_id = job.id;
+  out.bag_of_tasks = job.structure == trace::JobStructure::kBagOfTasks;
+  out.priority = job.n_tasks == 0 ? 1 : job.task_recs[0].priority;
+  out.wallclock_s = engine_.now() - job.arrival_s;
   out.unschedulable_tasks = job.unschedulable;
-  for (std::size_t i = 0; i < job.rec->tasks.size(); ++i) {
+  result_.total_unschedulable += job.unschedulable;
+  for (std::size_t i = 0; i < job.n_tasks; ++i) {
     const std::size_t t = job.first_task + i;
-    if (tasks_.phase[t] == TaskPhase::kUnschedulable) continue;
     const TaskAccounting& acct = tasks_.acct[t];
+    // Run-level totals accumulate here (integer sums, order-independent):
+    // in the streaming mode the rows are about to be recycled.
+    result_.total_checkpoints += acct.checkpoints;
+    result_.total_failures += acct.failures;
+    if (tasks_.hot[t].phase == TaskPhase::kUnschedulable) continue;
     out.workload_s += tasks_.length_s[t];
     out.task_wallclock_s += acct.done_s - acct.first_ready_s;
     out.queue_s += acct.queue_s;
@@ -554,6 +673,7 @@ void Simulation::finish_job(JobState& job) {
         std::max(out.max_task_length_s, tasks_.length_s[t]);
   }
   result_.outcomes.push_back(out);
+  if (release_rows_) retire_job(job_slot);
 }
 
 }  // namespace cloudcr::sim

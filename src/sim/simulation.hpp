@@ -29,6 +29,7 @@
 ///    runs, so steady-state replay performs no heap allocation.
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -44,22 +45,55 @@
 
 namespace cloudcr::sim {
 
+/// Pull source of arrival-ordered jobs for the streaming replay
+/// (Simulation::run_stream). next_jobs appends up to `max_jobs` complete
+/// JobRecords (each owning its TaskRecords) to `out` in non-decreasing
+/// arrival order and returns the number appended; 0 means exhausted.
+/// api::ScenarioRunner adapts an ingest::TaskStream onto this seam, keeping
+/// the sim layer free of any ingestion dependency.
+class JobSource {
+ public:
+  virtual ~JobSource() = default;
+  virtual std::size_t next_jobs(std::size_t max_jobs,
+                                std::vector<trace::JobRecord>& out) = 0;
+};
+
 /// Pooled replay buffers: the task/job tables, the pending queue, and the
 /// event engine (whose slab and heap dominate transient memory). A default
 /// instance lives inside each Simulation; passing a shared workspace to the
 /// constructor lets a batch reuse the same capacity across many runs.
 /// Contents are fully reset at the start of every run, so reuse can never
 /// change results.
+///
+/// After a run the table sizes are readable high-water marks (they are
+/// cleared at the *start* of the next run): a materialized replay peaks at
+/// O(trace) rows, a streaming replay at O(active tasks) — the month-scale
+/// perf benchmark reports exactly these counters.
 struct ReplayWorkspace {
   TaskTable tasks;
 
+  /// Per-job replay state. The job's constant scalars are copied in at
+  /// admission and its TaskRecords are either borrowed from the caller's
+  /// trace (run) or owned by the slot itself (run_stream) — either way
+  /// `task_recs` stays valid while the job is live, including across
+  /// jobs-vector growth (moving the owning vector does not move its heap
+  /// buffer).
   struct JobState {
-    const trace::JobRecord* rec = nullptr;
-    std::size_t first_task = 0;   ///< global index of the job's first task
+    const trace::TaskRecord* task_recs = nullptr;  ///< the job's task span
+    std::uint32_t n_tasks = 0;
+    std::uint64_t id = 0;
+    double arrival_s = 0.0;
+    trace::JobStructure structure = trace::JobStructure::kSequentialTasks;
+    std::size_t first_task = 0;   ///< first row of the job's task-table span
     std::size_t remaining = 0;
     std::size_t next_sequential = 0;
     std::uint32_t unschedulable = 0;  ///< tasks rejected at admission
     bool done = false;
+    /// Admitted and not yet retired. Slots of finished jobs are inactive in
+    /// both modes; the streaming mode additionally recycles them.
+    bool active = false;
+    /// Streaming mode: the records themselves (moved out of the chunk).
+    std::vector<trace::TaskRecord> owned;
   };
   std::vector<JobState> jobs;
 
@@ -67,13 +101,39 @@ struct ReplayWorkspace {
   std::vector<std::uint32_t> pending;
 
   Engine engine;
+
+  // -- streaming-replay recycling ---------------------------------------------
+  /// Job slots retired by finished jobs, reusable LIFO.
+  std::vector<std::uint32_t> free_jobs;
+  /// Retired task-table spans, grouped by span length (jobs of the same
+  /// size reuse each other's rows; unseen sizes extend the table). Keyed
+  /// deterministically — recycling can never change results, only memory.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> free_spans;
+  /// Arrival buffer: the current chunk pulled from the JobSource.
+  std::vector<trace::JobRecord> chunk;
+  /// Admission order for run(): job indices stably sorted by arrival.
+  std::vector<std::uint32_t> admission_order;
 };
 
 /// Replays one trace under one policy. run() is reusable: every call resets
 /// the workspace, cluster, RNG, and storage backends, so consecutive runs
 /// are bit-identical to fresh constructions.
+///
+/// Arrivals are admitted *lazily* in both entry points: the engine drains
+/// events up to the next arrival instant, then injects the job at its own
+/// timestamp (Engine::run_until_before / advance_to), which reproduces the
+/// ordering of scheduling every arrival event up front — arrivals win ties
+/// against dynamically scheduled events, in job order. run() feeds the
+/// admission loop from a materialized trace (borrowed records, rows kept
+/// until the end); run_stream() pulls chunks from a JobSource and retires
+/// finished jobs' rows, so steady-state memory is O(active tasks) +
+/// O(chunk), not O(trace). The two paths share the entire replay core and
+/// are bit-identical (pinned by tests/api/stream_determinism_test.cpp).
 class Simulation {
  public:
+  /// Default arrival-chunk size for run_stream.
+  static constexpr std::size_t kDefaultBatchJobs = 1024;
+
   /// \param config    simulation parameters
   /// \param policy    checkpoint-interval policy (must outlive run())
   /// \param predictor failure-statistics source for controllers
@@ -83,6 +143,13 @@ class Simulation {
 
   /// Replays the trace to completion and returns the aggregated result.
   SimResult run(const trace::Trace& trace);
+
+  /// Streaming replay: pulls arrival-ordered jobs from `source` in batches
+  /// of `batch_jobs`, admits each at its arrival instant, and recycles
+  /// finished jobs' table rows. Bit-identical to run() over the
+  /// materialized equivalent of the same job sequence.
+  SimResult run_stream(JobSource& source,
+                       std::size_t batch_jobs = kDefaultBatchJobs);
 
  private:
   enum class Wakeup : std::uint8_t {
@@ -95,6 +162,22 @@ class Simulation {
   };
 
   using JobState = ReplayWorkspace::JobState;
+
+  // -- run skeleton ---------------------------------------------------------
+  /// Resets all pooled state; shared by both entry points.
+  void begin_run();
+  /// Finishes the run: drains the engine, sweeps still-active jobs, and
+  /// returns the result.
+  SimResult end_run();
+  /// Admits one job at the current engine time. `owned` non-null moves the
+  /// record's tasks into the slot (streaming); null borrows them (the
+  /// caller's trace outlives the run).
+  void admit_job(const trace::JobRecord& rec, trace::JobRecord* owned);
+  [[nodiscard]] std::uint32_t alloc_job_slot();
+  [[nodiscard]] std::size_t alloc_task_span(std::uint32_t n_tasks);
+  /// Streaming mode: returns a finished job's rows and slot to the free
+  /// pools and drops its owned records.
+  void retire_job(std::uint32_t job_slot);
 
   // -- event plumbing -------------------------------------------------------
   void on_job_arrival(std::size_t job_idx);
@@ -130,7 +213,7 @@ class Simulation {
   /// Terminal-state bookkeeping shared by completion and unschedulability:
   /// advances a sequential job and finishes it when no tasks remain.
   void on_task_terminal(std::size_t task_idx);
-  void finish_job(JobState& job);
+  void finish_job(std::uint32_t job_slot);
   [[nodiscard]] storage::StorageBackend* backend_for(storage::DeviceKind kind);
   void init_controller(std::size_t task_idx);
 
@@ -151,6 +234,10 @@ class Simulation {
   /// Smallest memory demand among pending tasks (+inf when none): lets
   /// try_dispatch reject a sweep in O(1) while the cluster is saturated.
   double pending_min_mb_ = 0.0;
+
+  /// Streaming mode: recycle finished jobs' rows/slots (run_stream sets
+  /// this; run keeps every row so borrowed records need no bookkeeping).
+  bool release_rows_ = false;
 
   SimResult result_;
 };

@@ -10,16 +10,20 @@
 /// cache lines through the core. The TaskTable splits that state by access
 /// pattern:
 ///
-///  - hot columns (phase, clocks, failure cursor, event handle) are parallel
-///    vectors — an event touches only the lines it needs;
+///  - the most-touched scalars — clocks, due/done phase cursor, the failure
+///    cursor — are *clustered into one 64-byte HotRow*, so a wakeup
+///    (sync_clock + handler + arm) touches exactly one cache line of task
+///    state instead of one line per column;
 ///  - per-task trace constants (memory, length) are copied in at admission,
 ///    removing the TaskRecord pointer chase from dispatch and arm;
-///  - the failure-date cursor is materialized as `next_failure_date_s`, so
-///    arming a wakeup never re-reads the record's failure vector;
+///  - the failure-date cursor is materialized as `hot.next_failure_date_s`,
+///    so arming a wakeup never re-reads the record's failure vector;
 ///  - cold accounting lives in an AoS side table read mostly at job finish.
 ///
 /// All columns are cleared-but-not-freed between runs, so a pooled workspace
-/// replays trace after trace with no steady-state allocation.
+/// replays trace after trace with no steady-state allocation. Rows are
+/// (re)initialized via init_row, which lets the streaming replay recycle a
+/// retired job's span for a newly admitted one.
 
 #include <cstdint>
 #include <limits>
@@ -57,30 +61,42 @@ struct TaskAccounting {
   std::uint32_t failures = 0;
 };
 
+/// The per-task scalars nearly every event reads or writes, packed into a
+/// single cache line: the three clocks sync_clock maintains, the due/done
+/// phase cursor (phase_end_active), the checkpoint-in-flight cursor, the
+/// precomputed failure cursor, and the phase/flag bytes that gate every
+/// wakeup decision. One wakeup = one line of task state.
+struct alignas(64) HotRow {
+  double progress_s = 0.0;        ///< productive work completed
+  double saved_s = 0.0;           ///< progress at last checkpoint
+  double active_s = 0.0;          ///< accrued on-VM time
+  double last_sync_s = 0.0;       ///< sim time of last clock sync
+  double phase_end_active = 0.0;  ///< end of restore/checkpoint phase
+  double ckpt_progress_s = 0.0;   ///< progress saved by in-flight ckpt
+  /// Active-time date of the task's next trace failure (+inf when none):
+  /// the failure cursor, precomputed at admission and advanced on each kill
+  /// so arm() never searches the record's failure vector.
+  double next_failure_date_s = 0.0;
+  std::uint32_t next_failure = 0;  ///< index into failure_dates
+  TaskPhase phase = TaskPhase::kNotReady;
+  std::uint8_t flags = 0;
+};
+static_assert(sizeof(HotRow) == 64, "HotRow must stay one cache line");
+
 /// SoA columns for every task of the trace being replayed.
 struct TaskTable {
   static constexpr std::int32_t kNoVm = -1;
   static constexpr std::int32_t kNoHost = -1;
   static constexpr EventId kNoEvent = 0;  // EventQueue generations start at 1
 
-  // Flag bits (flags column).
+  // Flag bits (HotRow::flags).
   static constexpr std::uint8_t kPayRestart = 1u << 0;
   static constexpr std::uint8_t kPriorityChangePending = 1u << 1;
 
-  // -- hot columns -----------------------------------------------------------
-  std::vector<TaskPhase> phase;
-  std::vector<std::uint8_t> flags;
-  std::vector<double> progress_s;         ///< productive work completed
-  std::vector<double> saved_s;            ///< progress at last checkpoint
-  std::vector<double> active_s;           ///< accrued on-VM time
-  std::vector<double> last_sync_s;        ///< sim time of last clock sync
-  std::vector<double> phase_end_active;   ///< end of restore/checkpoint phase
-  std::vector<double> ckpt_progress_s;    ///< progress saved by in-flight ckpt
-  /// Active-time date of the task's next trace failure (+inf when none):
-  /// the failure cursor, precomputed at admission and advanced on each kill
-  /// so arm() never searches the record's failure vector.
-  std::vector<double> next_failure_date_s;
-  std::vector<std::uint32_t> next_failure;  ///< index into failure_dates
+  // -- hot state: one cache line per task ------------------------------------
+  std::vector<HotRow> hot;
+
+  // -- warm columns (touched on placement / event re-arm) --------------------
   std::vector<EventId> pending_event;       ///< kNoEvent when none armed
   std::vector<std::int32_t> vm;             ///< kNoVm when off-cluster
   std::vector<std::int32_t> last_failed_host;  ///< kNoHost when none
@@ -89,7 +105,7 @@ struct TaskTable {
   std::vector<double> memory_mb;
   std::vector<double> length_s;
   std::vector<std::int32_t> priority;
-  std::vector<std::uint32_t> job;              ///< owning job index
+  std::vector<std::uint32_t> job;              ///< owning job slot
   std::vector<const trace::TaskRecord*> rec;   ///< cold-path record access
 
   // -- controllers and device bindings ---------------------------------------
@@ -105,19 +121,10 @@ struct TaskTable {
   // -- cold accounting -------------------------------------------------------
   std::vector<TaskAccounting> acct;
 
-  [[nodiscard]] std::size_t size() const noexcept { return phase.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return hot.size(); }
 
   void clear() noexcept {
-    phase.clear();
-    flags.clear();
-    progress_s.clear();
-    saved_s.clear();
-    active_s.clear();
-    last_sync_s.clear();
-    phase_end_active.clear();
-    ckpt_progress_s.clear();
-    next_failure_date_s.clear();
-    next_failure.clear();
+    hot.clear();
     pending_event.clear();
     vm.clear();
     last_failed_host.clear();
@@ -134,16 +141,7 @@ struct TaskTable {
   }
 
   void reserve(std::size_t n) {
-    phase.reserve(n);
-    flags.reserve(n);
-    progress_s.reserve(n);
-    saved_s.reserve(n);
-    active_s.reserve(n);
-    last_sync_s.reserve(n);
-    phase_end_active.reserve(n);
-    ckpt_progress_s.reserve(n);
-    next_failure_date_s.reserve(n);
-    next_failure.reserve(n);
+    hot.reserve(n);
     pending_event.reserve(n);
     vm.reserve(n);
     last_failed_host.reserve(n);
@@ -159,43 +157,59 @@ struct TaskTable {
     acct.reserve(n);
   }
 
-  /// Appends one task row from its trace record.
-  void push_back(const trace::TaskRecord& record, std::uint32_t job_idx) {
-    phase.push_back(TaskPhase::kNotReady);
-    flags.push_back(record.has_priority_change() ? kPriorityChangePending
-                                                 : std::uint8_t{0});
-    progress_s.push_back(0.0);
-    saved_s.push_back(0.0);
-    active_s.push_back(0.0);
-    last_sync_s.push_back(0.0);
-    phase_end_active.push_back(0.0);
-    ckpt_progress_s.push_back(0.0);
-    next_failure_date_s.push_back(
-        record.failure_dates.empty()
-            ? std::numeric_limits<double>::infinity()
-            : record.failure_dates.front());
-    next_failure.push_back(0);
-    pending_event.push_back(kNoEvent);
-    vm.push_back(kNoVm);
-    last_failed_host.push_back(kNoHost);
-    memory_mb.push_back(record.memory_mb);
-    length_s.push_back(record.length_s);
-    priority.push_back(record.priority);
-    job.push_back(job_idx);
-    rec.push_back(&record);
-    controller.emplace_back();
-    backend.push_back(nullptr);
-    ckpt_price.emplace_back();
-    restart_price_s.push_back(0.0);
-    acct.emplace_back();
+  /// Grows every column to `n` rows (values are set by init_row; a row is
+  /// never read before it is initialized).
+  void resize(std::size_t n) {
+    hot.resize(n);
+    pending_event.resize(n);
+    vm.resize(n);
+    last_failed_host.resize(n);
+    memory_mb.resize(n);
+    length_s.resize(n);
+    priority.resize(n);
+    job.resize(n);
+    rec.resize(n);
+    controller.resize(n);
+    backend.resize(n);
+    ckpt_price.resize(n);
+    restart_price_s.resize(n);
+    acct.resize(n);
+  }
+
+  /// (Re)initializes row `idx` from its trace record — used both for fresh
+  /// rows and for rows recycled from a retired job's span (streaming
+  /// replay), so it must reset *every* column.
+  void init_row(std::size_t idx, const trace::TaskRecord& record,
+                std::uint32_t job_idx) {
+    HotRow& h = hot[idx];
+    h = HotRow{};
+    h.flags = record.has_priority_change() ? kPriorityChangePending
+                                           : std::uint8_t{0};
+    h.next_failure_date_s = record.failure_dates.empty()
+                                ? std::numeric_limits<double>::infinity()
+                                : record.failure_dates.front();
+    pending_event[idx] = kNoEvent;
+    vm[idx] = kNoVm;
+    last_failed_host[idx] = kNoHost;
+    memory_mb[idx] = record.memory_mb;
+    length_s[idx] = record.length_s;
+    priority[idx] = record.priority;
+    job[idx] = job_idx;
+    rec[idx] = &record;
+    controller[idx].reset();
+    backend[idx] = nullptr;
+    ckpt_price[idx] = storage::CheckpointPrice{};
+    restart_price_s[idx] = 0.0;
+    acct[idx] = TaskAccounting{};
   }
 
   /// Advances the failure cursor of task `idx` past the failure just
   /// consumed.
   void advance_failure_cursor(std::size_t idx) noexcept {
     const trace::TaskRecord& record = *rec[idx];
-    const std::uint32_t next = ++next_failure[idx];
-    next_failure_date_s[idx] =
+    HotRow& h = hot[idx];
+    const std::uint32_t next = ++h.next_failure;
+    h.next_failure_date_s =
         next < record.failure_dates.size()
             ? record.failure_dates[next]
             : std::numeric_limits<double>::infinity();

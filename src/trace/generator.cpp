@@ -39,30 +39,38 @@ void TraceGenerator::attach_failures(TaskRecord& task, stats::Rng& rng) const {
   }
 }
 
-Trace TraceGenerator::generate() const {
-  stats::Rng rng(config_.seed);
-  Trace trace;
-  trace.horizon_s = config_.horizon_s;
-
-  double t = 0.0;
-  std::uint64_t next_job_id = 1;
+std::optional<JobRecord> TraceGenerator::Cursor::next() {
+  if (done_) return std::nullopt;
+  const GeneratorConfig& config = generator_->config_;
   for (;;) {
-    t += -std::log1p(-rng.uniform()) / config_.arrival_rate;
-    if (t > config_.horizon_s) break;
-    if (config_.max_jobs != 0 && trace.jobs.size() >= config_.max_jobs) break;
+    t_ += -std::log1p(-rng_.uniform()) / config.arrival_rate;
+    if (t_ > config.horizon_s) break;
+    if (config.max_jobs != 0 && emitted_ >= config.max_jobs) break;
 
-    JobRecord job = workload_.sample_job(rng);
-    job.arrival_s = t;
-    for (auto& task : job.tasks) attach_failures(task, rng);
+    JobRecord job = generator_->workload_.sample_job(rng_);
+    job.arrival_s = t_;
+    for (auto& task : job.tasks) generator_->attach_failures(task, rng_);
 
-    if (config_.sample_job_filter) {
+    if (config.sample_job_filter) {
       const std::size_t failed = job.failed_task_count();
       if (2 * failed < job.tasks.size()) continue;  // < half the tasks failed
     }
 
-    job.id = next_job_id++;
+    job.id = next_job_id_++;
     for (auto& task : job.tasks) task.job_id = job.id;
-    trace.jobs.push_back(std::move(job));
+    ++emitted_;
+    return job;
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+Trace TraceGenerator::generate() const {
+  Trace trace;
+  trace.horizon_s = config_.horizon_s;
+  Cursor cursor = stream();
+  while (auto job = cursor.next()) {
+    trace.jobs.push_back(std::move(*job));
   }
   return trace;
 }

@@ -60,7 +60,33 @@ class TraceGenerator {
     return failure_model_;
   }
 
-  /// Generates a full trace. Deterministic for a given config (seed).
+  /// Incremental view of generate(): yields the same jobs, in the same
+  /// (arrival) order, one at a time — the memory-bounded pull side of the
+  /// streaming pipeline. The cursor owns the RNG state, so a month-scale
+  /// trace is produced without ever being resident: generate() is literally
+  /// a drain of this cursor.
+  class Cursor {
+   public:
+    explicit Cursor(const TraceGenerator& generator)
+        : generator_(&generator), rng_(generator.config_.seed) {}
+
+    /// Next job in arrival order; nullopt once the horizon (or max_jobs)
+    /// is reached. The generator must outlive the cursor.
+    [[nodiscard]] std::optional<JobRecord> next();
+
+   private:
+    const TraceGenerator* generator_;
+    stats::Rng rng_;
+    double t_ = 0.0;
+    std::uint64_t next_job_id_ = 1;
+    std::size_t emitted_ = 0;
+    bool done_ = false;
+  };
+
+  [[nodiscard]] Cursor stream() const { return Cursor(*this); }
+
+  /// Generates a full trace (drains stream()). Deterministic for a given
+  /// config (seed).
   [[nodiscard]] Trace generate() const;
 
  private:

@@ -1,0 +1,175 @@
+// TaskStream contract tests: draining a source's stream reproduces load()
+// exactly (for every built-in source kind), chunk boundaries cannot change
+// the yielded sequence (batch of 1, batch larger than the trace), the
+// IngestReport accumulates incrementally to the load() totals, and the
+// google source's censored-tail accounting is surfaced.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ingest/google_source.hpp"
+#include "ingest/registry.hpp"
+#include "ingest/source.hpp"
+#include "ingest/stream.hpp"
+#include "ingest/synthetic_source.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace cloudcr::ingest {
+namespace {
+
+/// Byte-exact trace comparison via the trace_io serialization (covers every
+/// record field, including failure dates and priority changes).
+std::string csv_of(const trace::Trace& trace) {
+  std::ostringstream os;
+  trace::write_csv(os, trace);
+  return os.str();
+}
+
+trace::GeneratorConfig small_config(std::uint64_t seed) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon_s = 2.0 * 3600.0;
+  cfg.arrival_rate = 0.05;
+  return cfg;
+}
+
+std::string write_google_fixture(const char* name, std::uint64_t seed) {
+  trace::GeneratorConfig cfg = small_config(seed);
+  cfg.sample_job_filter = false;
+  cfg.workload.long_service_fraction = 0.0;
+  const trace::Trace trace = trace::TraceGenerator(cfg).generate();
+  std::ofstream os(name);
+  write_task_events(os, trace);
+  return name;
+}
+
+void expect_drain_equals_load(const TraceSource& source) {
+  const IngestResult loaded = source.load();
+  auto stream = source.open_stream();
+  const IngestResult drained = drain(*stream);
+
+  EXPECT_EQ(csv_of(loaded.trace), csv_of(drained.trace));
+  EXPECT_EQ(loaded.trace.horizon_s, drained.trace.horizon_s);
+  EXPECT_EQ(loaded.report.source, drained.report.source);
+  EXPECT_EQ(loaded.report.rows_total, drained.report.rows_total);
+  EXPECT_EQ(loaded.report.rows_used, drained.report.rows_used);
+  EXPECT_EQ(loaded.report.rows_skipped, drained.report.rows_skipped);
+  EXPECT_EQ(loaded.report.censored_tail_count,
+            drained.report.censored_tail_count);
+  EXPECT_TRUE(stream->exhausted());
+}
+
+TEST(TaskStream, SyntheticDrainEqualsLoad) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    SyntheticSource source(small_config(seed));
+    expect_drain_equals_load(source);
+  }
+}
+
+TEST(TaskStream, SyntheticStreamsLazily) {
+  SyntheticSource source(small_config(7));
+  EXPECT_TRUE(source.streams_lazily());
+  GoogleTraceSource google("unused.csv");
+  EXPECT_FALSE(google.streams_lazily());
+}
+
+TEST(TaskStream, GoogleDrainEqualsLoad) {
+  const std::string path =
+      write_google_fixture("stream_test_google_task_events.csv", 21);
+  GoogleTraceSource source(path);
+  expect_drain_equals_load(source);
+}
+
+TEST(TaskStream, CsvDrainEqualsLoad) {
+  const trace::Trace trace =
+      trace::TraceGenerator(small_config(31)).generate();
+  const char* path = "stream_test_native.csv";
+  trace::write_csv_file(path, trace);
+  const auto source =
+      TraceSourceRegistry::instance().make(std::string("csv:") + path);
+  expect_drain_equals_load(*source);
+}
+
+TEST(TaskStream, ChunkBoundariesCannotChangeTheSequence) {
+  SyntheticSource source(small_config(42));
+  const trace::Trace reference = source.load().trace;
+  ASSERT_GT(reference.jobs.size(), 2u);
+
+  // Batch of 1: every boundary is a chunk boundary.
+  {
+    auto stream = source.open_stream();
+    std::vector<trace::JobRecord> jobs;
+    while (stream->next_batch(1, jobs) > 0) {
+    }
+    trace::Trace got;
+    got.jobs = std::move(jobs);
+    got.horizon_s = stream->horizon_s();
+    EXPECT_EQ(csv_of(reference), csv_of(got));
+  }
+
+  // Batch far larger than the trace: one chunk, then exhaustion.
+  {
+    auto stream = source.open_stream();
+    std::vector<trace::JobRecord> jobs;
+    EXPECT_EQ(stream->next_batch(1u << 20, jobs), reference.jobs.size());
+    EXPECT_EQ(stream->next_batch(1u << 20, jobs), 0u);
+    EXPECT_TRUE(stream->exhausted());
+    trace::Trace got;
+    got.jobs = std::move(jobs);
+    got.horizon_s = stream->horizon_s();
+    EXPECT_EQ(csv_of(reference), csv_of(got));
+  }
+}
+
+TEST(TaskStream, ReportAccumulatesIncrementally) {
+  SyntheticSource source(small_config(5));
+  const IngestResult loaded = source.load();
+
+  auto stream = source.open_stream();
+  std::vector<trace::JobRecord> jobs;
+  std::size_t last_total = 0;
+  while (stream->next_batch(1, jobs) > 0) {
+    // Counts only ever grow, and cover exactly the jobs yielded so far.
+    EXPECT_GE(stream->report().rows_total, last_total);
+    last_total = stream->report().rows_total;
+    std::size_t tasks = 0;
+    for (const auto& job : jobs) tasks += job.tasks.size();
+    EXPECT_EQ(stream->report().rows_total, tasks);
+  }
+  EXPECT_EQ(stream->report().rows_total, loaded.report.rows_total);
+  EXPECT_EQ(stream->report().rows_used, loaded.report.rows_used);
+}
+
+TEST(TaskStream, GoogleCensoredTailsAreCountedAndSurfaced) {
+  // Two tasks: one finishes, one is still running when the log ends (its
+  // length is the censored accrued execution up to the last event).
+  const char* path = "stream_test_censored_task_events.csv";
+  {
+    std::ofstream os(path);
+    os << "0,,1,0,m1,0,user,0,3,0.0,0.05,0.0,0\n"     // job 1 SUBMIT
+       << "1000000,,1,0,m1,1,user,0,3,0.0,0.05,0.0,0\n"  // SCHEDULE
+       << "5000000,,1,0,m1,4,user,0,3,0.0,0.05,0.0,0\n"  // FINISH at t=5s
+       << "2000000,,2,0,m2,0,user,0,3,0.0,0.05,0.0,0\n"  // job 2 SUBMIT
+       << "3000000,,2,0,m2,1,user,0,3,0.0,0.05,0.0,0\n"  // SCHEDULE
+       << "6000000,,3,0,m3,0,user,0,3,0.0,0.05,0.0,0\n";  // later SUBMIT only
+  }
+  GoogleTraceSource source(path);
+  const IngestResult result = source.load();
+  EXPECT_EQ(result.report.censored_tail_count, 1u);
+  EXPECT_NE(result.report.summary().find("1 censored tails"),
+            std::string::npos);
+  // The censored task's length runs to the last event (t = 6 s): scheduled
+  // at 3 s, so 3 s of accrued execution.
+  ASSERT_EQ(result.trace.jobs.size(), 2u);
+  const auto& censored_job = result.trace.jobs[1];
+  ASSERT_EQ(censored_job.tasks.size(), 1u);
+  EXPECT_DOUBLE_EQ(censored_job.tasks[0].length_s, 3.0);
+}
+
+}  // namespace
+}  // namespace cloudcr::ingest
