@@ -51,6 +51,7 @@
 #include "ingest/google_source.hpp"
 #include "ingest/registry.hpp"
 #include "metrics/export.hpp"
+#include "sched/policies.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/generator.hpp"
@@ -271,6 +272,57 @@ std::vector<Metric> run_matrix(std::size_t reps) {
     e.schedule_at(0.0, chain);
     return e.run();
   }));
+
+  // -- scheduler decide() over a deep backfill queue -------------------------
+  // decide() is stateless, so every round re-derives the shadow/profile
+  // reservations from scratch; this pins the cost of that re-derivation
+  // (EASY's shadow scan and conservative's availability profile — the
+  // profile is the superlinear part, so the queue here is deep for a
+  // replay but small in absolute terms) on a contended 48-deep queue
+  // against a 24-job running set.
+  metrics.push_back(time_metric(
+      "sched_backfill_decide", "decides/s", reps, []() -> std::size_t {
+        constexpr std::size_t kQueue = 48;
+        constexpr std::size_t kRunning = 24;
+        constexpr std::size_t kRounds = 40;
+        std::vector<sched::PendingJob> queue(kQueue);
+        for (std::size_t i = 0; i < kQueue; ++i) {
+          queue[i].id = i;
+          queue[i].slot = static_cast<std::uint32_t>(i);
+          queue[i].arrival_s = static_cast<double>(i);
+          queue[i].demand_mb = 128.0 + static_cast<double>((i * 7919) % 1024);
+          queue[i].estimate_s = 60.0 + static_cast<double>((i * 104729) % 3600);
+          queue[i].priority = 1 + static_cast<int>(i % 12);
+        }
+        std::vector<sched::RunningJob> running(kRunning);
+        for (std::size_t i = 0; i < kRunning; ++i) {
+          running[i].id = 100000 + i;
+          running[i].slot = static_cast<std::uint32_t>(kQueue + i);
+          running[i].demand_mb = 256.0 + static_cast<double>((i * 31) % 512);
+          running[i].est_end_s = 30.0 + static_cast<double>((i * 613) % 7200);
+          running[i].priority = 1 + static_cast<int>((i * 5) % 12);
+        }
+        const sched::SchedulerPtr easy = sched::make_easy_backfill();
+        const sched::SchedulerPtr conservative =
+            sched::make_conservative_backfill();
+        sched::ResourceView view;
+        view.total_capacity_mb = 32.0 * 1024.0;
+        view.max_available_mb = 1024.0;
+        sched::Decision decision;
+        std::size_t decides = 0;
+        for (std::size_t r = 0; r < kRounds; ++r) {
+          view.now_s = static_cast<double>(r);
+          // Sweep availability so both the saturated and the draining
+          // cluster shapes get exercised.
+          view.total_available_mb = static_cast<double>((r * 97) % 8192);
+          for (const auto* policy : {easy.get(), conservative.get()}) {
+            decision.clear();
+            policy->decide(view, queue, running, decision);
+            ++decides;
+          }
+        }
+        return decides;
+      }));
 
   // -- synthetic replay, serial (pooled workspace, replay only) --------------
   {

@@ -10,6 +10,7 @@
 #include "api/stream.hpp"
 #include "ingest/registry.hpp"
 #include "ingest/source.hpp"
+#include "sched/registry.hpp"
 #include "sim/predictors.hpp"
 #include "sim/simulation.hpp"
 #include "trace/generator.hpp"
@@ -98,12 +99,15 @@ RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
         spec_.predictor, PredictorInputs{*estimation});
   }
 
-  // The policy must outlive the Simulation (held by reference); it lives on
-  // this frame for the whole replay.
+  // The policy and scheduler must outlive the Simulation (held by
+  // reference/pointer); they live on this frame for the whole replay.
   const core::PolicyPtr policy = PolicyRegistry::instance().make(spec_.policy);
+  const sched::SchedulerPtr scheduler =
+      sched::SchedulerRegistry::instance().make(spec_.sched);
 
   sim::SimConfig config = to_sim_config(spec_);
   config.length_predictor = hooks.length_predictor;
+  config.scheduler = scheduler.get();
 
   RunArtifact artifact;
   artifact.spec = spec_;
@@ -209,8 +213,11 @@ RunArtifact ScenarioRunner::run_streamed(const RunHooks& hooks,
   }
 
   const core::PolicyPtr policy = PolicyRegistry::instance().make(spec_.policy);
+  const sched::SchedulerPtr scheduler =
+      sched::SchedulerRegistry::instance().make(spec_.sched);
   sim::SimConfig config = to_sim_config(spec_);
   config.length_predictor = hooks.length_predictor;
+  config.scheduler = scheduler.get();
 
   RunArtifact artifact;
   artifact.spec = spec_;

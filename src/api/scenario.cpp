@@ -219,6 +219,7 @@ std::string serialize(const ScenarioSpec& spec) {
   serialize_trace(os, "trace.", spec.trace);
   os << "policy=" << escape_string(spec.policy) << '\n'
      << "predictor=" << escape_string(spec.predictor) << '\n'
+     << "sched=" << escape_string(spec.sched) << '\n'
      << "estimation=" << estimation_token(spec.estimation) << '\n';
   serialize_trace(os, "history.", spec.history);
   os << "placement=" << placement_token(spec.placement) << '\n'
@@ -261,6 +262,8 @@ ScenarioSpec parse_scenario(const std::string& text) {
       spec.policy = unescape_string(key, value);
     } else if (key == "predictor") {
       spec.predictor = unescape_string(key, value);
+    } else if (key == "sched") {
+      spec.sched = unescape_string(key, value);
     } else if (key == "estimation") {
       spec.estimation = parse_estimation(value);
     } else if (key == "placement") {
@@ -301,7 +304,8 @@ bool operator==(const TraceSpec& a, const TraceSpec& b) noexcept {
 
 bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) noexcept {
   return a.name == b.name && a.trace == b.trace && a.policy == b.policy &&
-         a.predictor == b.predictor && a.estimation == b.estimation &&
+         a.predictor == b.predictor && a.sched == b.sched &&
+         a.estimation == b.estimation &&
          a.history == b.history && a.placement == b.placement &&
          a.adaptation == b.adaptation && a.shared_device == b.shared_device &&
          a.storage_noise == b.storage_noise && a.sim_seed == b.sim_seed &&

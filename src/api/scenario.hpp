@@ -29,8 +29,9 @@ namespace cloudcr::api {
 struct TraceSpec {
   /// Workload origin, as an ingest::TraceSourceRegistry spec: "synthetic"
   /// (the built-in generator, shaped by the fields below), "csv:<path>"
-  /// (user CSV with a declarative column mapping), or "google:<path>"
-  /// (task_events-style cluster logs). For external sources the log decides
+  /// (user CSV with a declarative column mapping), "google:<path>"
+  /// (task_events-style cluster logs), or "slurm:<path>" (Slurm-style
+  /// whitespace tables). For external sources the log decides
   /// horizon and arrivals — seed/horizon_s/arrival_rate here are ignored —
   /// while sample_job_filter, max_jobs, and replay_max_task_length_s still
   /// apply on top of the ingested trace.
@@ -76,6 +77,12 @@ struct ScenarioSpec {
   /// Predictor registry key, optionally with a length-limit argument:
   /// "oracle", "grouped", "grouped:1000", "submission".
   std::string predictor = "grouped";
+
+  /// Scheduler registry key (sched::SchedulerRegistry): "fcfs" (the
+  /// default, bit-identical to the engine without a scheduling stage),
+  /// "backfill:easy", "backfill:conservative", "preempt:requeue",
+  /// "preempt:ckpt".
+  std::string sched = "fcfs";
 
   EstimationSource estimation = EstimationSource::kReplay;
 
@@ -135,13 +142,14 @@ std::uint64_t parse_checked_u64(const std::string& label,
 // Fig-14-style history trace `history.`, cluster fields `cluster.`:
 //
 //   name=<string>
-//   trace.source=<registry spec>          synthetic | csv:<p>[?m] | google:<p>[?o]
+//   trace.source=<registry spec>          synthetic | csv:<p>[?m] | google:<p>[?o] | slurm:<p>[?o]
 //   trace.seed=<u64>          trace.horizon_s=<double>
 //   trace.arrival_rate=<double>           trace.max_jobs=<u64>
 //   trace.sample_job_filter=<bool>        trace.priority_change_midway=<bool>
 //   trace.long_service_fraction=<double>  trace.replay_max_task_length_s=<double>
 //   policy=<registry key>                 formula3 | young | daly | none | fixed:<s>
 //   predictor=<registry key>              oracle | grouped[:limit] | submission[:limit]
+//   sched=<registry key>                  fcfs | backfill[:easy|:conservative] | preempt[:requeue|:ckpt]
 //   estimation=replay|full|history
 //   history.<same keys as trace.>         (only meaningful with estimation=history)
 //   placement=auto|local|shared           adaptation=adaptive|static

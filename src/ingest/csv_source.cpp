@@ -69,7 +69,10 @@ ColumnMapping parse_mapping(const std::string& text) {
         throw std::invalid_argument(e.what());
       }
     } else {
-      throw std::invalid_argument("unknown column mapping key '" + key + "'");
+      throw std::invalid_argument(
+          "unknown column mapping key '" + key +
+          "' (valid: job_id, task_index, structure, arrival, length, memory, "
+          "priority, failures, time_unit, memory_unit, priority_offset)");
     }
   });
   return mapping;

@@ -108,7 +108,8 @@ GoogleOptions parse_google_options(const std::string& text) {
       }
       options.memory_scale_mb = scale;
     } else {
-      throw std::invalid_argument("unknown google option '" + key + "'");
+      throw std::invalid_argument("unknown google option '" + key +
+                                  "' (valid: memory_scale_mb)");
     }
   });
   return options;

@@ -7,6 +7,7 @@
 
 #include "ingest/csv_source.hpp"
 #include "ingest/google_source.hpp"
+#include "ingest/slurm_source.hpp"
 #include "ingest/synthetic_source.hpp"
 
 namespace cloudcr::ingest {
@@ -58,6 +59,11 @@ TraceSourceRegistry::TraceSourceRegistry() {
     auto [path, query] = split_path_query("google", arg);
     return std::make_unique<GoogleTraceSource>(std::move(path),
                                                parse_google_options(query));
+  });
+  add("slurm", [](const std::string& arg, const SourceEnv&) -> SourcePtr {
+    auto [path, query] = split_path_query("slurm", arg);
+    return std::make_unique<SlurmTraceSource>(std::move(path),
+                                              parse_slurm_options(query));
   });
 }
 

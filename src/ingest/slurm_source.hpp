@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file slurm_source.hpp
+/// \brief SlurmTraceSource: ingest Slurm-style workload logs (sacct /
+/// `squeue -o` exports) into a replayable trace.
+///
+/// The format is a whitespace-separated table: `#` comment lines and blank
+/// lines are skipped, the first remaining line is a header naming the
+/// columns, every later line is one job. Recognized headers (unknown
+/// columns are ignored, so raw sacct dumps with extra fields pass through):
+///
+///   JOBID      required  u64 job id; a repeated id skips the row
+///   SUBMIT     required  submission time (arrival), `time_unit` units
+///   DURATION   optional  measured run time, `time_unit` units
+///   WCLIMIT    optional  requested wall limit, `wclimit_unit` units
+///                        (minutes by default, Slurm's native unit);
+///                        the length fallback when DURATION is absent —
+///                        at least one of the two columns must exist
+///   TASKS      optional  task count (alias NODES); > 1 replicates the
+///                        job into a bag-of-tasks, default 1 (ST)
+///   MEM_MB     optional  per-task memory in MB, default `mem_mb` option
+///   PRIORITY   optional  paper-scale 1..12, default 5; out-of-range rows
+///                        are skipped
+///
+/// Registry spec: `slurm:<path>[?time_unit=..,wclimit_unit=..,mem_mb=..]`.
+/// Rows that fail validation are skipped and reported with exact line
+/// numbers (source.hpp's strict-but-recoverable contract); structural
+/// problems (missing file, no header, neither DURATION nor WCLIMIT) throw.
+/// Slurm logs carry no failure events, so every ingested task is
+/// failure-free — the checkpoint model's failure dates come from the
+/// simulated scenario, not the log.
+
+#include <string>
+
+#include "ingest/source.hpp"
+
+namespace cloudcr::ingest {
+
+/// Unit/default knobs for a Slurm log, set via query options.
+struct SlurmOptions {
+  /// Multiplier taking SUBMIT/DURATION values to seconds
+  /// (`time_unit=s|ms|us|min|h|d`).
+  double time_scale = 1.0;
+
+  /// Multiplier taking WCLIMIT values to seconds
+  /// (`wclimit_unit=s|ms|us|min|h|d`); Slurm prints wall limits in
+  /// minutes, hence the default.
+  double wclimit_scale = 60.0;
+
+  /// Per-task memory request used when the log has no MEM_MB column
+  /// (`mem_mb=<positive MB>`).
+  double default_mem_mb = 512.0;
+};
+
+/// Parses `key=value` query options (time_unit, wclimit_unit, mem_mb).
+/// Empty text returns the defaults; unknown keys or malformed values throw
+/// std::invalid_argument naming the valid keys.
+SlurmOptions parse_slurm_options(const std::string& text);
+
+/// Streams a Slurm workload log into a trace.
+class SlurmTraceSource final : public TraceSource {
+ public:
+  explicit SlurmTraceSource(std::string path, SlurmOptions options = {});
+
+  [[nodiscard]] const SlurmOptions& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] std::string describe() const override;
+
+  /// Verifies the file opens (fail-fast for CLI frontends).
+  void probe() const override;
+
+  /// Reads the log. Throws std::runtime_error if the file is missing, has
+  /// no header, or names neither DURATION nor WCLIMIT; malformed rows are
+  /// skipped and reported. Jobs are ordered by arrival; the trace horizon
+  /// is the latest failure-free completion, max(arrival + critical path),
+  /// matching the csv source's event-span semantics.
+  [[nodiscard]] IngestResult load() const override;
+
+ private:
+  std::string path_;
+  SlurmOptions options_;
+};
+
+}  // namespace cloudcr::ingest

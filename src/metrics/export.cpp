@@ -68,18 +68,23 @@ void write_outcome_json(std::ostream& os, const JobOutcome& o) {
      << ",\"checkpoints\":" << o.checkpoints
      << ",\"failures\":" << o.failures
      << ",\"max_task_length_s\":" << json_double(o.max_task_length_s);
-  // Sparse field: almost every job is fully schedulable, and omitting the
+  // Sparse fields: almost every job is fully schedulable, and under the
+  // default fcfs scheduler no job ever waits or backfills — omitting the
   // zero case keeps existing documents (and golden fixtures) byte-stable.
   if (o.unschedulable_tasks > 0) {
     os << ",\"unschedulable_tasks\":" << o.unschedulable_tasks;
   }
+  if (o.sched_wait_s > 0.0) {
+    os << ",\"sched_wait_s\":" << json_double(o.sched_wait_s);
+  }
+  if (o.backfilled) os << ",\"backfilled\":true";
   os << "}";
 }
 
 std::string outcome_csv_header() {
   return "job_id,structure,priority,wpr,workload_s,wallclock_s,"
-         "task_wallclock_s,queue_s,checkpoint_s,rollback_s,restart_s,"
-         "checkpoints,failures,max_task_length_s";
+         "task_wallclock_s,queue_s,sched_wait_s,backfilled,checkpoint_s,"
+         "rollback_s,restart_s,checkpoints,failures,max_task_length_s";
 }
 
 std::string csv_double(double v) {
@@ -97,6 +102,7 @@ void write_outcome_csv(std::ostream& os, const JobOutcome& o) {
      << o.priority << ',' << csv_double(o.wpr()) << ','
      << csv_double(o.workload_s) << ',' << csv_double(o.wallclock_s) << ','
      << csv_double(o.task_wallclock_s) << ',' << csv_double(o.queue_s) << ','
+     << csv_double(o.sched_wait_s) << ',' << (o.backfilled ? 1 : 0) << ','
      << csv_double(o.checkpoint_s) << ',' << csv_double(o.rollback_s) << ','
      << csv_double(o.restart_s) << ',' << o.checkpoints << ',' << o.failures
      << ',' << csv_double(o.max_task_length_s) << '\n';

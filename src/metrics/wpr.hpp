@@ -37,6 +37,13 @@ struct JobOutcome {
   /// at admission (they could never be placed) and excluded from every time
   /// column above. A job with such tasks still completes its remaining work.
   std::size_t unschedulable_tasks = 0;
+  /// Time the admission scheduler held the whole job back before releasing
+  /// it to the task queue (0 under fcfs; disjoint from queue_s, which is
+  /// per-task waiting for a VM *after* release).
+  double sched_wait_s = 0.0;
+  /// The scheduler released this job ahead of at least one earlier arrival
+  /// (a backfill).
+  bool backfilled = false;
 
   /// Workload-Processing Ratio (Formula 9): valid workload processed over
   /// the wall-clock mass spent producing it.

@@ -10,6 +10,7 @@
 ///   experiments_storage.cpp   Tables 2-5, Figure 7 (storage cost models)
 ///   experiments_trace.cpp     Figures 4, 5, 8, Table 7 (trace statistics)
 ///   experiments_sim.cpp       Figures 9-14, Table 6 (full replays)
+///   experiments_sched.cpp     sched01/sched02 (admission-stage extensions)
 ///
 /// The registry is immutable after construction: repro_report, the bench
 /// shims, the generated docs, and the drift gate all see the same entries.
@@ -47,5 +48,6 @@ class ExperimentRegistry {
 void register_trace_experiments(std::vector<Experiment>& out);
 void register_storage_experiments(std::vector<Experiment>& out);
 void register_sim_experiments(std::vector<Experiment>& out);
+void register_sched_experiments(std::vector<Experiment>& out);
 
 }  // namespace cloudcr::report

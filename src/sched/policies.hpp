@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file policies.hpp
+/// \brief Built-in scheduler policies: FCFS, EASY / conservative backfill,
+/// and priority preemption.
+
+#include "sched/policy.hpp"
+
+namespace cloudcr::sched {
+
+/// Arrival-order pass-through: every job is released the instant it
+/// arrives. Bit-identical to the historical engine (the Simulation
+/// short-circuits it).
+SchedulerPtr make_fcfs();
+
+/// EASY backfill: release in arrival order while jobs fit; when the queue
+/// head does not fit, compute its shadow time (earliest instant the
+/// running-set estimates free enough memory) and release later jobs only
+/// if they fit now and either finish before the shadow or leave the head's
+/// reservation intact.
+SchedulerPtr make_easy_backfill();
+
+/// Conservative backfill: every queued job gets a reservation in a
+/// time-indexed availability profile; a later job is released only when
+/// doing so delays no reservation ahead of it.
+SchedulerPtr make_conservative_backfill();
+
+/// Priority preemption: releases everything in arrival order, and when a
+/// queued job cannot fit, evicts strictly-lower-priority running jobs
+/// (lowest priority first, latest-started first among ties) until it can.
+/// `mode` selects what happens to the victims' tasks: kRequeue restarts
+/// them from scratch, kCheckpointRequeue resumes from the last completed
+/// checkpoint via the existing restart cost model.
+SchedulerPtr make_preempt(PreemptMode mode);
+
+}  // namespace cloudcr::sched

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file policy.hpp
+/// \brief SchedulerPolicy: the pluggable admission stage between arriving
+/// jobs and the replay engine's task queue.
+///
+/// The paper admits every job the instant it arrives (arrival-order
+/// admission with priority-implicit eviction); real clusters interpose a
+/// scheduler that may hold a job back, reserve capacity for it, backfill
+/// shorter jobs around the reservation, or preempt running work. This layer
+/// models that stage at *job* granularity: the Simulation keeps an
+/// arrival-ordered queue of jobs the scheduler has not yet released, asks
+/// the policy which of them to release whenever the queue could move
+/// (arrival, job completion, reservation wakeup), and only a released job's
+/// tasks ever enter the engine's pending-task queue.
+///
+/// Design constraints, in order:
+///   - `fcfs` must be bit-identical to the historical no-scheduler replay:
+///     Simulation short-circuits pass-through policies entirely, so the
+///     golden fixtures (tests/sim/golden_replay_test.cpp) pin that path.
+///   - decide() is a *pure function* of its inputs: no clocks, no RNG, no
+///     internal state. Reservations are re-derived on every call instead of
+///     cached, which is what makes scheduler decisions identical across
+///     serial, threaded, and streamed execution (the BatchRunner
+///     determinism property) for free.
+///   - The resource model is one-dimensional: aggregate free memory across
+///     the cluster. Release is advisory — a released job's tasks still go
+///     through the engine's exact per-VM greedy placement, so a fragmented
+///     cluster can never be over-committed by an optimistic release.
+///
+/// Policies see runtime *estimates* (the backfill wall), supplied by the
+/// scenario's workload-length predictor when one is configured and the true
+/// lengths otherwise — mirroring how production backfill trusts user
+/// walltime limits.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cloudcr::sched {
+
+/// One job the scheduler is holding, in arrival order.
+struct PendingJob {
+  std::uint64_t id = 0;       ///< trace job id (diagnostics)
+  std::uint32_t slot = 0;     ///< Simulation job slot (opaque handle)
+  double arrival_s = 0.0;     ///< submission instant
+  double demand_mb = 0.0;     ///< aggregate memory the job needs to run
+  double estimate_s = 0.0;    ///< estimated runtime (the backfill wall)
+  int priority = 1;           ///< submission priority (1 lowest .. 12)
+};
+
+/// One job the scheduler has released and which has not finished yet.
+/// Entries are kept in release order (stable across runs).
+struct RunningJob {
+  std::uint64_t id = 0;
+  std::uint32_t slot = 0;
+  double demand_mb = 0.0;
+  double est_end_s = 0.0;  ///< release instant + runtime estimate
+  int priority = 1;
+};
+
+/// Aggregate resource snapshot taken immediately before each decide() call.
+struct ResourceView {
+  double now_s = 0.0;
+  double total_available_mb = 0.0;  ///< free memory summed over all VMs
+  double max_available_mb = 0.0;    ///< largest single free block
+  double total_capacity_mb = 0.0;   ///< cluster-wide memory capacity
+};
+
+/// What happens to a preempted job's running tasks.
+enum class PreemptMode : std::uint8_t {
+  kNone,              ///< policy never preempts
+  kRequeue,           ///< all progress lost; task restarts from scratch
+  kCheckpointRequeue  ///< task resumes from its last completed checkpoint,
+                      ///< paying the checkpoint cost model's restart price
+};
+
+/// The outcome of one decide() round. Buffers are caller-owned and reused.
+struct Decision {
+  /// Queue positions to release now, ascending. A position released while
+  /// an earlier position stays queued is a backfill.
+  std::vector<std::uint32_t> release;
+
+  /// Running-set positions to preempt (processed before releases, so the
+  /// released job gets first claim on the freed memory).
+  std::vector<std::uint32_t> evict;
+
+  /// Reservation wakeup: re-run the scheduler at this instant even if no
+  /// arrival or completion happens first (< now or non-finite = none).
+  double wake_at_s = -1.0;
+
+  void clear() {
+    release.clear();
+    evict.clear();
+    wake_at_s = -1.0;
+  }
+};
+
+/// One admission policy. Implementations must be stateless between calls
+/// (decide() is const and pure); everything they need arrives via the view,
+/// queue, and running set.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Registry-style name ("fcfs", "backfill:easy", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when every arrival is released unconditionally and instantly. The
+  /// Simulation short-circuits such policies — no queue, no decide() calls,
+  /// no wakeup events — which is what keeps `fcfs` bit-identical to the
+  /// historical engine (pinned by the golden fixtures).
+  [[nodiscard]] virtual bool pass_through() const noexcept { return false; }
+
+  /// How this policy's evictions treat the victims' progress.
+  [[nodiscard]] virtual PreemptMode preempt_mode() const noexcept {
+    return PreemptMode::kNone;
+  }
+
+  /// Chooses which queued jobs to release (and which running jobs to
+  /// preempt) given the current resource view. `queue` is arrival-ordered;
+  /// `running` is release-ordered. Must be a pure function of its
+  /// arguments.
+  virtual void decide(const ResourceView& view,
+                      const std::vector<PendingJob>& queue,
+                      const std::vector<RunningJob>& running,
+                      Decision& out) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<SchedulerPolicy>;
+
+}  // namespace cloudcr::sched

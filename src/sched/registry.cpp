@@ -1,0 +1,95 @@
+#include "sched/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "sched/policies.hpp"
+
+namespace cloudcr::sched {
+namespace {
+
+[[noreturn]] void throw_unknown(const std::string& name,
+                                const std::vector<std::string>& known) {
+  std::ostringstream os;
+  os << "unknown scheduler '" << name << "' (registered:";
+  for (const auto& n : known) os << ' ' << n;
+  os << ")";
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] void throw_bad_arg(const std::string& name,
+                                const std::string& arg,
+                                const std::string& valid) {
+  throw std::invalid_argument("scheduler " + name + ": unknown argument '" +
+                              arg + "' (valid: " + valid + ")");
+}
+
+}  // namespace
+
+SchedulerRegistry::SchedulerRegistry() {
+  add("fcfs", [](const std::string& arg) -> SchedulerPtr {
+    if (!arg.empty()) throw_bad_arg("fcfs", arg, "none");
+    return make_fcfs();
+  });
+  add("backfill", [](const std::string& arg) -> SchedulerPtr {
+    if (arg.empty() || arg == "easy") return make_easy_backfill();
+    if (arg == "conservative") return make_conservative_backfill();
+    throw_bad_arg("backfill", arg, "easy, conservative");
+  });
+  add("preempt", [](const std::string& arg) -> SchedulerPtr {
+    if (arg.empty() || arg == "requeue") {
+      return make_preempt(PreemptMode::kRequeue);
+    }
+    if (arg == "ckpt") return make_preempt(PreemptMode::kCheckpointRequeue);
+    throw_bad_arg("preempt", arg, "requeue, ckpt");
+  });
+}
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry registry;
+  return registry;
+}
+
+SchedulerRegistry SchedulerRegistry::with_builtins() {
+  return SchedulerRegistry();
+}
+
+void SchedulerRegistry::add(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+bool SchedulerRegistry::contains(const std::string& name) const {
+  const auto colon = name.find(':');
+  const std::string base =
+      colon == std::string::npos ? name : name.substr(0, colon);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(base) > 0;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+SchedulerPtr SchedulerRegistry::make(const std::string& key) const {
+  const auto colon = key.find(':');
+  const std::string name =
+      colon == std::string::npos ? key : key.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : key.substr(colon + 1);
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) throw_unknown(name, names());
+  return factory(arg);
+}
+
+}  // namespace cloudcr::sched

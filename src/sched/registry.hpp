@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file registry.hpp
+/// \brief String-keyed factories for scheduler policies.
+///
+/// A ScenarioSpec names its scheduler via the `sched=` key ("fcfs",
+/// "backfill:easy", "preempt:ckpt"); this registry turns the name into a
+/// live SchedulerPolicy, exactly like PolicyRegistry does for checkpoint
+/// policies. The part after the first ':' is passed verbatim to the
+/// factory (the backfill flavor, the preemption mode).
+///
+/// Lives in sched/ (not api/) so the scheduling layer stays a leaf: api
+/// depends on sched, never the reverse.
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/policy.hpp"
+
+namespace cloudcr::sched {
+
+/// Factories for SchedulerPolicy. Thread-safe; the singleton comes
+/// pre-seeded with the built-ins: fcfs, backfill[:easy|:conservative],
+/// preempt[:requeue|:ckpt].
+class SchedulerRegistry {
+ public:
+  using Factory = std::function<SchedulerPtr(const std::string& arg)>;
+
+  /// Process-wide registry used by ScenarioRunner.
+  static SchedulerRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds the scheduler for a spec key like "fcfs" or "backfill:easy".
+  /// Throws std::invalid_argument for unknown names (the message lists the
+  /// registered ones) or factory-rejected arguments.
+  [[nodiscard]] SchedulerPtr make(const std::string& key) const;
+
+  /// Fresh registry with the built-ins only (for tests).
+  static SchedulerRegistry with_builtins();
+
+ private:
+  SchedulerRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace cloudcr::sched

@@ -8,6 +8,7 @@
 
 #include "core/controller.hpp"
 #include "core/policy.hpp"
+#include "sched/policy.hpp"
 #include "sim/cluster.hpp"
 #include "storage/calibration.hpp"
 #include "trace/records.hpp"
@@ -48,6 +49,12 @@ struct SimConfig {
   /// Only checkpoint planning consumes the prediction; the task still
   /// completes at its true length.
   std::function<double(const trace::TaskRecord&)> length_predictor;
+
+  /// Optional admission scheduler (borrowed, must outlive the run; the
+  /// ScenarioRunner owns it). Null — or a pass-through policy like fcfs —
+  /// admits every job the instant it arrives, bit-identical to the engine
+  /// before the scheduling stage existed.
+  const sched::SchedulerPolicy* scheduler = nullptr;
 };
 
 /// Supplies the failure statistics (MNOF/MTBF) a task's controller consumes;

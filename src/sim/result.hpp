@@ -22,6 +22,11 @@ struct SimResult {
   std::size_t events_dispatched = 0;
   double makespan_s = 0.0;           ///< last event timestamp
 
+  // -- scheduling-stage aggregates (all zero under fcfs / no scheduler) -----
+  double total_sched_wait_s = 0.0;   ///< summed scheduler hold time of jobs
+  std::size_t backfilled_jobs = 0;   ///< jobs released ahead of an earlier one
+  std::size_t preempted_tasks = 0;   ///< task evictions by the scheduler
+
   [[nodiscard]] double average_wpr() const {
     return metrics::average_wpr(outcomes);
   }

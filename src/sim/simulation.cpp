@@ -51,6 +51,20 @@ void Simulation::begin_run() {
                                           config_.cluster.hosts);
   result_ = SimResult{};
   release_rows_ = false;
+
+  // The scheduling stage engages only for a non-pass-through policy; fcfs
+  // (and a null scheduler) takes the exact historical admission path.
+  sched_active_ =
+      config_.scheduler != nullptr && !config_.scheduler->pass_through();
+  total_capacity_mb_ = static_cast<double>(config_.cluster.hosts) *
+                       static_cast<double>(config_.cluster.vms_per_host) *
+                       config_.cluster.vm_memory_mb;
+  sched_queue_.clear();
+  sched_running_.clear();
+  sched_stash_.clear();
+  sched_in_pump_ = false;
+  sched_pump_again_ = false;
+  sched_wake_event_ = TaskTable::kNoEvent;
 }
 
 SimResult Simulation::end_run() {
@@ -116,6 +130,8 @@ void Simulation::admit_job(const trace::JobRecord& rec,
   job.remaining = rec.tasks.size();
   job.next_sequential = 0;
   job.unschedulable = 0;
+  job.sched_wait_s = 0.0;
+  job.backfilled = false;
   job.done = false;
   job.active = true;
   if (owned != nullptr) {
@@ -131,7 +147,13 @@ void Simulation::admit_job(const trace::JobRecord& rec,
   // The arrival itself counts as one dispatched event, as it did when every
   // arrival was a queued engine event.
   ++result_.events_dispatched;
-  if (job.n_tasks > 0) on_job_arrival(slot);
+  if (job.n_tasks == 0) return;
+  if (!sched_active_) {
+    on_job_arrival(slot);
+    return;
+  }
+  sched_enqueue(slot);
+  sched_pump();
 }
 
 SimResult Simulation::run(const trace::Trace& trace) {
@@ -652,6 +674,8 @@ void Simulation::finish_job(std::uint32_t job_slot) {
   out.priority = job.n_tasks == 0 ? 1 : job.task_recs[0].priority;
   out.wallclock_s = engine_.now() - job.arrival_s;
   out.unschedulable_tasks = job.unschedulable;
+  out.sched_wait_s = job.sched_wait_s;
+  out.backfilled = job.backfilled;
   result_.total_unschedulable += job.unschedulable;
   for (std::size_t i = 0; i < job.n_tasks; ++i) {
     const std::size_t t = job.first_task + i;
@@ -674,6 +698,229 @@ void Simulation::finish_job(std::uint32_t job_slot) {
   }
   result_.outcomes.push_back(out);
   if (release_rows_) retire_job(job_slot);
+
+  if (sched_active_) {
+    result_.total_sched_wait_s += out.sched_wait_s;
+    if (out.backfilled) ++result_.backfilled_jobs;
+    // Drop the job from the scheduler's running set (absent when it was
+    // preempted and never re-released as a whole).
+    for (std::size_t r = 0; r < sched_running_.size(); ++r) {
+      if (sched_running_[r].slot == job_slot) {
+        sched_running_.erase(sched_running_.begin() +
+                             static_cast<std::ptrdiff_t>(r));
+        break;
+      }
+    }
+    // A completion is a scheduling opportunity: memory drained back.
+    sched_pump();
+  }
+}
+
+// -- scheduling stage ---------------------------------------------------------
+
+void Simulation::sched_enqueue(std::uint32_t job_slot) {
+  const JobState& job = ws_.jobs[job_slot];
+  sched::PendingJob p;
+  p.id = job.id;
+  p.slot = job_slot;
+  p.arrival_s = job.arrival_s;
+  p.priority = job.n_tasks == 0 ? 1 : job.task_recs[0].priority;
+
+  // Aggregate demand and the runtime estimate (the backfill wall): a bag of
+  // tasks runs in parallel (sum of memory, max of lengths), a sequential job
+  // serially (max of memory, sum of lengths). The scheduler sees the same
+  // predicted lengths the checkpoint planner does.
+  double demand = 0.0;
+  double estimate = 0.0;
+  for (std::size_t i = 0; i < job.n_tasks; ++i) {
+    const trace::TaskRecord& rec = job.task_recs[i];
+    const double len = config_.length_predictor
+                           ? std::max(1.0, config_.length_predictor(rec))
+                           : rec.length_s;
+    if (job.structure == trace::JobStructure::kBagOfTasks) {
+      demand += rec.memory_mb;
+      estimate = std::max(estimate, len);
+    } else {
+      demand = std::max(demand, rec.memory_mb);
+      estimate += len;
+    }
+  }
+  // A demand beyond the whole cluster could never be granted; clamping keeps
+  // such jobs releasable (their oversized tasks are rejected per-task at
+  // admission, exactly as without a scheduler).
+  p.demand_mb = std::min(demand, total_capacity_mb_);
+  p.estimate_s = std::max(1.0, estimate);
+  sched_queue_.push_back(p);
+}
+
+void Simulation::sched_pump() {
+  // Releases recurse back here (an unschedulable-only job finishes inside
+  // on_job_arrival); fold recursive requests into the outer loop.
+  if (sched_in_pump_) {
+    sched_pump_again_ = true;
+    return;
+  }
+  sched_in_pump_ = true;
+  do {
+    sched_pump_again_ = false;
+    sched_pump_once();
+  } while (sched_pump_again_);
+  sched_in_pump_ = false;
+}
+
+void Simulation::sched_pump_once() {
+  // Any previously armed wakeup is superseded by this round's decision.
+  if (sched_wake_event_ != TaskTable::kNoEvent) {
+    engine_.cancel(sched_wake_event_);
+    sched_wake_event_ = TaskTable::kNoEvent;
+  }
+  if (sched_queue_.empty()) return;
+
+  sched::ResourceView view;
+  view.now_s = engine_.now();
+  view.total_available_mb = cluster_.total_available_mb();
+  view.max_available_mb = cluster_.max_available_mb();
+  view.total_capacity_mb = total_capacity_mb_;
+  sched_decision_.clear();
+  config_.scheduler->decide(view, sched_queue_, sched_running_,
+                            sched_decision_);
+
+  // Evictions first: releases were granted assuming the freed memory.
+  if (!sched_decision_.evict.empty()) preempt_victims();
+
+  sched_released_.assign(sched_queue_.size(), 0);
+  for (const std::uint32_t pos : sched_decision_.release) {
+    if (pos < sched_queue_.size()) sched_released_[pos] = 1;
+  }
+  // Liveness backstop: with nothing running and nothing released, no future
+  // completion or wakeup could ever unblock the queue — force the head out
+  // (its tasks then wait at the engine level, as without a scheduler).
+  if (sched_decision_.release.empty() && sched_running_.empty()) {
+    sched_released_[0] = 1;
+  }
+
+  const double now = engine_.now();
+  bool any_held = false;
+  for (std::size_t pos = 0; pos < sched_queue_.size(); ++pos) {
+    if (sched_released_[pos] == 0) {
+      any_held = true;
+      continue;
+    }
+    const sched::PendingJob p = sched_queue_[pos];
+    JobState& job = ws_.jobs[p.slot];
+    job.sched_wait_s = now - p.arrival_s;
+    job.backfilled = any_held;  // passed at least one still-held earlier job
+    sched::RunningJob r;
+    r.id = p.id;
+    r.slot = p.slot;
+    r.demand_mb = p.demand_mb;
+    r.est_end_s = now + p.estimate_s;
+    r.priority = p.priority;
+    sched_running_.push_back(r);
+    on_job_arrival(p.slot);  // may finish the job and recurse into pump
+  }
+  std::size_t out = 0;
+  for (std::size_t pos = 0; pos < sched_queue_.size(); ++pos) {
+    if (sched_released_[pos] == 0) sched_queue_[out++] = sched_queue_[pos];
+  }
+  sched_queue_.resize(out);
+
+  // Preempted tasks re-enter the pending queue only after the releases, so
+  // the jobs the eviction was *for* claim the freed memory first.
+  if (!sched_stash_.empty()) {
+    for (const std::uint32_t t : sched_stash_) make_ready(t);
+    sched_stash_.clear();
+    try_dispatch();
+  }
+
+  const double wake = sched_decision_.wake_at_s;
+  if (!sched_queue_.empty() && std::isfinite(wake) && wake > now) {
+    sched_wake_event_ = engine_.schedule_at(wake, [this] {
+      sched_wake_event_ = TaskTable::kNoEvent;
+      sched_pump();
+    });
+  }
+}
+
+void Simulation::preempt_victims() {
+  auto& evict = sched_decision_.evict;
+  // Erase from the running set in descending position order so earlier
+  // positions stay valid; duplicates collapse.
+  std::sort(evict.begin(), evict.end(),
+            [](std::uint32_t a, std::uint32_t b) { return a > b; });
+  evict.erase(std::unique(evict.begin(), evict.end()), evict.end());
+  const sched::PreemptMode mode = config_.scheduler->preempt_mode();
+  for (const std::uint32_t pos : evict) {
+    if (pos >= sched_running_.size()) continue;
+    const std::uint32_t slot = sched_running_[pos].slot;
+    sched_running_.erase(sched_running_.begin() +
+                         static_cast<std::ptrdiff_t>(pos));
+    preempt_job_tasks(slot, mode);
+  }
+}
+
+void Simulation::preempt_job_tasks(std::uint32_t job_slot,
+                                   sched::PreemptMode mode) {
+  const JobState& job = ws_.jobs[job_slot];
+
+  // Queued tasks leave the pending queue (they re-enter via the stash after
+  // this round's releases). Queue-wait accrued so far is banked because
+  // make_ready will reset the enqueue clock.
+  if (!ws_.pending.empty()) {
+    std::size_t out = 0;
+    double new_min = kInf;
+    for (std::size_t i = 0; i < ws_.pending.size(); ++i) {
+      const std::uint32_t idx = ws_.pending[i];
+      if (tasks_.job[idx] == job_slot) {
+        tasks_.acct[idx].queue_s +=
+            engine_.now() - tasks_.acct[idx].last_enqueue_s;
+        tasks_.hot[idx].phase = TaskPhase::kNotReady;
+        sched_stash_.push_back(idx);
+        continue;
+      }
+      ws_.pending[out++] = idx;
+      new_min = std::min(new_min, tasks_.memory_mb[idx]);
+    }
+    ws_.pending.resize(out);
+    pending_min_mb_ = new_min;
+  }
+
+  // On-VM tasks are interrupted exactly like a trace kill (same refund and
+  // rollback arithmetic as handle_kill), minus the failure accounting: the
+  // scheduler, not the platform, stopped them. kRequeue discards all
+  // progress; kCheckpointRequeue resumes from the last completed checkpoint.
+  // Either way the next dispatch pays the device restart price (kPayRestart).
+  for (std::size_t i = 0; i < job.n_tasks; ++i) {
+    const std::size_t t = job.first_task + i;
+    const TaskPhase phase = tasks_.hot[t].phase;
+    if (phase != TaskPhase::kExecuting && phase != TaskPhase::kCheckpointing &&
+        phase != TaskPhase::kRestoring) {
+      continue;
+    }
+    sync_clock(t);
+    cancel_pending_event(t);
+    TaskAccounting& acct = tasks_.acct[t];
+    const double unspent = std::max(
+        0.0, tasks_.hot[t].phase_end_active - tasks_.hot[t].active_s);
+    if (phase == TaskPhase::kCheckpointing) {
+      acct.checkpoint_cost_s -= unspent;
+    } else if (phase == TaskPhase::kRestoring) {
+      acct.restart_cost_s -= unspent;
+    }
+    if (mode == sched::PreemptMode::kCheckpointRequeue) {
+      acct.rollback_s += tasks_.hot[t].progress_s - tasks_.hot[t].saved_s;
+      tasks_.hot[t].progress_s = tasks_.hot[t].saved_s;
+    } else {
+      acct.rollback_s += tasks_.hot[t].progress_s;
+      tasks_.hot[t].progress_s = 0.0;
+      tasks_.hot[t].saved_s = 0.0;
+    }
+    leave_vm(t);
+    tasks_.hot[t].flags |= TaskTable::kPayRestart;
+    tasks_.hot[t].phase = TaskPhase::kNotReady;
+    ++result_.preempted_tasks;
+    sched_stash_.push_back(static_cast<std::uint32_t>(t));
+  }
 }
 
 }  // namespace cloudcr::sim

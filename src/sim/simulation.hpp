@@ -88,6 +88,8 @@ struct ReplayWorkspace {
     std::size_t remaining = 0;
     std::size_t next_sequential = 0;
     std::uint32_t unschedulable = 0;  ///< tasks rejected at admission
+    double sched_wait_s = 0.0;  ///< scheduler hold time (0 under fcfs)
+    bool backfilled = false;    ///< released ahead of an earlier arrival
     bool done = false;
     /// Admitted and not yet retired. Slots of finished jobs are inactive in
     /// both modes; the streaming mode additionally recycles them.
@@ -205,6 +207,21 @@ class Simulation {
   void handle_restore_done(std::size_t task_idx);
   void handle_complete(std::size_t task_idx);
 
+  // -- scheduling stage -------------------------------------------------------
+  // Active only when config_.scheduler is a non-pass-through policy; the
+  // fcfs/default path never touches any of this (golden bit-identity).
+  /// Appends the job to the scheduler queue with its aggregate demand and
+  /// runtime estimate (through the length predictor when configured).
+  void sched_enqueue(std::uint32_t job_slot);
+  /// Re-entrancy-guarded scheduler round: runs decide() and applies it.
+  void sched_pump();
+  void sched_pump_once();
+  /// Applies the decision's evictions (descending running positions).
+  void preempt_victims();
+  /// Pulls one evicted job's tasks off their VMs / out of the pending queue
+  /// into sched_stash_, rolling progress back per `mode`.
+  void preempt_job_tasks(std::uint32_t job_slot, sched::PreemptMode mode);
+
   // -- helpers ---------------------------------------------------------------
   /// Accrues active (and productive) time since the last sync.
   void sync_clock(std::size_t task_idx);
@@ -238,6 +255,18 @@ class Simulation {
   /// Streaming mode: recycle finished jobs' rows/slots (run_stream sets
   /// this; run keeps every row so borrowed records need no bookkeeping).
   bool release_rows_ = false;
+
+  // -- scheduling-stage state (untouched when sched_active_ is false) --------
+  bool sched_active_ = false;
+  double total_capacity_mb_ = 0.0;
+  std::vector<sched::PendingJob> sched_queue_;    ///< held jobs, arrival order
+  std::vector<sched::RunningJob> sched_running_;  ///< released, unfinished
+  sched::Decision sched_decision_;                ///< reused per round
+  std::vector<char> sched_released_;              ///< reused per round
+  std::vector<std::uint32_t> sched_stash_;        ///< preempted tasks to requeue
+  bool sched_in_pump_ = false;
+  bool sched_pump_again_ = false;
+  EventId sched_wake_event_ = TaskTable::kNoEvent;
 
   SimResult result_;
 };

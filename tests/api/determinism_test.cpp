@@ -40,6 +40,23 @@ std::vector<api::ScenarioSpec> grid(std::uint64_t seed) {
     spec.storage_noise = 0.05;  // exercise the RNG-reset path too
     specs.push_back(spec);
   }
+  // Scheduling-stage points: a small cluster creates admission pressure so
+  // backfill and preemption actually hold/evict jobs (on an uncontended
+  // cluster every scheduler degenerates into fcfs and the property would
+  // pin nothing).
+  for (const char* sched :
+       {"backfill:easy", "backfill:conservative", "preempt:requeue"}) {
+    api::ScenarioSpec spec;
+    spec.name = std::string("det_sched_") + sched;
+    spec.trace.seed = seed;
+    spec.trace.horizon_s = 1800.0;
+    spec.trace.arrival_rate = 0.08;
+    spec.policy = "formula3";
+    spec.sched = sched;
+    spec.cluster.hosts = 4;
+    spec.cluster.vms_per_host = 2;
+    specs.push_back(spec);
+  }
   return specs;
 }
 

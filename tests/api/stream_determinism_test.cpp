@@ -116,6 +116,36 @@ std::vector<ScenarioSpec> grid(std::uint64_t seed) {
     spec.predictor = "oracle";
     specs.push_back(spec);
   }
+  // Scheduling-stage points: each scheduler on both a generated and an
+  // ingested source, under a small cluster so jobs really queue. Streaming
+  // admits jobs lazily — the held-job queue and reservation wakeups must
+  // not care when the arrival events were materialized.
+  for (const char* sched :
+       {"backfill:easy", "backfill:conservative", "preempt:requeue"}) {
+    {
+      ScenarioSpec spec;
+      spec.name = std::string("stream_det_sched_syn_") + sched + "_" + tag;
+      spec.trace.seed = seed;
+      spec.trace.horizon_s = 2.0 * 3600.0;
+      spec.trace.arrival_rate = 0.08;
+      spec.policy = "formula3";
+      spec.sched = sched;
+      spec.cluster.hosts = 4;
+      spec.cluster.vms_per_host = 2;
+      specs.push_back(spec);
+    }
+    {
+      ScenarioSpec spec;
+      spec.name = std::string("stream_det_sched_csv_") + sched + "_" + tag;
+      spec.trace.source = "csv:" + csv_path;
+      spec.trace.sample_job_filter = true;
+      spec.policy = "young";
+      spec.sched = sched;
+      spec.cluster.hosts = 4;
+      spec.cluster.vms_per_host = 2;
+      specs.push_back(spec);
+    }
+  }
   return specs;
 }
 

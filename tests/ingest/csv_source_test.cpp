@@ -42,7 +42,16 @@ TEST(ColumnMapping, EmptyTextKeepsNativeDefaults) {
 
 TEST(ColumnMapping, RejectsMalformedText) {
   EXPECT_THROW((void)parse_mapping("no_equals"), std::invalid_argument);
-  EXPECT_THROW((void)parse_mapping("bogus_key=x"), std::invalid_argument);
+  // An unknown key names the keys that would have worked.
+  try {
+    (void)parse_mapping("bogus_key=x");
+    ADD_FAILURE() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus_key"), std::string::npos);
+    EXPECT_NE(what.find("priority_offset"), std::string::npos);
+    EXPECT_NE(what.find("time_unit"), std::string::npos);
+  }
   EXPECT_THROW((void)parse_mapping("time_unit=fortnights"),
                std::invalid_argument);
   EXPECT_THROW((void)parse_mapping("memory_unit=floppies"),

@@ -29,9 +29,10 @@ TEST(TraceSourceRegistry, HasBuiltins) {
   EXPECT_TRUE(registry.contains("synthetic"));
   EXPECT_TRUE(registry.contains("csv"));
   EXPECT_TRUE(registry.contains("google"));
+  EXPECT_TRUE(registry.contains("slurm"));
   EXPECT_TRUE(registry.contains("csv:/some/path"));  // full specs work too
   EXPECT_FALSE(registry.contains("parquet"));
-  EXPECT_EQ(registry.names().size(), 3u);
+  EXPECT_EQ(registry.names().size(), 4u);
 }
 
 TEST(TraceSourceRegistry, MakeBuildsTheRightSource) {

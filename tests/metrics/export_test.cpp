@@ -32,6 +32,8 @@ metrics::JobOutcome sample_outcome() {
   o.checkpoints = 12;
   o.failures = 3;
   o.max_task_length_s = 700.0;
+  o.sched_wait_s = 12.625;
+  o.backfilled = true;
   return o;
 }
 
@@ -199,6 +201,9 @@ TEST(CsvRoundTrip, OutcomeRowReparsesToOriginalValues) {
             outcome.checkpoint_s);
   EXPECT_EQ(std::strtoull(cell_for("job_id").c_str(), nullptr, 10),
             outcome.job_id);
+  EXPECT_EQ(std::strtod(cell_for("sched_wait_s").c_str(), nullptr),
+            outcome.sched_wait_s);
+  EXPECT_EQ(cell_for("backfilled"), "1");
 }
 
 TEST(JsonRoundTrip, OutcomeJsonValuesReparse) {
@@ -217,6 +222,21 @@ TEST(JsonRoundTrip, OutcomeJsonValuesReparse) {
   EXPECT_EQ(value_of("wallclock_s"), outcome.wallclock_s);
   EXPECT_EQ(value_of("rollback_s"), outcome.rollback_s);
   EXPECT_EQ(value_of("wpr"), outcome.wpr());
+  EXPECT_EQ(value_of("sched_wait_s"), outcome.sched_wait_s);
+  EXPECT_NE(json.find("\"backfilled\":true"), std::string::npos);
+}
+
+TEST(OutcomeJson, SchedFieldsAreSparse) {
+  // A job the scheduler never held (every fcfs job) must serialize exactly
+  // as before the scheduling stage existed — that byte-stability is what
+  // keeps the golden replay fixtures valid.
+  auto outcome = sample_outcome();
+  outcome.sched_wait_s = 0.0;
+  outcome.backfilled = false;
+  std::ostringstream os;
+  metrics::write_outcome_json(os, outcome);
+  EXPECT_EQ(os.str().find("sched_wait_s"), std::string::npos);
+  EXPECT_EQ(os.str().find("backfilled"), std::string::npos);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "report/registry.hpp"
 #include "report/render.hpp"
 #include "report/runner.hpp"
+#include "sched/registry.hpp"
 
 namespace cloudcr {
 namespace {
@@ -39,14 +40,15 @@ TEST(ExperimentRegistry, IdsAreUniqueSortedAndFindable) {
 }
 
 TEST(ExperimentRegistry, CoversThePaperMatrix) {
-  // The paper's reproduced figures and tables, one entry each.
+  // The paper's reproduced figures and tables, one entry each, plus the
+  // repo's scheduling-stage extension entries.
   for (const char* id :
        {"fig04", "fig05", "fig07", "fig08", "fig09", "fig10", "fig11",
-        "fig12", "fig13", "fig14", "tab02", "tab03", "tab04", "tab05",
-        "tab06", "tab07"}) {
+        "fig12", "fig13", "fig14", "sched01", "sched02", "tab02", "tab03",
+        "tab04", "tab05", "tab06", "tab07"}) {
     EXPECT_NE(registry().find(id), nullptr) << "missing entry " << id;
   }
-  EXPECT_EQ(registry().entries().size(), 16u);
+  EXPECT_EQ(registry().entries().size(), 18u);
 }
 
 TEST(ExperimentRegistry, EntriesAreSelfDescribing) {
@@ -67,6 +69,7 @@ TEST(ExperimentRegistry, EntriesAreSelfDescribing) {
 TEST(ExperimentRegistry, ScenarioSpecsAreValidAndRoundTrip) {
   const auto& policies = api::PolicyRegistry::instance();
   const auto& predictors = api::PredictorRegistry::instance();
+  const auto& schedulers = sched::SchedulerRegistry::instance();
   std::set<std::string> names;
   for (const auto& e : registry().entries()) {
     for (const auto& spec : e.specs) {
@@ -77,6 +80,8 @@ TEST(ExperimentRegistry, ScenarioSpecsAreValidAndRoundTrip) {
           << spec.name << " policy " << spec.policy;
       EXPECT_TRUE(predictors.contains(api::split_key(spec.predictor).name))
           << spec.name << " predictor " << spec.predictor;
+      EXPECT_TRUE(schedulers.contains(api::split_key(spec.sched).name))
+          << spec.name << " sched " << spec.sched;
       // Specs are serializable (artifacts must be self-reproducing).
       EXPECT_EQ(api::parse_scenario(api::serialize(spec)), spec)
           << spec.name;
