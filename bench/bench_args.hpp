@@ -14,6 +14,13 @@
 ///   --threads N     BatchRunner worker threads (0 = hardware)
 ///   --json PATH     export RunArtifacts as JSON
 ///   --csv PATH      export RunArtifact summary rows as CSV
+///   --stats         collect + print the obs counter registry (needs a
+///                   -DCLOUDCR_OBS=ON build to be non-empty)
+///   --probe-interval S  sample a time-series probe every S simulated
+///                   seconds into each artifact
+///   --trace-out PATH  write a Chrome trace-event JSON per scenario
+///                   ("{name}" expands to the scenario name; needs
+///                   -DCLOUDCR_OBS=ON)
 ///   -h / --help     usage
 ///
 /// Flags the binary does not consult are still parsed (so `--threads 8`
@@ -31,6 +38,8 @@
 #include "api/artifact_io.hpp"
 #include "api/scenario.hpp"
 #include "ingest/registry.hpp"
+#include "obs/spec.hpp"
+#include "obs/stats.hpp"
 
 namespace cloudcr::bench {
 
@@ -43,6 +52,11 @@ struct BenchArgs {
   std::string json_path;
   std::string csv_path;
 
+  // Observability (all off by default; purely additive to results).
+  bool stats = false;
+  double probe_interval_s = 0.0;
+  std::string trace_out;
+
   [[nodiscard]] std::size_t threads_or(std::size_t fallback) const {
     return threads.value_or(fallback);
   }
@@ -53,6 +67,35 @@ struct BenchArgs {
     if (horizon_s) spec.horizon_s = *horizon_s;
     if (jobs) spec.max_jobs = *jobs;
     if (trace_source) spec.source = *trace_source;
+  }
+
+  /// Lowers the obs flags into a scenario's ObsSpec (additive: fields the
+  /// flags don't cover keep whatever the spec already carried).
+  void apply_obs(api::ScenarioSpec& spec) const {
+    if (stats) spec.obs.stats = true;
+    if (probe_interval_s > 0.0) spec.obs.probe_interval_s = probe_interval_s;
+    if (!trace_out.empty()) spec.obs.trace_path = trace_out;
+  }
+
+  [[nodiscard]] bool obs_enabled() const {
+    return stats || probe_interval_s > 0.0 || !trace_out.empty();
+  }
+
+  /// The obs= grammar equivalent of the flags (for ReportOptions::obs).
+  [[nodiscard]] std::string obs_value() const {
+    obs::ObsSpec spec;
+    spec.stats = stats;
+    spec.probe_interval_s = probe_interval_s;
+    spec.trace_path = trace_out;
+    return obs::serialize_obs(spec);
+  }
+
+  /// Prints the merged counter registry to stderr when --stats was given
+  /// (text form, timers included; empty in a build without the hooks).
+  void print_stats() const {
+    if (!stats) return;
+    std::cerr << "# obs stats (merged registry):\n";
+    obs::write_stats_text(std::cerr);
   }
 
   /// Writes artifacts to --json/--csv when given; prints where they went.
@@ -116,7 +159,9 @@ struct BenchArgs {
         std::cout << "usage: " << argv[0]
                   << " [--seed N] [--horizon S] [--jobs N] [--trace SPEC]"
                   << " [--threads N]"
-                  << (exports ? " [--json PATH] [--csv PATH]" : "") << "\n";
+                  << (exports ? " [--json PATH] [--csv PATH]" : "")
+                  << " [--stats] [--probe-interval S] [--trace-out PATH]"
+                  << "\n";
         std::exit(0);
       } else if ((flag == "--json" || flag == "--csv") && !exports) {
         std::cerr << argv[0] << ": " << flag
@@ -146,6 +191,16 @@ struct BenchArgs {
         args.json_path = value(i, "--json");
       } else if (flag == "--csv") {
         args.csv_path = value(i, "--csv");
+      } else if (flag == "--stats") {
+        args.stats = true;
+      } else if (flag == "--probe-interval") {
+        args.probe_interval_s = parse_double(i, "--probe-interval");
+        if (!(args.probe_interval_s > 0.0)) {
+          std::cerr << argv[0] << ": --probe-interval must be > 0\n";
+          std::exit(2);
+        }
+      } else if (flag == "--trace-out") {
+        args.trace_out = value(i, "--trace-out");
       } else {
         std::cerr << argv[0] << ": unknown flag '" << flag
                   << "' (try --help)\n";

@@ -41,13 +41,27 @@ using report::SplitOutcomes;
 /// failures (an ingested log going bad mid-run, an unknown registry key
 /// smuggled into a spec) exit 2 with a diagnostic, like every other bench
 /// CLI error, instead of aborting on an uncaught exception.
+///
+/// The obs flags (--stats/--probe-interval/--trace-out) are applied to
+/// every spec before running and the merged registry is printed afterwards
+/// — instrumentation is additive, so artifacts (and hence every figure)
+/// are bit-identical with or without it.
 inline std::vector<api::RunArtifact> run_grid(
     const std::vector<api::ScenarioSpec>& specs, const BenchArgs& args,
     const api::RunHooks& hooks = {}) {
   api::BatchOptions options;
   options.threads = args.threads_or(0);
+  const std::vector<api::ScenarioSpec>* to_run = &specs;
+  std::vector<api::ScenarioSpec> instrumented;
+  if (args.obs_enabled()) {
+    instrumented = specs;
+    for (auto& spec : instrumented) args.apply_obs(spec);
+    to_run = &instrumented;
+  }
   try {
-    return api::BatchRunner(options).run(specs, hooks);
+    auto artifacts = api::BatchRunner(options).run(*to_run, hooks);
+    args.print_stats();
+    return artifacts;
   } catch (const std::exception& e) {
     std::cerr << "run failed: " << e.what() << "\n";
     std::exit(2);

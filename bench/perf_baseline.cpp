@@ -14,6 +14,10 @@
 //   perf_baseline --update BASE.json      rewrite the baseline in place
 //   perf_baseline --tolerance 0.20        relative slowdown allowed by --check
 //   perf_baseline --reps N                timed repetitions per metric (def 5)
+//   perf_baseline --only SUBSTR           run only matrix metrics whose name
+//                                         contains SUBSTR (the CI obs-overhead
+//                                         A/B uses --only replay_hour; not
+//                                         combinable with --check)
 //
 // Month-scale memory mode (separate from the wall-time matrix — peak RSS is
 // process-wide and monotone, so each mode needs its own process):
@@ -25,6 +29,12 @@
 //                                              when exceeded) — the CI
 //                                              month-scale smoke job
 //   ... --json OUT.json                        schema cloudcr-month-scale/1
+//   ... --obs SPEC                             instrument the month run with
+//                                              an obs= value (ScenarioSpec
+//                                              grammar, e.g.
+//                                              "stats+probe:3600+trace:m.json")
+//   ... --probe-csv OUT.csv                    write the month run's probe
+//                                              series as CSV
 //
 // Refreshing the checked-in baseline after an intended perf change:
 //   ./perf_baseline --update ../bench/BENCH_engine.baseline.json
@@ -41,6 +51,7 @@
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,14 +62,13 @@
 #include "ingest/google_source.hpp"
 #include "ingest/registry.hpp"
 #include "metrics/export.hpp"
+#include "obs/probe.hpp"
+#include "obs/spec.hpp"
+#include "obs/stats.hpp"
 #include "sched/policies.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/generator.hpp"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
 
 namespace {
 
@@ -67,21 +77,6 @@ using Clock = std::chrono::steady_clock;
 
 constexpr const char* kSchema = "cloudcr-perf-baseline/1";
 constexpr const char* kMonthSchema = "cloudcr-month-scale/1";
-
-/// Process peak RSS in MB (0 when the platform offers no getrusage).
-double peak_rss_mb() {
-#if defined(__unix__) || defined(__APPLE__)
-  rusage usage = {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
-#if defined(__APPLE__)
-  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
-#else
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KB
-#endif
-#else
-  return 0.0;
-#endif
-}
 
 /// The month-scale scenario: ~1M tasks of synthetic arrivals over 30 days
 /// (the google_fixture() config stretched to a month — no sample-job
@@ -110,13 +105,22 @@ api::ScenarioSpec month_spec() {
 /// monotone, so streamed-after-materialized would inherit the larger
 /// footprint.
 int run_month_scale(const std::string& mode, double max_rss_mb,
-                    const std::string& json_path) {
+                    const std::string& json_path, const std::string& obs_value,
+                    const std::string& probe_csv_path) {
   if (mode != "streamed" && mode != "materialized") {
     std::cerr << "--month-scale wants 'streamed' or 'materialized', got '"
               << mode << "'\n";
     return 2;
   }
-  const api::ScenarioSpec spec = month_spec();
+  api::ScenarioSpec spec = month_spec();
+  if (!obs_value.empty()) {
+    try {
+      spec.obs = obs::parse_obs(obs_value);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "--obs: " << e.what() << "\n";
+      return 2;
+    }
+  }
   const api::ScenarioRunner runner(spec);
   sim::ReplayWorkspace workspace;
   api::RunHooks hooks;
@@ -129,7 +133,7 @@ int run_month_scale(const std::string& mode, double max_rss_mb,
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - start).count();
 
-  const double rss_mb = peak_rss_mb();
+  const double rss_mb = obs::peak_rss_mb();
   // The workspace is cleared at the *start* of a run, so after it the table
   // sizes are the run's high-water marks: O(trace) for the materialized
   // path, O(active + recycling pools) for the streaming path.
@@ -144,6 +148,26 @@ int run_month_scale(const std::string& mode, double max_rss_mb,
   std::printf("  task rows       %10zu (high water)\n", task_rows);
   std::printf("  job slots       %10zu (high water)\n", job_slots);
   std::printf("  completed jobs  %10zu\n", artifact.result.outcomes.size());
+
+  if (!probe_csv_path.empty()) {
+    if (artifact.result.probes.empty()) {
+      std::cerr << "--probe-csv given but the run sampled no probes (add "
+                   "probe:<interval> to --obs)\n";
+      return 2;
+    }
+    std::ofstream os(probe_csv_path);
+    if (!os) {
+      std::cerr << "cannot write " << probe_csv_path << "\n";
+      return 2;
+    }
+    obs::write_probe_csv(os, artifact.result.probes);
+    std::cout << "# wrote " << probe_csv_path << " ("
+              << artifact.result.probes.size() << " probe samples)\n";
+  }
+  if (spec.obs.stats) {
+    std::cout << "# obs stats (merged registry):\n";
+    obs::write_stats_text(std::cout);
+  }
 
   if (!json_path.empty()) {
     std::ofstream os(json_path);
@@ -249,12 +273,19 @@ std::string google_fixture() {
   return path;
 }
 
-std::vector<Metric> run_matrix(std::size_t reps) {
+/// Runs the matrix, restricted to metrics whose name contains `only` (empty
+/// = all). The CI obs-overhead A/B times `--only replay_hour` in an ON and
+/// an OFF build and compares the two JSON documents.
+std::vector<Metric> run_matrix(std::size_t reps, const std::string& only) {
   std::vector<Metric> metrics;
+  const auto want = [&only](const char* name) {
+    return only.empty() || std::string(name).find(only) != std::string::npos;
+  };
 
   // -- event-queue substrate -------------------------------------------------
-  metrics.push_back(time_metric(
-      "queue_schedule_drain_100k", "events/s", reps, [] {
+  if (want("queue_schedule_drain_100k")) {
+    metrics.push_back(time_metric(
+        "queue_schedule_drain_100k", "events/s", reps, [] {
         const std::size_t n = 100000;
         sim::EventQueue q;
         for (std::size_t i = 0; i < n; ++i) {
@@ -263,15 +294,18 @@ std::vector<Metric> run_matrix(std::size_t reps) {
         while (!q.empty()) q.pop();
         return n;
       }));
-  metrics.push_back(time_metric("engine_cascade_10k", "events/s", reps, [] {
-    sim::Engine e;
-    int count = 0;
-    std::function<void()> chain = [&] {
-      if (++count < 10000) e.schedule_in(1.0, chain);
-    };
-    e.schedule_at(0.0, chain);
-    return e.run();
-  }));
+  }
+  if (want("engine_cascade_10k")) {
+    metrics.push_back(time_metric("engine_cascade_10k", "events/s", reps, [] {
+      sim::Engine e;
+      int count = 0;
+      std::function<void()> chain = [&] {
+        if (++count < 10000) e.schedule_in(1.0, chain);
+      };
+      e.schedule_at(0.0, chain);
+      return e.run();
+    }));
+  }
 
   // -- scheduler decide() over a deep backfill queue -------------------------
   // decide() is stateless, so every round re-derives the shadow/profile
@@ -280,8 +314,9 @@ std::vector<Metric> run_matrix(std::size_t reps) {
   // profile is the superlinear part, so the queue here is deep for a
   // replay but small in absolute terms) on a contended 48-deep queue
   // against a 24-job running set.
-  metrics.push_back(time_metric(
-      "sched_backfill_decide", "decides/s", reps, []() -> std::size_t {
+  if (want("sched_backfill_decide")) {
+    metrics.push_back(time_metric(
+        "sched_backfill_decide", "decides/s", reps, []() -> std::size_t {
         constexpr std::size_t kQueue = 48;
         constexpr std::size_t kRunning = 24;
         constexpr std::size_t kRounds = 40;
@@ -323,9 +358,10 @@ std::vector<Metric> run_matrix(std::size_t reps) {
         }
         return decides;
       }));
+  }
 
   // -- synthetic replay, serial (pooled workspace, replay only) --------------
-  {
+  if (want("replay_hour_serial")) {
     const api::ScenarioRunner runner(hour_spec());
     const auto trace = api::make_replay_trace(runner.spec().trace);
     api::RunHooks hooks;
@@ -342,12 +378,13 @@ std::vector<Metric> run_matrix(std::size_t reps) {
 
   // -- policy grid through the batch runner, serial and threaded -------------
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::ostringstream name;
+    name << "batch_grid_threads" << threads;
+    if (!want(name.str().c_str())) continue;
     api::BatchOptions options;
     options.threads = threads;
     const api::BatchRunner runner(options);
     const auto specs = grid_specs();
-    std::ostringstream name;
-    name << "batch_grid_threads" << threads;
     metrics.push_back(time_metric(name.str(), "jobs/s", reps, [&] {
       const auto artifacts = runner.run(specs);
       std::size_t jobs = 0;
@@ -357,32 +394,36 @@ std::vector<Metric> run_matrix(std::size_t reps) {
   }
 
   // -- ingested Google-format workload: parse, then replay -------------------
-  {
+  if (want("ingest_google_6h") || want("replay_google_6h")) {
     const std::string fixture = google_fixture();
-    metrics.push_back(
-        time_metric("ingest_google_6h", "rows/s", reps, [&]() -> std::size_t {
-          const auto result =
-              ingest::TraceSourceRegistry::instance()
-                  .make("google:" + fixture)
-                  ->load();
-          return result.report.rows_used;
-        }));
+    if (want("ingest_google_6h")) {
+      metrics.push_back(time_metric(
+          "ingest_google_6h", "rows/s", reps, [&]() -> std::size_t {
+            const auto result =
+                ingest::TraceSourceRegistry::instance()
+                    .make("google:" + fixture)
+                    ->load();
+            return result.report.rows_used;
+          }));
+    }
 
-    api::ScenarioSpec spec = hour_spec();
-    spec.name = "perf_google_replay";
-    spec.trace.source = "google:" + fixture;
-    const api::ScenarioRunner runner(spec);
-    const auto trace = api::make_replay_trace(runner.spec().trace);
-    api::RunHooks hooks;
-    sim::ReplayWorkspace workspace;
-    hooks.workspace = &workspace;
-    hooks.replay_trace = &trace;
-    hooks.predictor_override = api::PredictorRegistry::instance().make(
-        "grouped", api::PredictorInputs{trace});
-    metrics.push_back(
-        time_metric("replay_google_6h", "events/s", reps, [&] {
-          return runner.run(hooks).result.events_dispatched;
-        }));
+    if (want("replay_google_6h")) {
+      api::ScenarioSpec spec = hour_spec();
+      spec.name = "perf_google_replay";
+      spec.trace.source = "google:" + fixture;
+      const api::ScenarioRunner runner(spec);
+      const auto trace = api::make_replay_trace(runner.spec().trace);
+      api::RunHooks hooks;
+      sim::ReplayWorkspace workspace;
+      hooks.workspace = &workspace;
+      hooks.replay_trace = &trace;
+      hooks.predictor_override = api::PredictorRegistry::instance().make(
+          "grouped", api::PredictorInputs{trace});
+      metrics.push_back(
+          time_metric("replay_google_6h", "events/s", reps, [&] {
+            return runner.run(hooks).result.events_dispatched;
+          }));
+    }
   }
 
   return metrics;
@@ -488,6 +529,9 @@ int main(int argc, char** argv) {
   std::string check_path;
   std::string update_path;
   std::string month_mode;
+  std::string obs_value;
+  std::string probe_csv_path;
+  std::string only;
   double tolerance = 0.20;
   double max_rss_mb = 0.0;
   std::size_t reps = 5;
@@ -509,6 +553,12 @@ int main(int argc, char** argv) {
       update_path = value();
     } else if (arg == "--month-scale") {
       month_mode = value();
+    } else if (arg == "--obs") {
+      obs_value = value();
+    } else if (arg == "--probe-csv") {
+      probe_csv_path = value();
+    } else if (arg == "--only") {
+      only = value();
     } else if (arg == "--max-rss-mb") {
       max_rss_mb = std::strtod(value().c_str(), nullptr);
     } else if (arg == "--tolerance") {
@@ -519,9 +569,11 @@ int main(int argc, char** argv) {
       if (reps == 0) reps = 1;
     } else if (arg == "-h" || arg == "--help") {
       std::cout << "usage: perf_baseline [--json OUT] [--check BASE] "
-                   "[--update BASE] [--tolerance T] [--reps N]\n"
+                   "[--update BASE] [--tolerance T] [--reps N] "
+                   "[--only SUBSTR]\n"
                    "       perf_baseline --month-scale streamed|materialized "
-                   "[--max-rss-mb M] [--json OUT]\n";
+                   "[--max-rss-mb M] [--json OUT] [--obs SPEC] "
+                   "[--probe-csv OUT]\n";
       return 0;
     } else {
       std::cerr << "unknown flag " << arg << "\n";
@@ -530,10 +582,25 @@ int main(int argc, char** argv) {
   }
 
   if (!month_mode.empty()) {
-    return run_month_scale(month_mode, max_rss_mb, json_path);
+    return run_month_scale(month_mode, max_rss_mb, json_path, obs_value,
+                           probe_csv_path);
+  }
+  if (!obs_value.empty() || !probe_csv_path.empty()) {
+    std::cerr << "--obs/--probe-csv only apply to --month-scale runs\n";
+    return 2;
+  }
+  // A filtered run produces a partial document; gating it against a full
+  // baseline would report every skipped metric as missing.
+  if (!only.empty() && !check_path.empty()) {
+    std::cerr << "--only cannot be combined with --check\n";
+    return 2;
   }
 
-  const auto metrics = run_matrix(reps);
+  const auto metrics = run_matrix(reps, only);
+  if (metrics.empty()) {
+    std::cerr << "--only '" << only << "' matched no metrics\n";
+    return 2;
+  }
 
   std::printf("%-28s %12s %16s\n", "metric", "wall (ms)", "throughput");
   for (const auto& m : metrics) {

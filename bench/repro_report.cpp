@@ -21,13 +21,26 @@
 //   repro_report --threads N                 BatchRunner workers
 //   repro_report --verbose                   stream the per-figure tables
 //   repro_report --no-gate                   report deviations, exit 0
+//   repro_report --progress                  live per-artifact stderr line
+//                                            (done/total, jobs/s, ETA)
+//   repro_report --stats                     collect + print the merged obs
+//                                            counter registry (non-empty in
+//                                            -DCLOUDCR_OBS=ON builds)
+//   repro_report --probe-interval S          sample time-series probes every
+//                                            S simulated seconds; one CSV
+//                                            per scenario (see --probes-out)
+//   repro_report --probes-out DIR            probe CSV directory (default .)
 //
 // Exit codes: 0 gate passed (or skipped), 1 gate failed, 2 CLI/IO error.
+//
+// The obs flags are additive: they never change metrics, so the
+// expected-value gate still applies to instrumented runs.
 //
 // Results are deterministic per machine and thread-count independent
 // (BatchRunner pins bit-identity); the per-metric tolerances absorb
 // cross-platform libm variation only.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -41,6 +54,9 @@
 #include <vector>
 
 #include "api/scenario.hpp"
+#include "obs/probe.hpp"
+#include "obs/spec.hpp"
+#include "obs/stats.hpp"
 #include "report/compare.hpp"
 #include "report/registry.hpp"
 #include "report/render.hpp"
@@ -85,6 +101,74 @@ bool write_file(const std::string& path,
   return true;
 }
 
+/// Scenario names become file names: keep [A-Za-z0-9._-], fold the rest.
+std::string sanitize_component(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// One probe CSV per scenario: <dir>/<entry-id>__<spec-name>.probes.csv.
+bool write_probe_csvs(const std::string& dir,
+                      const std::vector<report::EntryReport>& entries) {
+  bool ok = true;
+  std::size_t written = 0;
+  for (const auto& er : entries) {
+    for (const auto& artifact : er.result.artifacts) {
+      if (artifact.result.probes.empty()) continue;
+      const std::string path = dir + "/" +
+                               sanitize_component(er.result.experiment->id) +
+                               "__" + sanitize_component(artifact.spec.name) +
+                               ".probes.csv";
+      std::ofstream os(path);
+      if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        ok = false;
+        continue;
+      }
+      cloudcr::obs::write_probe_csv(os, artifact.result.probes);
+      ++written;
+    }
+  }
+  if (written > 0) {
+    std::cout << "# wrote " << written << " probe CSV(s) under " << dir
+              << "/\n";
+  }
+  return ok;
+}
+
+/// --progress: one stderr line, rewritten per finished artifact. Jobs/s is
+/// cumulative replayed jobs over host elapsed; ETA extrapolates linearly.
+class ProgressLine {
+ public:
+  void operator()(const cloudcr::api::RunArtifact& artifact, std::size_t done,
+                  std::size_t total) {
+    jobs_ += artifact.trace_jobs;
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    const double rate = elapsed > 0.0 ? jobs_ / elapsed : 0.0;
+    const double eta =
+        done > 0 ? elapsed * static_cast<double>(total - done) /
+                       static_cast<double>(done)
+                 : 0.0;
+    std::fprintf(stderr, "\r# %zu/%zu %-32.32s %10.0f jobs/s  ETA %5.0fs",
+                 done, total, artifact.spec.name.c_str(), rate, eta);
+    if (done == total) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  double jobs_ = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,6 +176,10 @@ int main(int argc, char** argv) {
   bool fast_only = false;
   bool verbose = false;
   bool gate = true;
+  bool progress = false;
+  bool stats = false;
+  double probe_interval_s = 0.0;
+  std::string probes_dir = ".";
   std::size_t threads = 0;
   std::string md_path;
   std::string json_path;
@@ -140,13 +228,33 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--no-gate") {
       gate = false;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--probe-interval") {
+      try {
+        probe_interval_s =
+            cloudcr::api::parse_checked_double("--probe-interval", value());
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+      if (!(probe_interval_s > 0.0)) {
+        std::cerr << "--probe-interval must be > 0\n";
+        return 2;
+      }
+    } else if (arg == "--probes-out") {
+      probes_dir = value();
     } else if (arg == "-h" || arg == "--help") {
       std::cout
           << "usage: repro_report [--list] [--only IDS] [--fast]\n"
              "                    [--threads N] [--md OUT] [--json OUT]\n"
              "                    [--expected FILE] [--update-expected "
              "FILE]\n"
-             "                    [--docs OUT] [--verbose] [--no-gate]\n";
+             "                    [--docs OUT] [--verbose] [--no-gate]\n"
+             "                    [--progress] [--stats]\n"
+             "                    [--probe-interval S] [--probes-out DIR]\n";
       return 0;
     } else {
       std::cerr << "unknown flag " << arg << " (try --help)\n";
@@ -169,6 +277,13 @@ int main(int argc, char** argv) {
   options.fast_only = fast_only;
   options.threads = threads;
   if (verbose) options.human = &std::cout;
+  if (progress) options.progress = ProgressLine{};
+  if (stats || probe_interval_s > 0.0) {
+    obs::ObsSpec obs_spec;
+    obs_spec.stats = stats;
+    obs_spec.probe_interval_s = probe_interval_s;
+    options.obs = obs::serialize_obs(obs_spec);
+  }
 
   report::ReportResult result;
   try {
@@ -260,7 +375,13 @@ int main(int argc, char** argv) {
   }
   std::printf("total wall: %.1f s\n", result.total_wall_s);
 
+  if (stats) {
+    std::cout << "# obs stats (merged registry):\n";
+    obs::write_stats_text(std::cout);
+  }
+
   bool io_ok = true;
+  if (probe_interval_s > 0.0) io_ok &= write_probe_csvs(probes_dir, entries);
   if (!md_path.empty()) {
     io_ok &= write_file(md_path,
                         [&entries](std::ostream& os) {

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON artifact written by obs::TraceWriter.
+
+Loads the file, checks the envelope (``traceEvents`` array plus the
+writer's ``otherData.dropped_events`` accounting field), and validates
+every event:
+
+* only the phases the writer emits (``X`` complete spans, ``I`` instants,
+  ``M`` metadata), with the fields each phase requires;
+* categories drawn from the writer's fixed set (phase/job/task/vm) on
+  non-metadata events;
+* finite non-negative ``ts`` and ``dur`` (microseconds; host-clock events
+  carry sub-microsecond fractions);
+* instants carry thread scope (``"s": "t"``);
+* events stamped at their emission time are non-decreasing in array
+  order: every host-clock event, and simulated-clock *instants* (stamped
+  at the engine's current time). Simulated spans are exempt — compressed
+  checkpoint runs retro-emit historical ``run``/``ckpt`` sub-spans when a
+  phase completes, and parallel tasks of a bag-of-tasks job overlap on
+  the job's track by design, so neither ordering nor nesting is an
+  invariant for them.
+
+This is what CI runs against the instrumented replay artifact; the unit
+tests in tests/obs/trace_writer_test.cpp pin the same invariants on
+hand-built writers.
+
+Exit status: 0 when the trace validates (a one-line summary is printed),
+1 on any violation (one line per problem), 2 on unreadable input.
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+PHASES = {"X", "I", "M"}
+CATEGORIES = {"phase", "job", "task", "vm"}
+METADATA_NAMES = {"process_name", "thread_name"}
+HOST_PID = 1
+
+
+def microseconds(value: object) -> bool:
+    """A timestamp or duration: finite, non-negative, numeric."""
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+        and value >= 0
+    )
+
+
+def validate_event(index: int, event: object, errors: list) -> dict | None:
+    """Checks one traceEvents entry; returns it when well-formed."""
+
+    def bad(reason: str) -> None:
+        errors.append(f"traceEvents[{index}]: {reason}")
+
+    if not isinstance(event, dict):
+        bad("not an object")
+        return None
+    phase = event.get("ph")
+    if phase not in PHASES:
+        bad(f"unexpected ph {phase!r} (writer emits X, I, M)")
+        return None
+    for field in ("name", "pid", "tid"):
+        if field not in event:
+            bad(f"missing {field!r}")
+            return None
+    if not isinstance(event["name"], str):
+        bad("name is not a string")
+        return None
+
+    if phase == "M":
+        if event["name"] not in METADATA_NAMES:
+            bad(f"unknown metadata record {event['name']!r}")
+        return event
+
+    if event.get("cat") not in CATEGORIES:
+        bad(f"unexpected cat {event.get('cat')!r}")
+        return None
+    if not microseconds(event.get("ts")):
+        bad(f"ts must be a finite non-negative number, got {event.get('ts')!r}")
+        return None
+    if phase == "X":
+        if not microseconds(event.get("dur")):
+            bad(f"dur must be a finite non-negative number, "
+                f"got {event.get('dur')!r}")
+            return None
+    elif phase == "I":
+        if event.get("s") != "t":
+            bad(f"instant must carry thread scope, got s={event.get('s')!r}")
+            return None
+    return event
+
+
+def validate_order(events: list, errors: list) -> int:
+    """Emission-stamped events never step backwards within a clock domain.
+
+    Returns the number of distinct (pid, tid) tracks seen.
+    """
+    last_stamp = {}  # clock domain -> latest emission stamp seen
+    tracks = set()
+    for index, event in enumerate(events):
+        if event["ph"] == "M":
+            continue
+        tracks.add((event["pid"], event["tid"]))
+        domain = "host" if event["pid"] == HOST_PID else "sim"
+        if domain == "sim" and event["ph"] == "X":
+            continue  # retro-emitted sub-spans carry historical times
+        stamp = event["ts"] + event.get("dur", 0)
+        if stamp < last_stamp.get(domain, 0):
+            errors.append(
+                f"traceEvents[{index}]: {domain}-clock event "
+                f"{event['name']!r} stamped {stamp}, before the previously "
+                f"emitted {last_stamp[domain]} — emission order regressed"
+            )
+        else:
+            last_stamp[domain] = stamp
+    return len(tracks)
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} TRACE.json", file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: unreadable: {error}", file=sys.stderr)
+        return 2
+
+    errors = []
+    if not isinstance(document, dict):
+        errors.append("top level is not an object")
+    events_raw = document.get("traceEvents") if isinstance(document, dict) else None
+    if not isinstance(events_raw, list):
+        errors.append("missing traceEvents array")
+        events_raw = []
+    other = document.get("otherData") if isinstance(document, dict) else None
+    dropped = other.get("dropped_events") if isinstance(other, dict) else None
+    if not isinstance(dropped, int) or isinstance(dropped, bool) or dropped < 0:
+        errors.append(
+            "otherData.dropped_events must be a non-negative integer, "
+            f"got {dropped!r}"
+        )
+        dropped = 0
+
+    events = []
+    for index, raw in enumerate(events_raw):
+        event = validate_event(index, raw, errors)
+        if event is not None:
+            events.append(event)
+    tracks = validate_order(events, errors)
+
+    if errors:
+        for line in errors:
+            print(f"{path}: {line}")
+        return 1
+    spans = sum(1 for e in events if e["ph"] == "X")
+    instants = sum(1 for e in events if e["ph"] == "I")
+    print(
+        f"{path}: OK — {spans} spans, {instants} instants across "
+        f"{tracks} tracks ({dropped} ring-evicted)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

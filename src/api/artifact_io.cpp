@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "metrics/export.hpp"
+#include "obs/probe.hpp"
 
 namespace cloudcr::api {
 
@@ -57,6 +58,23 @@ void write_artifact_json(std::ostream& os, const RunArtifact& artifact,
      << ",\"average_wpr\":" << json_double(r.average_wpr())
      << ",\"lowest_wpr\":" << json_double(metrics::lowest_wpr(r.outcomes))
      << ",\"wall_time_s\":" << json_double(artifact.wall_time_s);
+  // Observability fields are sparse: omitted entirely when disabled, so
+  // documents from uninstrumented runs stay byte-identical to before the
+  // obs layer existed.
+  if (artifact.estimation_wall_s > 0.0) {
+    os << ",\"estimation_wall_s\":" << json_double(artifact.estimation_wall_s);
+  }
+  if (artifact.peak_rss_mb > 0.0) {
+    os << ",\"peak_rss_mb\":" << json_double(artifact.peak_rss_mb);
+  }
+  if (!r.probes.empty()) {
+    os << ",\"probes\":[";
+    for (std::size_t i = 0; i < r.probes.size(); ++i) {
+      if (i > 0) os << ',';
+      obs::write_probe_json(os, r.probes[i]);
+    }
+    os << ']';
+  }
   if (include_outcomes) {
     os << ",\"outcomes\":[";
     for (std::size_t i = 0; i < r.outcomes.size(); ++i) {

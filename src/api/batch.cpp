@@ -123,6 +123,17 @@ std::vector<RunArtifact> BatchRunner::run(
   std::atomic<bool> failed{false};
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  // Progress reporting: completion count + callback serialization. Purely
+  // observational; artifact content and placement stay schedule-independent
+  // (per-run obs counters merge into the process registry as order-free
+  // sums/maxes, so even the merged registry is serial == threaded).
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  auto report_progress = [&](const RunArtifact& artifact) {
+    if (!options_.progress) return;
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    options_.progress(artifact, ++done, specs.size());
+  };
 
   auto worker = [&] {
     // Pooled replay buffers, reused across every spec this worker runs (the
@@ -149,6 +160,7 @@ std::vector<RunArtifact> BatchRunner::run(
             spec_streams_lazily(spec.trace)) {
           artifacts[i] = ScenarioRunner(spec).run_streamed(
               run_hooks, options_.stream_batch_jobs);
+          report_progress(artifacts[i]);
           continue;
         }
 
@@ -177,6 +189,7 @@ std::vector<RunArtifact> BatchRunner::run(
           }
         }
         artifacts[i] = run_scenario(spec, run_hooks);
+        report_progress(artifacts[i]);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

@@ -17,6 +17,7 @@
 /// results, only wall time.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "api/runner.hpp"
@@ -41,6 +42,14 @@ struct BatchOptions {
 
   /// Arrival-chunk size for the streaming path.
   std::size_t stream_batch_jobs = 1024;
+
+  /// Optional progress callback, invoked once per finished artifact (in
+  /// completion order, under an internal mutex — callers need no locking)
+  /// with the artifact, the number finished so far, and the batch size.
+  /// Purely observational: artifacts and their order are unaffected. Keep it
+  /// cheap — every worker serializes through it.
+  std::function<void(const RunArtifact&, std::size_t done, std::size_t total)>
+      progress;
 };
 
 class BatchRunner {

@@ -10,12 +10,99 @@
 #include "api/stream.hpp"
 #include "ingest/registry.hpp"
 #include "ingest/source.hpp"
+#include "obs/hooks.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace_writer.hpp"
 #include "sched/registry.hpp"
 #include "sim/predictors.hpp"
 #include "sim/simulation.hpp"
 #include "trace/generator.hpp"
 
 namespace cloudcr::api {
+
+namespace {
+
+/// Expands every "{name}" in an obs trace path to the scenario's name, so a
+/// batch of scenarios can share one obs= value without colliding on output.
+std::string expand_trace_path(std::string path, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = path.find("{name}", pos)) != std::string::npos) {
+    path.replace(pos, 6, name);
+    pos += name.size();
+  }
+  return path;
+}
+
+/// Per-run tracer: owns the TraceWriter when the spec requests tracing,
+/// wires it into the SimConfig, and writes the JSON on finish(). In a build
+/// without the instrumentation hooks a trace request degrades to a stderr
+/// notice (results are unaffected either way).
+struct RunTracer {
+  explicit RunTracer(const ScenarioSpec& spec) {
+#if CLOUDCR_OBS_ENABLED
+    if (spec.obs.trace_path.empty()) return;
+    obs::TraceWriterOptions opt;
+    opt.ring_capacity = static_cast<std::size_t>(spec.obs.trace_ring);
+    opt.window_begin_s = spec.obs.trace_window_begin_s;
+    opt.window_end_s = spec.obs.trace_window_end_s;
+    if (!spec.obs.trace_categories.empty()) {
+      opt.categories = obs::parse_trace_categories(spec.obs.trace_categories);
+    }
+    writer_.emplace(opt);
+    out_path_ = expand_trace_path(spec.obs.trace_path, spec.name);
+#else
+    if (!spec.obs.trace_path.empty()) {
+      std::cerr << "obs: trace requested (" << spec.obs.trace_path
+                << ") but the instrumentation hooks are compiled out; "
+                   "rebuild with -DCLOUDCR_OBS=ON\n";
+    }
+#endif
+  }
+
+  [[nodiscard]] obs::TraceWriter* get() noexcept {
+#if CLOUDCR_OBS_ENABLED
+    return writer_ ? &*writer_ : nullptr;
+#else
+    return nullptr;
+#endif
+  }
+
+  void host_span(const char* name,
+                 std::chrono::steady_clock::time_point t0,
+                 std::chrono::steady_clock::time_point t1) {
+    if (obs::TraceWriter* w = get()) w->host_span(name, t0, t1);
+  }
+
+  void finish() {
+#if CLOUDCR_OBS_ENABLED
+    if (writer_) writer_->write_json_file(out_path_);
+#endif
+  }
+
+#if CLOUDCR_OBS_ENABLED
+ private:
+  std::optional<obs::TraceWriter> writer_;
+  std::string out_path_;
+#endif
+};
+
+/// Flushes the api-layer phase timers into the counter registry (hooks
+/// builds only; a no-op expression otherwise keeps the callsites branchless).
+void flush_api_timers(const ScenarioSpec& spec, double estimation_s,
+                      double replay_s) {
+#if CLOUDCR_OBS_ENABLED
+  if (!spec.obs.stats) return;
+  obs::st::api_estimation_ns.add(
+      static_cast<std::uint64_t>(estimation_s * 1e9));
+  obs::st::api_replay_ns.add(static_cast<std::uint64_t>(replay_s * 1e9));
+#else
+  (void)spec;
+  (void)estimation_s;
+  (void)replay_s;
+#endif
+}
+
+}  // namespace
 
 trace::Trace make_trace(const TraceSpec& spec) {
   // The generator path stays direct (it applies the sample-job filter and
@@ -27,7 +114,9 @@ trace::Trace make_trace(const TraceSpec& spec) {
   }
   ingest::SourceEnv env;
   env.generator = to_generator_config(spec);
-  auto source = ingest::TraceSourceRegistry::instance().make(spec.source, env);
+  auto source = with_key_context("trace.source", spec.source, [&] {
+    return ingest::TraceSourceRegistry::instance().make(spec.source, env);
+  });
   ingest::IngestResult result = source->load();
   // Recoverable row skips must stay visible on this path too — results
   // were computed on a partial workload. One stderr line keeps stdout
@@ -77,9 +166,12 @@ RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
   // estimation trace lives at function scope: a registered factory may
   // return a predictor that keeps the PredictorInputs reference, so it must
   // survive until the simulation finishes.
+  RunTracer tracer(spec_);
   std::optional<trace::Trace> owned_estimation;
   sim::StatsPredictor predictor = hooks.predictor_override;
+  double estimation_wall_s = 0.0;
   if (!predictor) {
+    const auto est_start = std::chrono::steady_clock::now();
     const trace::Trace* estimation = hooks.estimation_trace;
     if (estimation == nullptr) {
       switch (spec_.estimation) {
@@ -95,24 +187,35 @@ RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
           break;
       }
     }
-    predictor = PredictorRegistry::instance().make(
-        spec_.predictor, PredictorInputs{*estimation});
+    predictor = with_key_context("predictor", spec_.predictor, [&] {
+      return PredictorRegistry::instance().make(spec_.predictor,
+                                                PredictorInputs{*estimation});
+    });
+    const auto est_end = std::chrono::steady_clock::now();
+    estimation_wall_s =
+        std::chrono::duration<double>(est_end - est_start).count();
+    tracer.host_span("estimation", est_start, est_end);
   }
 
   // The policy and scheduler must outlive the Simulation (held by
   // reference/pointer); they live on this frame for the whole replay.
-  const core::PolicyPtr policy = PolicyRegistry::instance().make(spec_.policy);
-  const sched::SchedulerPtr scheduler =
-      sched::SchedulerRegistry::instance().make(spec_.sched);
+  const core::PolicyPtr policy = with_key_context(
+      "policy", spec_.policy,
+      [&] { return PolicyRegistry::instance().make(spec_.policy); });
+  const sched::SchedulerPtr scheduler = with_key_context(
+      "sched", spec_.sched,
+      [&] { return sched::SchedulerRegistry::instance().make(spec_.sched); });
 
   sim::SimConfig config = to_sim_config(spec_);
   config.length_predictor = hooks.length_predictor;
   config.scheduler = scheduler.get();
+  config.tracer = tracer.get();
 
   RunArtifact artifact;
   artifact.spec = spec_;
   artifact.trace_jobs = replay->job_count();
   artifact.trace_tasks = replay->task_count();
+  artifact.estimation_wall_s = estimation_wall_s;
 
   const auto start = std::chrono::steady_clock::now();
   sim::Simulation simulation(std::move(config), *policy, std::move(predictor),
@@ -121,6 +224,9 @@ RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
   artifact.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  artifact.peak_rss_mb = obs::peak_rss_mb();
+  flush_api_timers(spec_, artifact.estimation_wall_s, artifact.wall_time_s);
+  tracer.finish();
   return artifact;
 }
 
@@ -201,26 +307,42 @@ RunArtifact ScenarioRunner::run_streamed(const RunHooks& hooks,
   // A custom predictor's materialized estimation trace lives on this frame
   // (a registered factory may keep the PredictorInputs reference until the
   // simulation finishes, as in run()).
+  RunTracer tracer(spec_);
   std::optional<trace::Trace> owned_estimation;
   sim::StatsPredictor predictor = hooks.predictor_override;
+  double artifact_estimation_wall_s = 0.0;
   if (!predictor) {
+    const auto est_start = std::chrono::steady_clock::now();
     if (hooks.estimation_trace != nullptr) {
-      predictor = PredictorRegistry::instance().make(
-          spec_.predictor, PredictorInputs{*hooks.estimation_trace});
+      predictor = with_key_context("predictor", spec_.predictor, [&] {
+        return PredictorRegistry::instance().make(
+            spec_.predictor, PredictorInputs{*hooks.estimation_trace});
+      });
     } else {
-      predictor = make_streaming_predictor(spec_, owned_estimation);
+      predictor = with_key_context("predictor", spec_.predictor, [&] {
+        return make_streaming_predictor(spec_, owned_estimation);
+      });
     }
+    const auto est_end = std::chrono::steady_clock::now();
+    artifact_estimation_wall_s =
+        std::chrono::duration<double>(est_end - est_start).count();
+    tracer.host_span("estimation", est_start, est_end);
   }
 
-  const core::PolicyPtr policy = PolicyRegistry::instance().make(spec_.policy);
-  const sched::SchedulerPtr scheduler =
-      sched::SchedulerRegistry::instance().make(spec_.sched);
+  const core::PolicyPtr policy = with_key_context(
+      "policy", spec_.policy,
+      [&] { return PolicyRegistry::instance().make(spec_.policy); });
+  const sched::SchedulerPtr scheduler = with_key_context(
+      "sched", spec_.sched,
+      [&] { return sched::SchedulerRegistry::instance().make(spec_.sched); });
   sim::SimConfig config = to_sim_config(spec_);
   config.length_predictor = hooks.length_predictor;
   config.scheduler = scheduler.get();
+  config.tracer = tracer.get();
 
   RunArtifact artifact;
   artifact.spec = spec_;
+  artifact.estimation_wall_s = artifact_estimation_wall_s;
 
   auto stream = open_trace_stream(spec_.trace, true);
   StreamJobSource source(*stream);
@@ -231,6 +353,9 @@ RunArtifact ScenarioRunner::run_streamed(const RunHooks& hooks,
   artifact.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  artifact.peak_rss_mb = obs::peak_rss_mb();
+  flush_api_timers(spec_, artifact.estimation_wall_s, artifact.wall_time_s);
+  tracer.finish();
   artifact.trace_jobs = source.jobs();
   artifact.trace_tasks = source.tasks();
   // Recoverable row skips stay visible on the streaming path too (the

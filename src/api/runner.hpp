@@ -33,6 +33,17 @@ struct RunArtifact {
   std::size_t trace_jobs = 0;   ///< jobs in the replay set
   std::size_t trace_tasks = 0;  ///< tasks in the replay set
   double wall_time_s = 0.0;     ///< host wall time of the replay
+
+  // -- host-side observability (never fed back into results) -----------------
+  /// Host wall time of the estimation pass (predictor construction,
+  /// including its trace generation or streaming estimator pass); 0 when a
+  /// pre-built predictor was handed in via hooks.
+  double estimation_wall_s = 0.0;
+  /// Process-wide peak RSS (MB) sampled after the replay; 0 when the
+  /// platform offers no getrusage. Monotone across a batch — per-artifact
+  /// values reflect the process high-water at that point, not this run's
+  /// isolated footprint.
+  double peak_rss_mb = 0.0;
 };
 
 /// Non-serializable extension points. All pointers are borrowed and must

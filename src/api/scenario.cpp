@@ -231,7 +231,8 @@ std::string serialize(const ScenarioSpec& spec) {
      << "cluster.hosts=" << spec.cluster.hosts << '\n'
      << "cluster.vms_per_host=" << spec.cluster.vms_per_host << '\n'
      << "cluster.vm_memory_mb=" << format_double(spec.cluster.vm_memory_mb)
-     << '\n';
+     << '\n'
+     << "obs=" << escape_string(obs::serialize_obs(spec.obs)) << '\n';
   return os.str();
 }
 
@@ -285,6 +286,10 @@ ScenarioSpec parse_scenario(const std::string& text) {
           static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "cluster.vm_memory_mb") {
       spec.cluster.vm_memory_mb = parse_double(key, value);
+    } else if (key == "obs") {
+      const std::string raw = unescape_string(key, value);
+      spec.obs =
+          with_key_context("obs", raw, [&] { return obs::parse_obs(raw); });
     } else {
       throw std::invalid_argument("unknown scenario key '" + key + "'");
     }
@@ -312,7 +317,7 @@ bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) noexcept {
          a.detection_delay_s == b.detection_delay_s &&
          a.cluster.hosts == b.cluster.hosts &&
          a.cluster.vms_per_host == b.cluster.vms_per_host &&
-         a.cluster.vm_memory_mb == b.cluster.vm_memory_mb;
+         a.cluster.vm_memory_mb == b.cluster.vm_memory_mb && a.obs == b.obs;
 }
 
 trace::GeneratorConfig to_generator_config(const TraceSpec& spec) {
@@ -338,6 +343,8 @@ sim::SimConfig to_sim_config(const ScenarioSpec& spec) {
   cfg.storage_noise = spec.storage_noise;
   cfg.seed = spec.sim_seed;
   cfg.detection_delay_s = spec.detection_delay_s;
+  cfg.probe_interval_s = spec.obs.probe_interval_s;
+  cfg.collect_stats = spec.obs.stats;
   return cfg;
 }
 

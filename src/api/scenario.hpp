@@ -13,9 +13,12 @@
 /// call site.
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/controller.hpp"
+#include "obs/spec.hpp"
 #include "sim/config.hpp"
 #include "storage/calibration.hpp"
 #include "trace/estimators.hpp"
@@ -100,6 +103,11 @@ struct ScenarioSpec {
   double detection_delay_s = 0.0;
 
   sim::ClusterConfig cluster = {};
+
+  /// Observability configuration (counters / probes / tracing) — see
+  /// obs::ObsSpec for the `obs=` value grammar. Default-constructed means
+  /// fully disabled; never affects simulation results either way.
+  obs::ObsSpec obs;
 };
 
 // -- enum token helpers (used by the serializer and CLI frontends) ----------
@@ -134,6 +142,21 @@ double parse_checked_double(const std::string& label, const std::string& text);
 std::uint64_t parse_checked_u64(const std::string& label,
                                 const std::string& text);
 
+/// Runs `fn`, rephrasing any std::invalid_argument it throws as
+/// "scenario key '<key>' = '<value>': <original message>". Registry
+/// lookups driven by a spec field (policy=, predictor=, sched=,
+/// trace.source=, obs=) go through this so an unknown or malformed value
+/// always reports which scenario key carried it.
+template <typename Fn>
+auto with_key_context(const char* key, const std::string& value, Fn&& fn) {
+  try {
+    return std::forward<Fn>(fn)();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("scenario key '") + key +
+                                "' = '" + value + "': " + e.what());
+  }
+}
+
 // -- serialization -----------------------------------------------------------
 //
 // The `key=value` grammar (what artifact files embed and parse_scenario
@@ -157,6 +180,9 @@ std::uint64_t parse_checked_u64(const std::string& label,
 //   storage_noise=<double>                sim_seed=<u64>
 //   detection_delay_s=<double>
 //   cluster.hosts=<u64> cluster.vms_per_host=<u64> cluster.vm_memory_mb=<double>
+//   obs=<obs spec>                        '+'-joined features, e.g.
+//                                         stats+probe:60+trace:out.json
+//                                         (grammar in obs/spec.hpp)
 //
 // Bools serialize as true/false (parse also accepts 1/0). Unlisted keys
 // keep their defaults on parse; unknown keys throw — so an artifact from a

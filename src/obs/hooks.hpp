@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file hooks.hpp
+/// \brief Zero-cost instrumentation macros for the observability layer.
+///
+/// Hot-path call sites in sim/sched/ingest/storage/api are written against
+/// these macros instead of calling obs:: directly. The default build
+/// (cmake -DCLOUDCR_OBS=OFF) compiles every hook to nothing — no code, no
+/// branches, no members touched — so golden-fixture bit-identity and the
+/// perf gate see exactly the uninstrumented engine. An ON build
+/// (-DCLOUDCR_OBS=ON defines the CLOUDCR_OBS macro on every target)
+/// expands them to the real thing.
+///
+/// CLOUDCR_OBS_ENABLED is always defined (0 or 1) so code can also use
+/// `#if CLOUDCR_OBS_ENABLED` for larger gated regions.
+
+#if defined(CLOUDCR_OBS)
+
+#include "obs/stats.hpp"
+
+#define CLOUDCR_OBS_ENABLED 1
+
+/// Executes the statement(s) only in instrumented builds. Used for tally
+/// increments, stat flushes, and tracer emission.
+#define CLOUDCR_OBS_STMT(...) \
+  do {                        \
+    __VA_ARGS__;              \
+  } while (0)
+
+/// Adds `n` to a stat (an obs::Stat lvalue, e.g. obs::st::sim_events_popped).
+#define CLOUDCR_OBS_ADD(stat, n) (stat).add(n)
+
+#else
+
+#define CLOUDCR_OBS_ENABLED 0
+#define CLOUDCR_OBS_STMT(...) ((void)0)
+#define CLOUDCR_OBS_ADD(stat, n) ((void)0)
+
+#endif

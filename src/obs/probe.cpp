@@ -1,0 +1,61 @@
+#include "obs/probe.hpp"
+
+#include <ostream>
+
+#include "metrics/export.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cloudcr::obs {
+
+const char* probe_csv_header() noexcept {
+  return "t_s,cluster_util,pending_tasks,running_tasks,active_jobs,"
+         "sched_held_jobs,completed_jobs,running_wpr,task_rows_high_water";
+}
+
+void write_probe_csv_row(std::ostream& os, const ProbeSample& p) {
+  os << metrics::csv_double(p.t_s) << ',' << metrics::csv_double(p.cluster_util)
+     << ',' << p.pending_tasks << ',' << p.running_tasks << ','
+     << p.active_jobs << ',' << p.sched_held_jobs << ',' << p.completed_jobs
+     << ',' << metrics::csv_double(p.running_wpr) << ','
+     << p.task_rows_high_water;
+}
+
+void write_probe_csv(std::ostream& os,
+                     const std::vector<ProbeSample>& series) {
+  os << probe_csv_header() << '\n';
+  for (const ProbeSample& p : series) {
+    write_probe_csv_row(os, p);
+    os << '\n';
+  }
+}
+
+void write_probe_json(std::ostream& os, const ProbeSample& p) {
+  os << "{\"t_s\":" << metrics::json_double(p.t_s)
+     << ",\"cluster_util\":" << metrics::json_double(p.cluster_util)
+     << ",\"pending_tasks\":" << p.pending_tasks
+     << ",\"running_tasks\":" << p.running_tasks
+     << ",\"active_jobs\":" << p.active_jobs
+     << ",\"sched_held_jobs\":" << p.sched_held_jobs
+     << ",\"completed_jobs\":" << p.completed_jobs
+     << ",\"running_wpr\":" << metrics::json_double(p.running_wpr)
+     << ",\"task_rows_high_water\":" << p.task_rows_high_water << '}';
+}
+
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace cloudcr::obs

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file probe.hpp
+/// \brief Time-series probe samples and host-process helpers.
+///
+/// A probe sample is one row of the "what was the cluster doing at
+/// simulated time t" series the paper's dynamics arguments need: the
+/// simulator snapshots these every SimConfig::probe_interval_s simulated
+/// seconds (observing the state just before each tick, without adding
+/// engine events — results stay bit-identical with probing on or off).
+/// Samples land in SimResult::probes and flow into the JSON/CSV artifact
+/// writers; the CSV schema here is documented in docs/observability.md.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace cloudcr::obs {
+
+/// One sample, observed just before simulated time t_s.
+struct ProbeSample {
+  double t_s = 0.0;
+  double cluster_util = 0.0;  ///< fraction of cluster memory in use
+  std::uint64_t pending_tasks = 0;   ///< dispatch-queue depth
+  std::uint64_t running_tasks = 0;   ///< tasks resident on a VM
+  std::uint64_t active_jobs = 0;     ///< admitted, not yet retired
+  std::uint64_t sched_held_jobs = 0; ///< held by the scheduling stage
+  std::uint64_t completed_jobs = 0;  ///< outcomes recorded so far
+  double running_wpr = 0.0;  ///< mean WPR of completed jobs so far
+  std::uint64_t task_rows_high_water = 0;  ///< workspace task-table size
+};
+
+/// CSV column header matching write_probe_csv_row (no trailing newline).
+const char* probe_csv_header() noexcept;
+
+/// One sample as a CSV row matching probe_csv_header().
+void write_probe_csv_row(std::ostream& os, const ProbeSample& p);
+
+/// Whole series as a CSV document (header + one row per sample).
+void write_probe_csv(std::ostream& os, const std::vector<ProbeSample>& series);
+
+/// One sample as a flat JSON object (no trailing newline).
+void write_probe_json(std::ostream& os, const ProbeSample& p);
+
+/// Peak resident-set size of this process in MB (getrusage; monotone over
+/// the process lifetime), or 0 when unavailable.
+double peak_rss_mb();
+
+}  // namespace cloudcr::obs

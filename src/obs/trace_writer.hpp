@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file trace_writer.hpp
+/// \brief Dual-clock Chrome trace-event writer (Perfetto-loadable).
+///
+/// Emits the JSON trace-event format that ui.perfetto.dev (and Chrome's
+/// about:tracing) load directly. Two clocks share the timeline:
+///
+///  - host clock: microseconds of steady_clock time since the writer was
+///    created; used for replay phases (estimation pass, admission, drain,
+///    report evaluate) on pid kHostPid.
+///  - simulated clock: simulated seconds scaled to microseconds; used for
+///    per-job tracks (pid kJobPid, tid = job id) and per-VM tracks
+///    (pid kVmPid, tid = vm id).
+///
+/// Events are buffered in a bounded ring: once `ring_capacity` events are
+/// held, each new event evicts the oldest, so month-scale runs keep a
+/// window instead of everything. A simulated-time window and a category
+/// bitmask filter events at emission. write_json() serializes whatever the
+/// ring holds, oldest first, plus process/thread name metadata.
+///
+/// The writer is single-threaded by design: one writer per run, owned by
+/// the ScenarioRunner that wires it into SimConfig::tracer.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cloudcr::obs {
+
+/// Event categories (bitmask). parse_trace_categories turns the
+/// '|'-separated spec form ("job|vm") into a mask.
+enum TraceCategory : std::uint32_t {
+  kCatPhase = 1u << 0,  ///< host-clock replay phases
+  kCatJob = 1u << 1,    ///< job lifecycle (submit, sched wait, lifetime)
+  kCatTask = 1u << 2,   ///< task run / ckpt / restore / failure spans
+  kCatVm = 1u << 3,     ///< VM residency spans
+  kCatAll = kCatPhase | kCatJob | kCatTask | kCatVm,
+};
+
+/// "phase" | "job" | "task" | "vm" for a single category bit.
+const char* trace_category_token(std::uint32_t cat) noexcept;
+
+/// Parses "job|vm|..." into a mask; empty means kCatAll. Throws
+/// std::invalid_argument naming the unknown token.
+std::uint32_t parse_trace_categories(const std::string& spec);
+
+/// Synthetic pids that group tracks by clock/entity in the Perfetto UI.
+enum TracePid : std::uint32_t { kHostPid = 1, kJobPid = 2, kVmPid = 3 };
+
+struct TraceWriterOptions {
+  std::size_t ring_capacity = 1u << 16;
+  /// Simulated-time window; events entirely outside it are dropped
+  /// (host-clock events are always kept).
+  double window_begin_s = 0.0;
+  double window_end_s = std::numeric_limits<double>::infinity();
+  std::uint32_t categories = kCatAll;
+};
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(TraceWriterOptions opts = {});
+
+  /// Host-clock complete span [t0, t1] on the phase track.
+  void host_span(const std::string& name,
+                 std::chrono::steady_clock::time_point t0,
+                 std::chrono::steady_clock::time_point t1);
+
+  /// Simulated-clock complete span [t0_s, t1_s] on track (pid, tid).
+  /// `cat` is a single TraceCategory bit.
+  void sim_span(TracePid pid, std::uint64_t tid, const std::string& name,
+                std::uint32_t cat, double t0_s, double t1_s);
+
+  /// Simulated-clock instant event at t_s on track (pid, tid).
+  void sim_instant(TracePid pid, std::uint64_t tid, const std::string& name,
+                   std::uint32_t cat, double t_s);
+
+  std::size_t size() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return opts_.ring_capacity; }
+  /// Events evicted from the ring (not those filtered by window/category).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Serializes the buffered events (oldest first) plus track metadata as
+  /// a Chrome trace-event JSON object.
+  void write_json(std::ostream& os) const;
+
+  /// write_json to `path`; returns false (and reports on stderr) on IO
+  /// failure.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    double ts_us = 0.0;
+    double dur_us = -1.0;  ///< < 0 encodes an instant event
+    std::uint64_t tid = 0;
+    std::uint32_t pid = kHostPid;
+    std::uint32_t cat = kCatPhase;
+    std::string name;
+  };
+
+  void push(Event e);
+
+  TraceWriterOptions opts_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  ///< index of the oldest event once the ring wrapped
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cloudcr::obs

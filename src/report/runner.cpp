@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <iterator>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <streambuf>
@@ -11,6 +12,8 @@
 
 #include "api/batch.hpp"
 #include "api/runner.hpp"
+#include "obs/hooks.hpp"
+#include "obs/spec.hpp"
 #include "report/registry.hpp"
 
 namespace cloudcr::report {
@@ -92,6 +95,12 @@ ReportResult run_report(const ReportOptions& options) {
 
   // Gather every scenario of every selected entry into one batch, so trace
   // memoization spans the whole report.
+  // The obs override parses once (invalid values fail before any replay
+  // starts) and stamps every spec; obs is additive, so stamped entries still
+  // compare against the checked-in expected values.
+  std::optional<obs::ObsSpec> obs_override;
+  if (!options.obs.empty()) obs_override = obs::parse_obs(options.obs);
+
   std::vector<api::ScenarioSpec> all_specs;
   std::vector<std::pair<std::size_t, std::size_t>> slices;  // offset, count
   for (const Experiment* e : selected) {
@@ -103,12 +112,14 @@ ReportResult run_report(const ReportOptions& options) {
           options.trace_override(spec.history);
         }
       }
+      if (obs_override) spec.obs = *obs_override;
       all_specs.push_back(std::move(spec));
     }
   }
 
   api::BatchOptions batch_options;
   batch_options.threads = options.threads;
+  batch_options.progress = options.progress;
   std::vector<api::RunArtifact> all_artifacts =
       all_specs.empty() ? std::vector<api::RunArtifact>{}
                         : api::BatchRunner(batch_options).run(all_specs);
@@ -148,7 +159,16 @@ ReportResult run_report(const ReportOptions& options) {
     EntryContext ctx{artifacts, traces, human};
     EntryResult entry;
     entry.experiment = e;
+#if CLOUDCR_OBS_ENABLED
+    const auto eval_start = Clock::now();
+#endif
     entry.metrics = e->evaluate(ctx);
+#if CLOUDCR_OBS_ENABLED
+    if (obs_override && obs_override->stats) {
+      obs::st::report_evaluate_ns.add(
+          static_cast<std::uint64_t>(seconds_since(eval_start) * 1e9));
+    }
+#endif
     // Entry wall: its own trace materialization + evaluation, plus the
     // replay time its artifacts actually consumed inside the shared batch.
     entry.wall_s = seconds_since(entry_start);

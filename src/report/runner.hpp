@@ -39,6 +39,18 @@ struct ReportOptions {
 
   /// Stream the entries' human-readable rendering here (nullptr = discard).
   std::ostream* human = nullptr;
+
+  /// Observability override: an obs= value (api::ScenarioSpec grammar, e.g.
+  /// "stats+probe:3600") applied to every scenario before running. Purely
+  /// additive — results are bit-identical with or without it — so the
+  /// expected-value comparison stays meaningful, unlike trace_override.
+  std::string obs;
+
+  /// Forwarded to api::BatchOptions::progress: one call per finished
+  /// artifact across the whole report batch (completion order, serialized).
+  std::function<void(const api::RunArtifact&, std::size_t done,
+                     std::size_t total)>
+      progress;
 };
 
 /// One executed entry.

@@ -12,6 +12,8 @@
 #include "api/scenario.hpp"
 #include "ingest/registry.hpp"
 #include "metrics/report.hpp"
+#include "obs/spec.hpp"
+#include "obs/stats.hpp"
 #include "report/compare.hpp"
 #include "report/registry.hpp"
 #include "report/runner.hpp"
@@ -31,8 +33,23 @@ struct ShimArgs {
   std::string json_path;
   std::string csv_path;
 
+  // Observability flags (additive: figures and the expected-value check
+  // are unaffected).
+  bool stats = false;
+  double probe_interval_s = 0.0;
+  std::string trace_out;
+
   [[nodiscard]] bool overrides_trace() const {
     return seed || horizon_s || jobs || trace_source;
+  }
+
+  /// The obs= grammar value the flags describe ("" when none were given).
+  [[nodiscard]] std::string obs_value() const {
+    obs::ObsSpec spec;
+    spec.stats = stats;
+    spec.probe_interval_s = probe_interval_s;
+    spec.trace_path = trace_out;
+    return obs::serialize_obs(spec);
   }
 
   static ShimArgs parse(int argc, char** argv, bool exports) {
@@ -66,7 +83,9 @@ struct ShimArgs {
         std::cout << "usage: " << argv[0]
                   << " [--seed N] [--horizon S] [--jobs N] [--trace SPEC]"
                   << " [--threads N]"
-                  << (exports ? " [--json PATH] [--csv PATH]" : "") << "\n";
+                  << (exports ? " [--json PATH] [--csv PATH]" : "")
+                  << " [--stats] [--probe-interval S] [--trace-out PATH]"
+                  << "\n";
         std::exit(0);
       } else if ((flag == "--json" || flag == "--csv") && !exports) {
         std::cerr << argv[0] << ": " << flag
@@ -97,6 +116,16 @@ struct ShimArgs {
         args.json_path = value(i, "--json");
       } else if (flag == "--csv") {
         args.csv_path = value(i, "--csv");
+      } else if (flag == "--stats") {
+        args.stats = true;
+      } else if (flag == "--probe-interval") {
+        args.probe_interval_s = parse_double(i, "--probe-interval");
+        if (!(args.probe_interval_s > 0.0)) {
+          std::cerr << argv[0] << ": --probe-interval must be > 0\n";
+          std::exit(2);
+        }
+      } else if (flag == "--trace-out") {
+        args.trace_out = value(i, "--trace-out");
       } else {
         std::cerr << argv[0] << ": unknown flag '" << flag
                   << "' (try --help)\n";
@@ -148,6 +177,7 @@ int bench_shim_main(const char* experiment_id, int argc, char** argv) {
   options.only = {experiment->id};
   options.threads = args.threads.value_or(0);
   options.human = &std::cout;
+  options.obs = args.obs_value();
   if (args.overrides_trace()) {
     options.trace_override = [&args](api::TraceSpec& spec) {
       if (args.seed) spec.seed = *args.seed;
@@ -165,6 +195,11 @@ int bench_shim_main(const char* experiment_id, int argc, char** argv) {
     return 2;
   }
   const EntryResult& result = report.entries.front();
+
+  if (args.stats) {
+    std::cout << "# obs stats (merged registry):\n";
+    obs::write_stats_text(std::cout);
+  }
 
   if (args.overrides_trace()) {
     std::cout << "# expected-value check skipped: trace overridden "

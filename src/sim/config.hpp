@@ -13,6 +13,10 @@
 #include "storage/calibration.hpp"
 #include "trace/records.hpp"
 
+namespace cloudcr::obs {
+class TraceWriter;
+}
+
 namespace cloudcr::sim {
 
 /// Where tasks place their checkpoints.
@@ -55,6 +59,21 @@ struct SimConfig {
   /// admits every job the instant it arrives, bit-identical to the engine
   /// before the scheduling stage existed.
   const sched::SchedulerPolicy* scheduler = nullptr;
+
+  /// Simulated seconds between observability probe samples into
+  /// SimResult::probes; 0 disables probing. Sampling observes the state
+  /// just before each tick without adding engine events, so enabling it
+  /// never changes simulation results.
+  double probe_interval_s = 0.0;
+
+  /// Collect the obs counter registry for this run (only effective in a
+  /// build with the instrumentation hooks compiled in, -DCLOUDCR_OBS=ON).
+  bool collect_stats = false;
+
+  /// Optional dual-clock trace writer (borrowed, must outlive the run; the
+  /// ScenarioRunner owns it). Null = tracing off. Ignored — with a stderr
+  /// notice at the api layer — when the hooks are compiled out.
+  obs::TraceWriter* tracer = nullptr;
 };
 
 /// Supplies the failure statistics (MNOF/MTBF) a task's controller consumes;

@@ -75,12 +75,21 @@ class Engine {
     return queue_.size();
   }
 
+  /// Calendar-queue rebuilds since the last reset() (observability).
+  [[nodiscard]] std::uint64_t queue_rebuilds() const noexcept {
+    return queue_.rebuilds();
+  }
+
   /// Rewinds the clock to zero and drops pending events; queue capacity is
   /// retained, so a pooled engine replays traces without reallocating.
   void reset() noexcept {
     queue_.clear();
     now_ = 0.0;
   }
+
+  /// Restores the just-constructed calendar tuning (see
+  /// EventQueue::reset_tuning). Only meaningful on an empty queue.
+  void reset_queue_tuning() noexcept { queue_.reset_tuning(); }
 
   /// Pre-sizes the queue for `n` concurrent events.
   void reserve(std::size_t n) { queue_.reserve(n); }

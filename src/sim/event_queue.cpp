@@ -31,6 +31,7 @@ void EventQueue::locate_min() noexcept {
 }
 
 void EventQueue::rebuild(std::size_t n_buckets) {
+  ++rebuilds_;
   // Collect the surviving entries and estimate the typical spacing between
   // *consecutive* events from a sorted sample — the bucket width that keeps
   // expected occupancy at O(1). Medians resist the skew of a few far-future
@@ -107,7 +108,17 @@ void EventQueue::reserve(std::size_t n) {
   scratch_.reserve(n);
 }
 
+void EventQueue::reset_tuning() noexcept {
+  buckets_.resize(kMinBuckets);
+  width_ = 1.0;
+  inv_width_ = 1.0;
+  cur_window_ = 0;
+  inserts_since_rebuild_ = 0;
+  sparse_pops_since_rebuild_ = 0;
+}
+
 void EventQueue::clear() noexcept {
+  rebuilds_ = 0;
   for (Bucket& b : buckets_) b.clear();
   resident_ = 0;
   cur_window_ = 0;

@@ -213,6 +213,20 @@ class EventQueue {
   /// Drops every pending event; capacity is retained for reuse.
   void clear() noexcept;
 
+  /// Calendar rebuilds (grow/shrink/re-tune) since construction or the
+  /// last clear(). Observability accounting; not part of queue semantics.
+  [[nodiscard]] std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+
+  /// Restores the just-constructed bucket tuning. clear() deliberately
+  /// keeps the learned bucket count and width so a pooled queue replays
+  /// the next trace without re-growing — which makes the per-run rebuild
+  /// count depend on what the workspace ran before. Instrumented runs
+  /// reset tuning first so `sim.queue_rebuilds` is a pure function of the
+  /// spec regardless of how a batch was partitioned across workers (pop
+  /// order never depends on tuning, so results are unaffected either
+  /// way). Precondition: the queue is empty.
+  void reset_tuning() noexcept;
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   static constexpr std::size_t kMinBuckets = 16;   // power of two
@@ -351,6 +365,8 @@ class EventQueue {
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  // Cold accounting last: keeps the hot scan/slot fields' layout intact.
+  std::uint64_t rebuilds_ = 0;    ///< lifetime rebuild count (observability)
 };
 
 }  // namespace cloudcr::sim

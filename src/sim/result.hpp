@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "metrics/wpr.hpp"
+#include "obs/probe.hpp"
 
 namespace cloudcr::sim {
 
@@ -26,6 +27,11 @@ struct SimResult {
   double total_sched_wait_s = 0.0;   ///< summed scheduler hold time of jobs
   std::size_t backfilled_jobs = 0;   ///< jobs released ahead of an earlier one
   std::size_t preempted_tasks = 0;   ///< task evictions by the scheduler
+
+  /// Time-series probe samples, one per SimConfig::probe_interval_s of
+  /// simulated time; empty unless probing was enabled. Purely additive:
+  /// every other field is bit-identical with probing on or off.
+  std::vector<obs::ProbeSample> probes;
 
   [[nodiscard]] double average_wpr() const {
     return metrics::average_wpr(outcomes);

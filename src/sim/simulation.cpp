@@ -1,9 +1,13 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace_writer.hpp"
 
 namespace cloudcr::sim {
 
@@ -35,6 +39,10 @@ void Simulation::begin_run() {
   // Reset every pooled component to its just-constructed state, so a reused
   // workspace (or a second run() call) is bit-identical to a fresh engine.
   engine_.reset();
+  // Stats runs restart from pristine calendar tuning so tuning counters
+  // (sim.queue_rebuilds) are spec-deterministic — a pooled queue otherwise
+  // carries the previous run's bucket layout into this run's counts.
+  CLOUDCR_OBS_STMT(if (config_.collect_stats) engine_.reset_queue_tuning());
   tasks_.clear();
   ws_.jobs.clear();
   ws_.pending.clear();
@@ -65,11 +73,32 @@ void Simulation::begin_run() {
   sched_in_pump_ = false;
   sched_pump_again_ = false;
   sched_wake_event_ = TaskTable::kNoEvent;
+
+  next_probe_s_ = config_.probe_interval_s;
+  probe_running_tasks_ = 0;
+  probe_active_jobs_ = 0;
+  probe_wpr_sum_ = 0.0;
+  probe_wpr_n_ = 0;
+#if CLOUDCR_OBS_ENABLED
+  tally_ = ObsTally{};
+  trace_task_start_.clear();
+  trace_vm_start_.clear();
+#endif
 }
 
 SimResult Simulation::end_run() {
+#if CLOUDCR_OBS_ENABLED
+  const auto obs_drain_t0 = std::chrono::steady_clock::now();
+#endif
+  if (config_.probe_interval_s > 0.0) drain_probes();
   result_.events_dispatched += engine_.run();
   result_.makespan_s = engine_.now();
+#if CLOUDCR_OBS_ENABLED
+  if (config_.tracer != nullptr) {
+    config_.tracer->host_span("drain", obs_drain_t0,
+                              std::chrono::steady_clock::now());
+  }
+#endif
   // Finished jobs accumulated their totals in finish_job (their rows may
   // already be recycled); whatever is still active never finished.
   for (const auto& job : ws_.jobs) {
@@ -82,8 +111,134 @@ SimResult Simulation::end_run() {
       result_.total_failures += acct.failures;
     }
   }
+  CLOUDCR_OBS_STMT(flush_stats());
   return std::move(result_);
 }
+
+// -- observability ------------------------------------------------------------
+
+void Simulation::pump_probes_before(double t_stop) {
+  // Chunk the drain-to-next-arrival at probe ticks. Chunked dispatch pops
+  // exactly the events a monolithic run_until_before(t_stop) would, in the
+  // same order, so probing never changes results — samples just observe the
+  // state between the last event before a tick and the first at/after it.
+  while (next_probe_s_ < t_stop) {
+    result_.events_dispatched += engine_.run_until_before(next_probe_s_);
+    take_probe(next_probe_s_);
+    next_probe_s_ += config_.probe_interval_s;
+  }
+}
+
+void Simulation::drain_probes() {
+  // Same chunking across the final drain; stop sampling once the engine has
+  // nothing left (the tail would be all-idle samples).
+  while (!engine_.idle()) {
+    // Ticks the clock already passed (events at an admitted arrival beyond
+    // them ran first) are skipped instead of emitting stale samples.
+    while (next_probe_s_ <= engine_.now()) {
+      next_probe_s_ += config_.probe_interval_s;
+    }
+    result_.events_dispatched += engine_.run_until_before(next_probe_s_);
+    if (engine_.idle()) break;
+    take_probe(next_probe_s_);
+    next_probe_s_ += config_.probe_interval_s;
+  }
+}
+
+void Simulation::take_probe(double t_s) {
+  obs::ProbeSample p;
+  p.t_s = t_s;
+  p.cluster_util =
+      total_capacity_mb_ > 0.0
+          ? 1.0 - cluster_.total_available_mb() / total_capacity_mb_
+          : 0.0;
+  p.pending_tasks = ws_.pending.size();
+  p.running_tasks = probe_running_tasks_;
+  p.active_jobs = probe_active_jobs_;
+  p.sched_held_jobs = sched_queue_.size();
+  p.completed_jobs = result_.outcomes.size();
+  p.running_wpr =
+      probe_wpr_n_ > 0 ? probe_wpr_sum_ / static_cast<double>(probe_wpr_n_)
+                       : 0.0;
+  p.task_rows_high_water = tasks_.size();
+  result_.probes.push_back(p);
+}
+
+#if CLOUDCR_OBS_ENABLED
+void Simulation::flush_stats() {
+  if (!config_.collect_stats) return;
+  namespace st = obs::st;
+  st::sim_events_popped.add(result_.events_dispatched);
+  st::sim_queue_rebuilds.add(engine_.queue_rebuilds());
+  st::sim_placement_scans.add(tally_.placement_sweeps);
+  st::sim_rows_recycled.add(tally_.rows_recycled);
+  st::sim_ckpt_runs_compressed.add(tally_.ckpt_compressed);
+  st::sim_ckpt_events_replayed.add(tally_.ckpt_evented);
+  st::sched_decide_calls.add(tally_.sched_decides);
+  st::sched_wakeups.add(tally_.sched_wakeups);
+  st::ingest_stream_batches.add(tally_.stream_batches);
+  st::storage_opslab_high_water.add(local_backend_->ops_high_water());
+  st::storage_opslab_high_water.add(shared_backend_->ops_high_water());
+}
+
+namespace {
+/// Span name of an on-VM phase; null for phases that carry no span.
+const char* phase_span_name(TaskPhase phase) {
+  switch (phase) {
+    case TaskPhase::kExecuting:
+      return "run";
+    case TaskPhase::kCheckpointing:
+      return "ckpt";
+    case TaskPhase::kRestoring:
+      return "restore";
+    default:
+      return nullptr;
+  }
+}
+}  // namespace
+
+void Simulation::trace_begin_span(std::size_t task_idx, double t,
+                                  bool vm_too) {
+  if (config_.tracer == nullptr) return;
+  if (trace_task_start_.size() < tasks_.size()) {
+    trace_task_start_.resize(tasks_.size(), 0.0);
+    trace_vm_start_.resize(tasks_.size(), 0.0);
+  }
+  trace_task_start_[task_idx] = t;
+  if (vm_too) trace_vm_start_[task_idx] = t;
+}
+
+void Simulation::trace_end_span(std::size_t task_idx, double t_end) {
+  if (config_.tracer == nullptr || trace_task_start_.size() <= task_idx) {
+    return;
+  }
+  const char* name = phase_span_name(tasks_.hot[task_idx].phase);
+  if (name == nullptr) return;
+  config_.tracer->sim_span(obs::kJobPid, ws_.jobs[tasks_.job[task_idx]].id,
+                           name, obs::kCatTask, trace_task_start_[task_idx],
+                           t_end);
+}
+
+void Simulation::trace_instant(std::size_t task_idx, const char* name) {
+  if (config_.tracer == nullptr) return;
+  config_.tracer->sim_instant(obs::kJobPid,
+                              ws_.jobs[tasks_.job[task_idx]].id, name,
+                              obs::kCatTask, engine_.now());
+}
+
+void Simulation::trace_vm_leave(std::size_t task_idx) {
+  if (config_.tracer == nullptr || trace_vm_start_.size() <= task_idx ||
+      tasks_.vm[task_idx] == TaskTable::kNoVm) {
+    return;
+  }
+  const JobState& job = ws_.jobs[tasks_.job[task_idx]];
+  const std::string name = "job " + std::to_string(job.id) + " task " +
+                           std::to_string(task_idx - job.first_task);
+  config_.tracer->sim_span(
+      obs::kVmPid, static_cast<std::uint64_t>(tasks_.vm[task_idx]), name,
+      obs::kCatVm, trace_vm_start_[task_idx], engine_.now());
+}
+#endif  // CLOUDCR_OBS_ENABLED
 
 std::uint32_t Simulation::alloc_job_slot() {
   if (!ws_.free_jobs.empty()) {
@@ -113,6 +268,7 @@ void Simulation::retire_job(std::uint32_t job_slot) {
   if (job.n_tasks > 0) {
     ws_.free_spans[job.n_tasks].push_back(
         static_cast<std::uint32_t>(job.first_task));
+    CLOUDCR_OBS_STMT(tally_.rows_recycled += job.n_tasks);
   }
   job.owned.clear();  // releases each record's failure-date storage
   job.task_recs = nullptr;
@@ -147,6 +303,11 @@ void Simulation::admit_job(const trace::JobRecord& rec,
   // The arrival itself counts as one dispatched event, as it did when every
   // arrival was a queued engine event.
   ++result_.events_dispatched;
+  ++probe_active_jobs_;
+  CLOUDCR_OBS_STMT(if (config_.tracer != nullptr) {
+    config_.tracer->sim_instant(obs::kJobPid, job.id, "submit", obs::kCatJob,
+                                engine_.now());
+  });
   if (job.n_tasks == 0) return;
   if (!sched_active_) {
     on_job_arrival(slot);
@@ -187,13 +348,23 @@ SimResult Simulation::run(const trace::Trace& trace) {
         });
   }
 
+#if CLOUDCR_OBS_ENABLED
+  const auto obs_adm_t0 = std::chrono::steady_clock::now();
+#endif
   for (std::size_t j = 0; j < trace.jobs.size(); ++j) {
     const trace::JobRecord& rec =
         trace.jobs[sorted ? j : ws_.admission_order[j]];
+    if (config_.probe_interval_s > 0.0) pump_probes_before(rec.arrival_s);
     result_.events_dispatched += engine_.run_until_before(rec.arrival_s);
     engine_.advance_to(rec.arrival_s);
     admit_job(rec, nullptr);
   }
+#if CLOUDCR_OBS_ENABLED
+  if (config_.tracer != nullptr) {
+    config_.tracer->host_span("admission", obs_adm_t0,
+                              std::chrono::steady_clock::now());
+  }
+#endif
   return end_run();
 }
 
@@ -201,15 +372,26 @@ SimResult Simulation::run_stream(JobSource& source, std::size_t batch_jobs) {
   begin_run();
   release_rows_ = true;  // finish_job recycles rows, incl. in the final drain
   if (batch_jobs == 0) batch_jobs = 1;
+#if CLOUDCR_OBS_ENABLED
+  const auto obs_adm_t0 = std::chrono::steady_clock::now();
+#endif
   while (true) {
     ws_.chunk.clear();
     if (source.next_jobs(batch_jobs, ws_.chunk) == 0) break;
+    CLOUDCR_OBS_STMT(++tally_.stream_batches);
     for (auto& rec : ws_.chunk) {
+      if (config_.probe_interval_s > 0.0) pump_probes_before(rec.arrival_s);
       result_.events_dispatched += engine_.run_until_before(rec.arrival_s);
       engine_.advance_to(rec.arrival_s);
       admit_job(rec, &rec);
     }
   }
+#if CLOUDCR_OBS_ENABLED
+  if (config_.tracer != nullptr) {
+    config_.tracer->host_span("admission", obs_adm_t0,
+                              std::chrono::steady_clock::now());
+  }
+#endif
   SimResult result = end_run();
   release_rows_ = false;
   return result;
@@ -294,6 +476,7 @@ void Simulation::try_dispatch() {
   // host exclusion) can succeed.
   if (pending_min_mb_ > cluster_.max_available_mb()) return;
 
+  CLOUDCR_OBS_STMT(++tally_.placement_sweeps);
   std::size_t out = 0;
   double new_min = kInf;
   for (std::size_t i = 0; i < ws_.pending.size(); ++i) {
@@ -340,6 +523,8 @@ bool Simulation::dispatch(std::size_t task_idx) {
     tasks_.hot[task_idx].phase = TaskPhase::kExecuting;
   }
   arm(task_idx);
+  ++probe_running_tasks_;
+  CLOUDCR_OBS_STMT(trace_begin_span(task_idx, engine_.now(), true));
   return true;
 }
 
@@ -451,13 +636,17 @@ void Simulation::wake(std::size_t task_idx, Wakeup kind) {
 
 void Simulation::leave_vm(std::size_t task_idx) {
   if (tasks_.vm[task_idx] != TaskTable::kNoVm) {
+    CLOUDCR_OBS_STMT(trace_vm_leave(task_idx));
     cluster_.release(static_cast<VmId>(tasks_.vm[task_idx]),
                      tasks_.memory_mb[task_idx]);
     tasks_.vm[task_idx] = TaskTable::kNoVm;
+    --probe_running_tasks_;
   }
 }
 
 void Simulation::handle_kill(std::size_t task_idx) {
+  CLOUDCR_OBS_STMT(trace_end_span(task_idx, engine_.now()));
+  CLOUDCR_OBS_STMT(trace_instant(task_idx, "failure"));
   TaskAccounting& acct = tasks_.acct[task_idx];
   ++acct.failures;
   tasks_.advance_failure_cursor(task_idx);
@@ -536,12 +725,14 @@ void Simulation::handle_checkpoint_due(std::size_t task_idx) {
 
   while (true) {
     // -- the due transition (begin the write) -------------------------------
+    CLOUDCR_OBS_STMT(trace_end_span(task_idx, vt));  // the "run" span so far
     const auto ticket =
         backend->begin_priced(tasks_.ckpt_price[task_idx], host);
     ++acct.checkpoints;
     acct.checkpoint_cost_s += ticket.cost;
     tasks_.hot[task_idx].ckpt_progress_s = tasks_.hot[task_idx].progress_s;
     tasks_.hot[task_idx].phase = TaskPhase::kCheckpointing;
+    CLOUDCR_OBS_STMT(trace_begin_span(task_idx, vt, false));
     tasks_.hot[task_idx].phase_end_active =
         tasks_.hot[task_idx].active_s + ticket.cost;
 
@@ -571,6 +762,7 @@ void Simulation::handle_checkpoint_due(std::size_t task_idx) {
             ? tasks_.rec[task_idx]->priority_change_time - active0
             : kInf;
     if (!(done_delta < kill_delta && done_delta < prio_delta)) {
+      CLOUDCR_OBS_STMT(++tally_.ckpt_evented);
       arm_from(task_idx, vt);
       return;
     }
@@ -583,7 +775,10 @@ void Simulation::handle_checkpoint_due(std::size_t task_idx) {
     tasks_.hot[task_idx].last_sync_s = done_time;
     tasks_.hot[task_idx].saved_s = tasks_.hot[task_idx].ckpt_progress_s;
     tasks_.controller[task_idx]->on_checkpoint(tasks_.hot[task_idx].saved_s);
+    CLOUDCR_OBS_STMT(++tally_.ckpt_compressed);
+    CLOUDCR_OBS_STMT(trace_end_span(task_idx, done_time));  // the "ckpt" span
     tasks_.hot[task_idx].phase = TaskPhase::kExecuting;
+    CLOUDCR_OBS_STMT(trace_begin_span(task_idx, done_time, false));
     vt = done_time;
 
     // -- the post-checkpoint arm, against the virtual state -----------------
@@ -632,18 +827,23 @@ void Simulation::handle_checkpoint_due(std::size_t task_idx) {
 }
 
 void Simulation::handle_checkpoint_done(std::size_t task_idx) {
+  CLOUDCR_OBS_STMT(trace_end_span(task_idx, engine_.now()));
   tasks_.hot[task_idx].saved_s = tasks_.hot[task_idx].ckpt_progress_s;
   tasks_.controller[task_idx]->on_checkpoint(tasks_.hot[task_idx].saved_s);
   tasks_.hot[task_idx].phase = TaskPhase::kExecuting;
+  CLOUDCR_OBS_STMT(trace_begin_span(task_idx, engine_.now(), false));
   arm(task_idx);
 }
 
 void Simulation::handle_restore_done(std::size_t task_idx) {
+  CLOUDCR_OBS_STMT(trace_end_span(task_idx, engine_.now()));
   tasks_.hot[task_idx].phase = TaskPhase::kExecuting;
+  CLOUDCR_OBS_STMT(trace_begin_span(task_idx, engine_.now(), false));
   arm(task_idx);
 }
 
 void Simulation::handle_complete(std::size_t task_idx) {
+  CLOUDCR_OBS_STMT(trace_end_span(task_idx, engine_.now()));
   tasks_.hot[task_idx].progress_s = tasks_.length_s[task_idx];
   tasks_.hot[task_idx].phase = TaskPhase::kDone;
   tasks_.acct[task_idx].done_s = engine_.now();
@@ -697,6 +897,15 @@ void Simulation::finish_job(std::uint32_t job_slot) {
         std::max(out.max_task_length_s, tasks_.length_s[t]);
   }
   result_.outcomes.push_back(out);
+  // Running-average WPR for probe samples: same unfiltered mean as
+  // metrics::average_wpr over the completed prefix.
+  probe_wpr_sum_ += out.wpr();
+  ++probe_wpr_n_;
+  --probe_active_jobs_;
+  CLOUDCR_OBS_STMT(if (config_.tracer != nullptr) {
+    config_.tracer->sim_span(obs::kJobPid, job.id, "job", obs::kCatJob,
+                             job.arrival_s, engine_.now());
+  });
   if (release_rows_) retire_job(job_slot);
 
   if (sched_active_) {
@@ -782,6 +991,7 @@ void Simulation::sched_pump_once() {
   view.max_available_mb = cluster_.max_available_mb();
   view.total_capacity_mb = total_capacity_mb_;
   sched_decision_.clear();
+  CLOUDCR_OBS_STMT(++tally_.sched_decides);
   config_.scheduler->decide(view, sched_queue_, sched_running_,
                             sched_decision_);
 
@@ -809,6 +1019,10 @@ void Simulation::sched_pump_once() {
     const sched::PendingJob p = sched_queue_[pos];
     JobState& job = ws_.jobs[p.slot];
     job.sched_wait_s = now - p.arrival_s;
+    CLOUDCR_OBS_STMT(if (config_.tracer != nullptr && job.sched_wait_s > 0.0) {
+      config_.tracer->sim_span(obs::kJobPid, p.id, "sched wait", obs::kCatJob,
+                               p.arrival_s, now);
+    });
     job.backfilled = any_held;  // passed at least one still-held earlier job
     sched::RunningJob r;
     r.id = p.id;
@@ -837,6 +1051,7 @@ void Simulation::sched_pump_once() {
   if (!sched_queue_.empty() && std::isfinite(wake) && wake > now) {
     sched_wake_event_ = engine_.schedule_at(wake, [this] {
       sched_wake_event_ = TaskTable::kNoEvent;
+      CLOUDCR_OBS_STMT(++tally_.sched_wakeups);
       sched_pump();
     });
   }
@@ -899,6 +1114,8 @@ void Simulation::preempt_job_tasks(std::uint32_t job_slot,
     }
     sync_clock(t);
     cancel_pending_event(t);
+    CLOUDCR_OBS_STMT(trace_end_span(t, engine_.now()));
+    CLOUDCR_OBS_STMT(trace_instant(t, "evict"));
     TaskAccounting& acct = tasks_.acct[t];
     const double unspent = std::max(
         0.0, tasks_.hot[t].phase_end_active - tasks_.hot[t].active_s);

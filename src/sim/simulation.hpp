@@ -35,6 +35,7 @@
 
 #include "core/controller.hpp"
 #include "core/policy.hpp"
+#include "obs/hooks.hpp"
 #include "sim/cluster.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
@@ -222,6 +223,46 @@ class Simulation {
   /// into sched_stash_, rolling progress back per `mode`.
   void preempt_job_tasks(std::uint32_t job_slot, sched::PreemptMode mode);
 
+  // -- observability ----------------------------------------------------------
+  // Probe sampling is always compiled: it rides the admission-loop boundary
+  // (pump_probes_before / drain_probes chunk the existing engine drains at
+  // probe ticks), so it adds no engine events and cannot change results.
+  // Counter tallies and tracer emission are compiled out with the hooks
+  // (obs/hooks.hpp) unless -DCLOUDCR_OBS=ON.
+  /// Dispatches events and takes probe samples up to (excluding) `t_stop`,
+  /// accumulating dispatched-event counts into the result.
+  void pump_probes_before(double t_stop);
+  /// Interleaves probe ticks with the final engine drain.
+  void drain_probes();
+  /// Snapshots cluster/queue/job state at simulated time `t_s`.
+  void take_probe(double t_s);
+
+#if CLOUDCR_OBS_ENABLED
+  /// Per-run event tallies, flushed into the process-wide obs registry at
+  /// end_run when SimConfig::collect_stats is set. Deterministic quantities
+  /// only, so serial and threaded batch runs merge to identical registries.
+  struct ObsTally {
+    std::uint64_t placement_sweeps = 0;
+    std::uint64_t rows_recycled = 0;
+    std::uint64_t ckpt_compressed = 0;  ///< done transitions replayed inline
+    std::uint64_t ckpt_evented = 0;     ///< done transitions via engine event
+    std::uint64_t sched_decides = 0;
+    std::uint64_t sched_wakeups = 0;
+    std::uint64_t stream_batches = 0;
+  };
+  void flush_stats();
+  /// Records the start of the task's current phase span (and VM residency
+  /// when `vm_too`), growing the side arrays to the task table on demand.
+  void trace_begin_span(std::size_t task_idx, double t, bool vm_too);
+  /// Emits the task's current phase span ([recorded start, t_end]) on its
+  /// job track; no-op when the phase has no span name.
+  void trace_end_span(std::size_t task_idx, double t_end);
+  /// Emits an instant marker (failure / evict) on the task's job track.
+  void trace_instant(std::size_t task_idx, const char* name);
+  /// Emits the VM-residency span ending now on the VM track.
+  void trace_vm_leave(std::size_t task_idx);
+#endif
+
   // -- helpers ---------------------------------------------------------------
   /// Accrues active (and productive) time since the last sync.
   void sync_clock(std::size_t task_idx);
@@ -267,6 +308,18 @@ class Simulation {
   bool sched_in_pump_ = false;
   bool sched_pump_again_ = false;
   EventId sched_wake_event_ = TaskTable::kNoEvent;
+
+  // -- observability state ----------------------------------------------------
+  double next_probe_s_ = 0.0;           ///< next probe tick (probing only)
+  std::uint64_t probe_running_tasks_ = 0;  ///< tasks currently on a VM
+  std::uint64_t probe_active_jobs_ = 0;    ///< admitted, not yet finished
+  double probe_wpr_sum_ = 0.0;  ///< running sum of completed jobs' WPR
+  std::uint64_t probe_wpr_n_ = 0;
+#if CLOUDCR_OBS_ENABLED
+  ObsTally tally_;
+  std::vector<double> trace_task_start_;  ///< phase-span start per task row
+  std::vector<double> trace_vm_start_;    ///< VM-residency start per task row
+#endif
 
   SimResult result_;
 };

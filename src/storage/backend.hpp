@@ -67,6 +67,7 @@ class OpSlab {
     }
     slots_[slot].payload = payload;
     ++live_;
+    if (live_ > high_water_) high_water_ = live_;
     return (static_cast<std::uint64_t>(slot) << 32) | slots_[slot].gen;
   }
 
@@ -86,6 +87,9 @@ class OpSlab {
 
   [[nodiscard]] std::size_t active() const noexcept { return live_; }
 
+  /// Most ops ever live at once (observability high-water mark).
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
   static constexpr std::uint32_t kNone = 0xffffffffu;
 
  private:
@@ -97,6 +101,7 @@ class OpSlab {
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNone;
   std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 /// A checkpoint storage device as seen by the simulator.
@@ -142,6 +147,9 @@ class StorageBackend {
   /// Number of checkpoint ops currently in flight (across all servers).
   [[nodiscard]] virtual std::size_t active_ops() const noexcept = 0;
 
+  /// Most ops ever in flight at once (observability high-water mark).
+  [[nodiscard]] virtual std::size_t ops_high_water() const noexcept = 0;
+
   /// Migration type implied by this device.
   [[nodiscard]] MigrationType migration_type() const noexcept {
     return migration_for_device(kind());
@@ -172,6 +180,9 @@ class LocalRamdiskBackend final : public StorageBackend {
   [[nodiscard]] std::size_t active_ops() const noexcept override {
     return ops_.active();
   }
+  [[nodiscard]] std::size_t ops_high_water() const noexcept override {
+    return ops_.high_water();
+  }
 
  private:
   stats::Rng* rng_;
@@ -195,6 +206,9 @@ class SharedNfsBackend final : public StorageBackend {
   void end_checkpoint(std::uint64_t op_id) override;
   [[nodiscard]] std::size_t active_ops() const noexcept override {
     return ops_.active();
+  }
+  [[nodiscard]] std::size_t ops_high_water() const noexcept override {
+    return ops_.high_water();
   }
 
  private:
@@ -223,6 +237,9 @@ class DmNfsBackend final : public StorageBackend {
   void end_checkpoint(std::uint64_t op_id) override;
   [[nodiscard]] std::size_t active_ops() const noexcept override {
     return ops_.active();
+  }
+  [[nodiscard]] std::size_t ops_high_water() const noexcept override {
+    return ops_.high_water();
   }
 
   [[nodiscard]] std::size_t server_count() const noexcept {

@@ -14,6 +14,7 @@
 #include "api/batch.hpp"
 #include "api/runner.hpp"
 #include "metrics/export.hpp"
+#include "obs/stats.hpp"
 
 namespace cloudcr {
 namespace {
@@ -114,6 +115,51 @@ TEST_P(ExecutionModeDeterminism, SerialThreadedAndPooledAgreeByteForByte) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecutionModeDeterminism,
                          ::testing::Values(11u, 12u, 13u));
+
+// Observability grid point: instrumentation must be invisible to results,
+// and the merged counter registry must itself be execution-mode
+// deterministic — per-run tallies flush order-independent sums/maxes, so
+// how BatchRunner spread the specs across workers cannot show. Timers are
+// host time and stay out of the compared rendering.
+TEST(ObservabilityDeterminism, ProbesAndStatsNeverChangeResults) {
+  auto specs = grid(11u);
+  const api::BatchOptions opts;
+  const std::string plain = render(api::BatchRunner(opts).run(specs));
+  for (auto& spec : specs) {
+    spec.obs.stats = true;
+    spec.obs.probe_interval_s = 300.0;
+  }
+  auto artifacts = api::BatchRunner(opts).run(specs);
+  for (auto& a : artifacts) {
+    // render() ignores probes; drop them so the comparison pins that every
+    // *other* field is byte-identical under instrumentation.
+    a.result.probes.clear();
+    a.spec.obs = obs::ObsSpec{};
+  }
+  EXPECT_EQ(plain, render(artifacts))
+      << "collecting stats/probes changed simulation results";
+}
+
+TEST(ObservabilityDeterminism, MergedRegistryIsThreadCountIndependent) {
+  auto specs = grid(12u);
+  for (auto& spec : specs) spec.obs.stats = true;
+
+  const auto registry_text = [&specs](std::size_t threads) {
+    obs::reset_stats();
+    api::BatchOptions opts;
+    opts.threads = threads;
+    (void)api::BatchRunner(opts).run(specs);
+    std::ostringstream os;
+    obs::write_stats_text(os, /*include_timers=*/false);
+    return os.str();
+  };
+
+  const std::string serial = registry_text(1);
+  const std::string threaded = registry_text(4);
+  obs::reset_stats();
+  EXPECT_EQ(serial, threaded)
+      << "merged counter registry depends on the worker partition";
+}
 
 }  // namespace
 }  // namespace cloudcr

@@ -141,5 +141,77 @@ TEST(PredictorRegistry, CustomRegistrationPlugsIn) {
   EXPECT_DOUBLE_EQ(stats.mtbf_s, 300.0);
 }
 
+// Registry lookups driven by a spec field report the scenario key AND the
+// offending value before the registry's own diagnostic, so a bad key in a
+// 40-scenario batch is attributable without a debugger. The exact prefix
+// shape ("scenario key '<key>' = '<value>': ") is a CLI contract.
+class RunKeyContext : public ::testing::Test {
+ protected:
+  static api::ScenarioSpec tiny_spec() {
+    api::ScenarioSpec spec;
+    spec.name = "key_context";
+    spec.trace.horizon_s = 60.0;
+    return spec;
+  }
+
+  static std::string run_error(const api::ScenarioSpec& spec) {
+    try {
+      (void)api::run_scenario(spec);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    ADD_FAILURE() << "expected std::invalid_argument";
+    return "";
+  }
+};
+
+TEST_F(RunKeyContext, PolicyErrorsNameKeyAndValue) {
+  auto spec = tiny_spec();
+  spec.policy = "no_such_policy";
+  const std::string what = run_error(spec);
+  EXPECT_EQ(what.find("scenario key 'policy' = 'no_such_policy': "), 0u)
+      << what;
+}
+
+TEST_F(RunKeyContext, SchedErrorsNameKeyAndValue) {
+  auto spec = tiny_spec();
+  spec.sched = "backfill:bogus";
+  const std::string what = run_error(spec);
+  EXPECT_EQ(what.find("scenario key 'sched' = 'backfill:bogus': "), 0u)
+      << what;
+}
+
+TEST_F(RunKeyContext, PredictorErrorsNameKeyAndValue) {
+  auto spec = tiny_spec();
+  spec.predictor = "grouped:not_a_number";
+  const std::string what = run_error(spec);
+  EXPECT_EQ(what.find("scenario key 'predictor' = 'grouped:not_a_number': "),
+            0u)
+      << what;
+}
+
+TEST_F(RunKeyContext, TraceSourceErrorsNameKeyAndValue) {
+  auto spec = tiny_spec();
+  spec.trace.source = "carrier_pigeon:coop.log";
+  const std::string what = run_error(spec);
+  EXPECT_EQ(
+      what.find("scenario key 'trace.source' = 'carrier_pigeon:coop.log': "),
+      0u)
+      << what;
+}
+
+TEST_F(RunKeyContext, StreamedRunReportsTheSameContext) {
+  auto spec = tiny_spec();
+  spec.predictor = "no_such_predictor";
+  std::string what;
+  try {
+    (void)api::ScenarioRunner(spec).run_streamed();
+  } catch (const std::invalid_argument& e) {
+    what = e.what();
+  }
+  EXPECT_EQ(what.find("scenario key 'predictor' = 'no_such_predictor': "), 0u)
+      << what;
+}
+
 }  // namespace
 }  // namespace cloudcr::api

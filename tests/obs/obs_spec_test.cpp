@@ -1,0 +1,130 @@
+// ObsSpec: the obs= value grammar — serialize/parse round trips, parse
+// diagnostics, and the integration with the ScenarioSpec key-context error
+// shape ("scenario key '<key>' = '<value>': ...") the CLI surfaces pin.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "api/scenario.hpp"
+#include "obs/spec.hpp"
+
+namespace cloudcr::obs {
+namespace {
+
+ObsSpec full_spec() {
+  ObsSpec spec;
+  spec.stats = true;
+  spec.probe_interval_s = 3600.5;
+  spec.trace_path = "out/{name}.trace.json";
+  spec.trace_window_begin_s = 86400.0;
+  spec.trace_window_end_s = 172800.25;
+  spec.trace_categories = "job|vm";
+  spec.trace_ring = 4096;
+  return spec;
+}
+
+TEST(ObsSpec, DefaultSerializesEmptyAndIsDisabled) {
+  const ObsSpec spec;
+  EXPECT_EQ(serialize_obs(spec), "");
+  EXPECT_EQ(parse_obs(""), spec);
+  EXPECT_FALSE(enabled(spec));
+}
+
+TEST(ObsSpec, RoundTripsEveryField) {
+  const ObsSpec spec = full_spec();
+  EXPECT_TRUE(enabled(spec));
+  const ObsSpec parsed = parse_obs(serialize_obs(spec));
+  EXPECT_EQ(parsed, spec);
+  // Spot-check against a vacuous operator==.
+  EXPECT_TRUE(parsed.stats);
+  EXPECT_DOUBLE_EQ(parsed.probe_interval_s, 3600.5);
+  EXPECT_EQ(parsed.trace_path, "out/{name}.trace.json");
+  EXPECT_EQ(parsed.trace_categories, "job|vm");
+  EXPECT_EQ(parsed.trace_ring, 4096u);
+}
+
+TEST(ObsSpec, RoundTripsInfiniteWindowEnd) {
+  ObsSpec spec;
+  spec.trace_path = "t.json";
+  spec.trace_window_begin_s = 100.0;
+  // End stays the default infinity: serialized as "window:100-inf".
+  const std::string text = serialize_obs(spec);
+  EXPECT_NE(text.find("window:100-inf"), std::string::npos);
+  const ObsSpec parsed = parse_obs(text);
+  EXPECT_EQ(parsed, spec);
+  EXPECT_TRUE(std::isinf(parsed.trace_window_end_s));
+}
+
+TEST(ObsSpec, ParsesEachFeatureIndependently) {
+  EXPECT_TRUE(parse_obs("stats").stats);
+  EXPECT_DOUBLE_EQ(parse_obs("probe:60").probe_interval_s, 60.0);
+  EXPECT_EQ(parse_obs("trace:a.json").trace_path, "a.json");
+  EXPECT_EQ(parse_obs("ring:8").trace_ring, 8u);
+  const ObsSpec windowed = parse_obs("window:5-10");
+  EXPECT_DOUBLE_EQ(windowed.trace_window_begin_s, 5.0);
+  EXPECT_DOUBLE_EQ(windowed.trace_window_end_s, 10.0);
+}
+
+TEST(ObsSpec, RejectsMalformedValues) {
+  EXPECT_THROW(parse_obs("bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("stats+bogus:1"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("probe:abc"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("probe:0"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("probe:-5"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("trace:"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("window:10"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("window:10-5"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("cats:job|bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("ring:0"), std::invalid_argument);
+  EXPECT_THROW(parse_obs("ring:1.5"), std::invalid_argument);
+  // Unknown features name themselves and list the known grammar.
+  try {
+    parse_obs("stats+bogus:1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'bogus:1'"), std::string::npos);
+    EXPECT_NE(what.find("stats, probe:<s>"), std::string::npos);
+  }
+}
+
+TEST(ObsSpec, ScenarioSpecCarriesAndRoundTripsObs) {
+  api::ScenarioSpec spec;
+  spec.name = "obs_roundtrip";
+  spec.obs = full_spec();
+  const api::ScenarioSpec parsed = api::parse_scenario(api::serialize(spec));
+  EXPECT_EQ(parsed, spec);
+  EXPECT_EQ(parsed.obs, spec.obs);
+}
+
+TEST(ObsSpec, ScenarioParseErrorNamesKeyAndValue) {
+  // The registry error-context contract: a bad obs= value reports the
+  // scenario key AND the offending value, then the underlying diagnostic.
+  try {
+    api::parse_scenario("obs=probe:never\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scenario key 'obs' = 'probe:never':"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("malformed number 'never'"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ObsSpec, ObsIsLoweredIntoSimConfig) {
+  api::ScenarioSpec spec;
+  spec.obs.stats = true;
+  spec.obs.probe_interval_s = 120.0;
+  const sim::SimConfig cfg = api::to_sim_config(spec);
+  EXPECT_TRUE(cfg.collect_stats);
+  EXPECT_DOUBLE_EQ(cfg.probe_interval_s, 120.0);
+}
+
+}  // namespace
+}  // namespace cloudcr::obs
