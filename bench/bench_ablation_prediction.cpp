@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   // whole sweep (the sweeps vary only the length predictor).
   const auto trace = api::make_replay_trace(tspec);
   const auto stats_pred = api::PredictorRegistry::instance().make(
-      "grouped", api::PredictorInputs{trace});
+      "grouped", trace);
   std::cout << "one-day replay set: " << trace.job_count() << " jobs\n";
 
   metrics::print_banner(std::cout,

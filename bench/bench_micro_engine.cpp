@@ -77,7 +77,7 @@ void BM_HourOfCloudSimulation(benchmark::State& state) {
   api::RunHooks hooks;
   hooks.replay_trace = &trace;
   hooks.predictor_override = api::PredictorRegistry::instance().make(
-      "grouped", api::PredictorInputs{trace});
+      "grouped", trace);
   for (auto _ : state) {
     benchmark::DoNotOptimize(runner.run(hooks).result.outcomes.size());
   }

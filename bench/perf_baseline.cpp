@@ -28,6 +28,12 @@
 //                                              hard peak-RSS ceiling (exit 1
 //                                              when exceeded) — the CI
 //                                              month-scale smoke job
+//   ... --predictor KEY                        month predictor (default
+//                                              "oracle"; "custom_grouped" is
+//                                              registered here through the
+//                                              public observation API — the
+//                                              CI gate that proves custom
+//                                              predictors stay memory-bounded)
 //   ... --json OUT.json                        schema cloudcr-month-scale/1
 //   ... --obs SPEC                             instrument the month run with
 //                                              an obs= value (ScenarioSpec
@@ -50,6 +56,7 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -59,6 +66,7 @@
 #include "api/batch.hpp"
 #include "api/registry.hpp"
 #include "api/runner.hpp"
+#include "core/estimator.hpp"
 #include "ingest/google_source.hpp"
 #include "ingest/registry.hpp"
 #include "metrics/export.hpp"
@@ -68,6 +76,7 @@
 #include "sched/policies.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/predictors.hpp"
 #include "trace/generator.hpp"
 
 namespace {
@@ -90,11 +99,37 @@ api::ScenarioSpec month_spec() {
   spec.trace.arrival_rate = 0.116;
   spec.trace.sample_job_filter = false;
   spec.trace.long_service_fraction = 0.0;
-  // The oracle predictor reads per-task records only: estimation needs no
-  // trace, materialized or streamed, so the memory comparison below is
-  // purely replay-side.
+  // Default predictor: the oracle reads per-task records only, so its
+  // estimation needs no trace read at all and the memory comparison is
+  // purely replay-side. --predictor swaps in an estimating predictor
+  // (grouped, submission, custom_grouped) to exercise the estimation pass
+  // too — the streamed footprint must stay bounded either way.
   spec.predictor = "oracle";
   return spec;
+}
+
+/// A month-capable predictor registered through the *public* observation
+/// API only (no registry internals): aggregates the estimation view into a
+/// GroupedEstimator one task at a time. The CI month-scale gate streams
+/// with it to prove custom registrations can never reintroduce an O(trace)
+/// estimation path.
+void register_custom_grouped() {
+  class CustomGroupedBuilder final : public api::PredictorBuilder {
+   public:
+    void observe_task(const trace::TaskRecord& task) override {
+      sim::observe_task(estimator_, task);
+    }
+    [[nodiscard]] sim::StatsPredictor finalize() override {
+      return sim::make_grouped_predictor(std::move(estimator_));
+    }
+
+   private:
+    core::GroupedEstimator estimator_{trace::kNoLengthLimit};
+  };
+  api::PredictorRegistry::instance().add(
+      "custom_grouped", [](const std::string&) -> api::PredictorBuilderPtr {
+        return std::make_unique<CustomGroupedBuilder>();
+      });
 }
 
 /// --month-scale MODE: replays the month spec through the requested path
@@ -104,8 +139,9 @@ api::ScenarioSpec month_spec() {
 /// month-scale smoke gate. Runs one mode per process: peak RSS is
 /// monotone, so streamed-after-materialized would inherit the larger
 /// footprint.
-int run_month_scale(const std::string& mode, double max_rss_mb,
-                    const std::string& json_path, const std::string& obs_value,
+int run_month_scale(const std::string& mode, const std::string& predictor,
+                    double max_rss_mb, const std::string& json_path,
+                    const std::string& obs_value,
                     const std::string& probe_csv_path) {
   if (mode != "streamed" && mode != "materialized") {
     std::cerr << "--month-scale wants 'streamed' or 'materialized', got '"
@@ -113,6 +149,7 @@ int run_month_scale(const std::string& mode, double max_rss_mb,
     return 2;
   }
   api::ScenarioSpec spec = month_spec();
+  if (!predictor.empty()) spec.predictor = predictor;
   if (!obs_value.empty()) {
     try {
       spec.obs = obs::parse_obs(obs_value);
@@ -129,7 +166,7 @@ int run_month_scale(const std::string& mode, double max_rss_mb,
   const auto start = Clock::now();
   const api::RunArtifact artifact = mode == "streamed"
                                         ? runner.run_streamed(hooks)
-                                        : runner.run(hooks);
+                                        : runner.run_materialized(hooks);
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -140,13 +177,19 @@ int run_month_scale(const std::string& mode, double max_rss_mb,
   const std::size_t task_rows = workspace.tasks.size();
   const std::size_t job_slots = workspace.jobs.size();
 
-  std::printf("month-scale %s: %zu jobs, %zu tasks, %zu events\n",
-              mode.c_str(), artifact.trace_jobs, artifact.trace_tasks,
-              artifact.result.events_dispatched);
+  std::printf("month-scale %s (predictor=%s): %zu jobs, %zu tasks, "
+              "%zu events\n",
+              mode.c_str(), spec.predictor.c_str(), artifact.trace_jobs,
+              artifact.trace_tasks, artifact.result.events_dispatched);
   std::printf("  wall            %10.2f s\n", wall_s);
+  std::printf("  estimation      %10.2f s\n", artifact.estimation_wall_s);
   std::printf("  peak RSS        %10.1f MB\n", rss_mb);
   std::printf("  task rows       %10zu (high water)\n", task_rows);
   std::printf("  job slots       %10zu (high water)\n", job_slots);
+  std::printf("  trace reads     %10zu (source passes: estimation+replay)\n",
+              artifact.trace_reads);
+  std::printf("  rows read       %10zu (task rows those passes produced)\n",
+              artifact.rows_read);
   std::printf("  completed jobs  %10zu\n", artifact.result.outcomes.size());
 
   if (!probe_csv_path.empty()) {
@@ -177,13 +220,18 @@ int run_month_scale(const std::string& mode, double max_rss_mb,
     }
     os << "{\"schema\":" << metrics::json_quote(kMonthSchema)
        << ",\"mode\":" << metrics::json_quote(mode)
+       << ",\"predictor\":" << metrics::json_quote(spec.predictor)
        << ",\"jobs\":" << artifact.trace_jobs
        << ",\"tasks\":" << artifact.trace_tasks
        << ",\"events\":" << artifact.result.events_dispatched
        << ",\"wall_s\":" << metrics::json_double(wall_s)
+       << ",\"estimation_wall_s\":"
+       << metrics::json_double(artifact.estimation_wall_s)
        << ",\"peak_rss_mb\":" << metrics::json_double(rss_mb)
        << ",\"task_rows_high_water\":" << task_rows
        << ",\"job_slots_high_water\":" << job_slots
+       << ",\"trace_reads\":" << artifact.trace_reads
+       << ",\"rows_read\":" << artifact.rows_read
        << ",\"max_rss_mb\":" << metrics::json_double(max_rss_mb) << "}\n";
     std::cout << "# wrote " << json_path << "\n";
   }
@@ -369,7 +417,7 @@ std::vector<Metric> run_matrix(std::size_t reps, const std::string& only) {
     hooks.workspace = &workspace;
     hooks.replay_trace = &trace;
     hooks.predictor_override = api::PredictorRegistry::instance().make(
-        "grouped", api::PredictorInputs{trace});
+        "grouped", trace);
     metrics.push_back(
         time_metric("replay_hour_serial", "events/s", reps, [&] {
           return runner.run(hooks).result.events_dispatched;
@@ -418,7 +466,7 @@ std::vector<Metric> run_matrix(std::size_t reps, const std::string& only) {
       hooks.workspace = &workspace;
       hooks.replay_trace = &trace;
       hooks.predictor_override = api::PredictorRegistry::instance().make(
-          "grouped", api::PredictorInputs{trace});
+          "grouped", trace);
       metrics.push_back(
           time_metric("replay_google_6h", "events/s", reps, [&] {
             return runner.run(hooks).result.events_dispatched;
@@ -529,6 +577,7 @@ int main(int argc, char** argv) {
   std::string check_path;
   std::string update_path;
   std::string month_mode;
+  std::string month_predictor;
   std::string obs_value;
   std::string probe_csv_path;
   std::string only;
@@ -553,6 +602,8 @@ int main(int argc, char** argv) {
       update_path = value();
     } else if (arg == "--month-scale") {
       month_mode = value();
+    } else if (arg == "--predictor") {
+      month_predictor = value();
     } else if (arg == "--obs") {
       obs_value = value();
     } else if (arg == "--probe-csv") {
@@ -572,8 +623,8 @@ int main(int argc, char** argv) {
                    "[--update BASE] [--tolerance T] [--reps N] "
                    "[--only SUBSTR]\n"
                    "       perf_baseline --month-scale streamed|materialized "
-                   "[--max-rss-mb M] [--json OUT] [--obs SPEC] "
-                   "[--probe-csv OUT]\n";
+                   "[--predictor KEY] [--max-rss-mb M] [--json OUT] "
+                   "[--obs SPEC] [--probe-csv OUT]\n";
       return 0;
     } else {
       std::cerr << "unknown flag " << arg << "\n";
@@ -582,11 +633,14 @@ int main(int argc, char** argv) {
   }
 
   if (!month_mode.empty()) {
-    return run_month_scale(month_mode, max_rss_mb, json_path, obs_value,
-                           probe_csv_path);
+    register_custom_grouped();
+    return run_month_scale(month_mode, month_predictor, max_rss_mb,
+                           json_path, obs_value, probe_csv_path);
   }
-  if (!obs_value.empty() || !probe_csv_path.empty()) {
-    std::cerr << "--obs/--probe-csv only apply to --month-scale runs\n";
+  if (!obs_value.empty() || !probe_csv_path.empty() ||
+      !month_predictor.empty()) {
+    std::cerr << "--obs/--probe-csv/--predictor only apply to --month-scale "
+                 "runs\n";
     return 2;
   }
   // A filtered run produces a partial document; gating it against a full

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "api/registry.hpp"
 #include "api/scenario.hpp"
 #include "api/stream.hpp"
 #include "ingest/registry.hpp"
@@ -171,8 +172,18 @@ std::vector<RunArtifact> BatchRunner::run(
             replay = cache.get_replay(spec.trace);
             run_hooks.replay_trace = replay.get();
           }
-          if (!run_hooks.predictor_override &&
-              run_hooks.estimation_trace == nullptr) {
+          // A predictor that wants no observations (oracle) needs no
+          // estimation trace pinned — probing the builder is cheap and
+          // skips a whole cache entry for kFull/kHistory specs.
+          const bool wants_observations =
+              !run_hooks.predictor_override &&
+              run_hooks.estimation_trace == nullptr &&
+              with_key_context("predictor", spec.predictor, [&] {
+                return PredictorRegistry::instance()
+                    .make_builder(spec.predictor)
+                    ->wants_observations();
+              });
+          if (wants_observations) {
             switch (spec.estimation) {
               case EstimationSource::kReplay:
                 run_hooks.estimation_trace = run_hooks.replay_trace;

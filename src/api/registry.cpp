@@ -1,10 +1,11 @@
 #include "api/registry.hpp"
 
-#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "api/scenario.hpp"
+#include "core/estimator.hpp"
 #include "sim/predictors.hpp"
 
 namespace cloudcr::api {
@@ -28,7 +29,52 @@ double effective_limit(const std::string& arg) {
   return parse_checked_double("predictor length limit", arg);
 }
 
+/// oracle — no estimation data at all; per-task truth is read during replay.
+class OracleBuilder final : public PredictorBuilder {
+ public:
+  [[nodiscard]] bool wants_observations() const override { return false; }
+  [[nodiscard]] sim::StatsPredictor finalize() override {
+    return sim::make_oracle_predictor();
+  }
+};
+
+/// grouped / submission — both aggregate the estimation view into a
+/// core::GroupedEstimator (O(1) memory: per-priority sums only) and differ
+/// only in how the finalized predictor keys its lookups.
+class GroupedStatsBuilder final : public PredictorBuilder {
+ public:
+  enum class Kind { kGrouped, kSubmission };
+
+  GroupedStatsBuilder(Kind kind, double length_limit)
+      : kind_(kind), estimator_(length_limit) {}
+
+  void observe_task(const trace::TaskRecord& task) override {
+    sim::observe_task(estimator_, task);
+  }
+
+  [[nodiscard]] sim::StatsPredictor finalize() override {
+    return kind_ == Kind::kGrouped
+               ? sim::make_grouped_predictor(std::move(estimator_))
+               : sim::make_submission_priority_predictor(
+                     std::move(estimator_));
+  }
+
+ private:
+  Kind kind_;
+  core::GroupedEstimator estimator_;
+};
+
 }  // namespace
+
+void PredictorBuilder::observe_job(const trace::JobRecord& job) {
+  for (const auto& task : job.tasks) observe_task(task);
+}
+
+void PredictorBuilder::observe_task(const trace::TaskRecord&) {}
+
+void observe_trace(PredictorBuilder& builder, const trace::Trace& trace) {
+  for (const auto& job : trace.jobs) builder.observe_job(job);
+}
 
 RegistryKey split_key(const std::string& key) {
   const auto colon = key.find(':');
@@ -39,14 +85,18 @@ RegistryKey split_key(const std::string& key) {
 // -- PolicyRegistry ---------------------------------------------------------
 
 PolicyRegistry::PolicyRegistry() {
-  add("formula3", [](const std::string& arg) -> core::PolicyPtr {
-    if (arg.empty()) return std::make_unique<core::MnofPolicy>();
-    if (arg == "exact") {
-      return std::make_unique<core::MnofPolicy>(/*integer_rounding=*/false);
-    }
-    throw std::invalid_argument("policy formula3: unknown argument '" + arg +
-                                "' (want none or 'exact')");
-  });
+  add(
+      "formula3",
+      [](const std::string& arg) -> core::PolicyPtr {
+        if (arg.empty()) return std::make_unique<core::MnofPolicy>();
+        if (arg == "exact") {
+          return std::make_unique<core::MnofPolicy>(
+              /*integer_rounding=*/false);
+        }
+        throw std::invalid_argument("policy formula3: unknown argument '" +
+                                    arg + "' (want none or 'exact')");
+      },
+      "formula3[:exact]");
   add("young", [](const std::string&) -> core::PolicyPtr {
     return std::make_unique<core::YoungPolicy>();
   });
@@ -56,18 +106,21 @@ PolicyRegistry::PolicyRegistry() {
   add("none", [](const std::string&) -> core::PolicyPtr {
     return std::make_unique<core::NoCheckpointPolicy>();
   });
-  add("fixed", [](const std::string& arg) -> core::PolicyPtr {
-    if (arg.empty()) {
-      throw std::invalid_argument(
-          "policy fixed: an interval is required, e.g. 'fixed:45'");
-    }
-    const double interval_s = parse_checked_double("policy fixed", arg);
-    if (interval_s <= 0.0) {
-      throw std::invalid_argument("policy fixed: interval must be > 0, got '" +
-                                  arg + "'");
-    }
-    return std::make_unique<core::FixedIntervalPolicy>(interval_s);
-  });
+  add(
+      "fixed",
+      [](const std::string& arg) -> core::PolicyPtr {
+        if (arg.empty()) {
+          throw std::invalid_argument(
+              "policy fixed: an interval is required, e.g. 'fixed:45'");
+        }
+        const double interval_s = parse_checked_double("policy fixed", arg);
+        if (interval_s <= 0.0) {
+          throw std::invalid_argument(
+              "policy fixed: interval must be > 0, got '" + arg + "'");
+        }
+        return std::make_unique<core::FixedIntervalPolicy>(interval_s);
+      },
+      "fixed:<interval_s>");
 }
 
 PolicyRegistry& PolicyRegistry::instance() {
@@ -77,53 +130,65 @@ PolicyRegistry& PolicyRegistry::instance() {
 
 PolicyRegistry PolicyRegistry::with_builtins() { return PolicyRegistry(); }
 
-void PolicyRegistry::add(const std::string& name, Factory factory) {
+void PolicyRegistry::add(const std::string& name, Factory factory,
+                         std::string arg_grammar) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  factories_[name] = std::move(factory);
+  entries_[name] = Entry{std::move(factory), std::move(arg_grammar)};
 }
 
 bool PolicyRegistry::contains(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return factories_.count(split_key(name).name) > 0;
+  return entries_.count(split_key(name).name) > 0;
 }
 
 std::vector<std::string> PolicyRegistry::names() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
-  out.reserve(factories_.size());
-  for (const auto& [name, factory] : factories_) out.push_back(name);
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
   return out;
 }
 
 core::PolicyPtr PolicyRegistry::make(const std::string& key) const {
   const auto [name, arg] = split_key(key);
   Factory factory;
+  std::vector<std::string> known;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = factories_.find(name);
-    if (it != factories_.end()) factory = it->second;
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      factory = it->second.factory;
+    } else {
+      known.reserve(entries_.size());
+      for (const auto& [n, entry] : entries_) {
+        known.push_back(entry.grammar.empty() ? n : entry.grammar);
+      }
+    }
   }
-  if (!factory) throw_unknown("policy", name, names());
+  if (!factory) throw_unknown("policy", name, known);
   return factory(arg);
 }
 
 // -- PredictorRegistry ------------------------------------------------------
 
 PredictorRegistry::PredictorRegistry() {
-  add("oracle", [](const PredictorInputs&, const std::string&) {
-    return sim::make_oracle_predictor();
+  add("oracle", [](const std::string&) -> PredictorBuilderPtr {
+    return std::make_unique<OracleBuilder>();
   });
-  add("grouped", [](const PredictorInputs& inputs, const std::string& arg) {
-    return sim::make_grouped_predictor(inputs.estimation_trace,
-                                       effective_limit(arg));
-  });
-  add("submission", [](const PredictorInputs& inputs, const std::string& arg) {
-    return sim::make_submission_priority_predictor(inputs.estimation_trace,
-                                                   effective_limit(arg));
-  });
-  // Recorded after the add() calls above (add() drops a name from this
-  // list, so seeding must come last).
-  builtin_names_ = {"oracle", "grouped", "submission"};
+  add(
+      "grouped",
+      [](const std::string& arg) -> PredictorBuilderPtr {
+        return std::make_unique<GroupedStatsBuilder>(
+            GroupedStatsBuilder::Kind::kGrouped, effective_limit(arg));
+      },
+      "grouped[:max_len_s]");
+  add(
+      "submission",
+      [](const std::string& arg) -> PredictorBuilderPtr {
+        return std::make_unique<GroupedStatsBuilder>(
+            GroupedStatsBuilder::Kind::kSubmission, effective_limit(arg));
+      },
+      "submission[:max_len_s]");
 }
 
 PredictorRegistry& PredictorRegistry::instance() {
@@ -135,43 +200,58 @@ PredictorRegistry PredictorRegistry::with_builtins() {
   return PredictorRegistry();
 }
 
-void PredictorRegistry::add(const std::string& name, Factory factory) {
+void PredictorRegistry::add(const std::string& name, Factory factory,
+                            std::string arg_grammar) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  factories_[name] = std::move(factory);
-  // A (re)registered name is no longer the seeded built-in.
-  std::erase(builtin_names_, name);
+  entries_[name] = Entry{std::move(factory), std::move(arg_grammar)};
 }
 
 bool PredictorRegistry::contains(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return factories_.count(split_key(name).name) > 0;
-}
-
-bool PredictorRegistry::is_builtin(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return std::find(builtin_names_.begin(), builtin_names_.end(), name) !=
-         builtin_names_.end();
+  return entries_.count(split_key(name).name) > 0;
 }
 
 std::vector<std::string> PredictorRegistry::names() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
-  out.reserve(factories_.size());
-  for (const auto& [name, factory] : factories_) out.push_back(name);
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
   return out;
 }
 
-sim::StatsPredictor PredictorRegistry::make(
-    const std::string& key, const PredictorInputs& inputs) const {
+PredictorBuilderPtr PredictorRegistry::make_builder(
+    const std::string& key) const {
   const auto [name, arg] = split_key(key);
   Factory factory;
+  std::vector<std::string> known;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = factories_.find(name);
-    if (it != factories_.end()) factory = it->second;
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      factory = it->second.factory;
+    } else {
+      known.reserve(entries_.size());
+      for (const auto& [n, entry] : entries_) {
+        known.push_back(entry.grammar.empty() ? n : entry.grammar);
+      }
+    }
   }
-  if (!factory) throw_unknown("predictor", name, names());
-  return factory(inputs, arg);
+  if (!factory) throw_unknown("predictor", name, known);
+  PredictorBuilderPtr builder = factory(arg);
+  if (!builder) {
+    throw std::invalid_argument("predictor " + name +
+                                ": factory returned a null builder");
+  }
+  return builder;
+}
+
+sim::StatsPredictor PredictorRegistry::make(
+    const std::string& key, const trace::Trace& estimation_trace) const {
+  PredictorBuilderPtr builder = make_builder(key);
+  if (builder->wants_observations()) {
+    observe_trace(*builder, estimation_trace);
+  }
+  return builder->finalize();
 }
 
 }  // namespace cloudcr::api

@@ -15,7 +15,17 @@
 ///
 /// A key has the form `name` or `name:arg`; the part after the first ':' is
 /// passed verbatim to the factory (FixedIntervalPolicy's interval, a grouped
-/// predictor's length limit, ...).
+/// predictor's length limit, ...). Registering an `arg_grammar` string
+/// ("fixed:<interval_s>") makes unknown-name errors self-documenting.
+///
+/// Predictor factories follow a *streaming observation* contract: a factory
+/// returns a PredictorBuilder, the runner feeds the scenario's estimation
+/// view through observe_job()/observe_task() one record at a time (in the
+/// materialized trace's job/task order), and finalize() yields the
+/// sim::StatsPredictor. A factory never sees a whole trace::Trace, so a
+/// registered predictor can never force the runner to materialize O(trace)
+/// estimation memory — the streaming month-scale path works for *any*
+/// predictor, builtin or custom (the contract the PR-5 pipeline left open).
 
 #include <functional>
 #include <map>
@@ -48,8 +58,11 @@ class PolicyRegistry {
   /// Process-wide registry used by ScenarioRunner.
   static PolicyRegistry& instance();
 
-  /// Registers (or replaces) a factory under `name`.
-  void add(const std::string& name, Factory factory);
+  /// Registers (or replaces) a factory under `name`. `arg_grammar`, when
+  /// non-empty, is the display form listed by unknown-name errors
+  /// ("fixed:<interval_s>"); plain names display as themselves.
+  void add(const std::string& name, Factory factory,
+           std::string arg_grammar = {});
 
   [[nodiscard]] bool contains(const std::string& name) const;
 
@@ -58,63 +71,115 @@ class PolicyRegistry {
 
   /// Builds the policy for a spec key like "young" or "fixed:45".
   /// Throws std::invalid_argument for unknown names (the message lists the
-  /// registered ones) or factory-rejected arguments.
+  /// registered ones with their arg grammar) or factory-rejected arguments.
   [[nodiscard]] core::PolicyPtr make(const std::string& key) const;
 
   /// Fresh registry with the built-ins only (for tests).
   static PolicyRegistry with_builtins();
 
  private:
+  struct Entry {
+    Factory factory;
+    std::string grammar;  ///< display form for error listings
+  };
+
   PolicyRegistry();
 
   mutable std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  std::map<std::string, Entry> entries_;
 };
 
-/// Context handed to predictor factories: the trace the statistics are
-/// estimated from. A built-in's estimation length limit is passed through
-/// the "name:arg" key ("grouped:1000").
-struct PredictorInputs {
-  const trace::Trace& estimation_trace;
+/// The streaming estimation contract handed to predictor factories. The
+/// runner drives it in three phases, always in this order:
+///
+///   1. wants_observations() — false means the predictor needs no
+///      estimation data at all (the oracle reads per-task records during
+///      the replay); the runner then skips the estimation pass — and, for
+///      a streaming run, the estimation trace read — entirely.
+///   2. observe_job()/observe_task(), once per record of the scenario's
+///      estimation view, in the *materialized trace's job/task order*
+///      (jobs by arrival, tasks in record order) — so a builder fed from a
+///      stream accumulates bit-identical state to one fed from the
+///      materialized trace (pinned by tests/api/stream_determinism_test).
+///      The records are borrowed for the duration of the call only: copy
+///      what you aggregate, never keep pointers.
+///   3. finalize(), exactly once, after the view is exhausted. The returned
+///      predictor must be self-contained (own or share its state): the
+///      builder may be destroyed once the run completes.
+///
+/// The default observe_job forwards every task to observe_task, so a
+/// per-task estimator only overrides observe_task; a builder that cares
+/// about job structure overrides observe_job instead (or additionally).
+class PredictorBuilder {
+ public:
+  virtual ~PredictorBuilder() = default;
+
+  /// False to skip the estimation pass (and its trace read) entirely.
+  [[nodiscard]] virtual bool wants_observations() const { return true; }
+
+  /// One estimation-view job, in arrival order. Default: forward each task
+  /// to observe_task, in record order.
+  virtual void observe_job(const trace::JobRecord& job);
+
+  /// One estimation-view task (via observe_job's default forwarding).
+  virtual void observe_task(const trace::TaskRecord& task);
+
+  /// Builds the predictor from everything observed. Called exactly once.
+  [[nodiscard]] virtual sim::StatsPredictor finalize() = 0;
 };
 
-/// Factories for sim::StatsPredictor. Thread-safe; the singleton comes
-/// pre-seeded with the built-ins: oracle, grouped[:limit],
-/// submission[:limit].
+using PredictorBuilderPtr = std::unique_ptr<PredictorBuilder>;
+
+/// Feeds a materialized trace through the observation contract — the
+/// adapter for call sites that already own a trace (benches, RunHooks::
+/// estimation_trace). Observation order is the trace's job/task order.
+void observe_trace(PredictorBuilder& builder, const trace::Trace& trace);
+
+/// Factories for sim::StatsPredictor via the PredictorBuilder observation
+/// contract. Thread-safe; the singleton comes pre-seeded with the
+/// built-ins: oracle, grouped[:limit], submission[:limit] — which estimate
+/// through the same streaming contract as any custom registration (there
+/// is deliberately no factory form that receives a whole trace::Trace, so
+/// an O(trace) estimation path cannot be reintroduced by registration).
 class PredictorRegistry {
  public:
-  using Factory = std::function<sim::StatsPredictor(const PredictorInputs&,
-                                                    const std::string& arg)>;
+  using Factory = std::function<PredictorBuilderPtr(const std::string& arg)>;
 
   static PredictorRegistry& instance();
 
-  void add(const std::string& name, Factory factory);
+  /// Registers (or replaces) a builder factory under `name`; `arg_grammar`
+  /// as in PolicyRegistry::add ("grouped[:max_len_s]").
+  void add(const std::string& name, Factory factory,
+           std::string arg_grammar = {});
 
   [[nodiscard]] bool contains(const std::string& name) const;
 
-  /// True while `name` still maps to the factory the registry was seeded
-  /// with; re-registering a built-in name clears it. Callers with a
-  /// specialized path for the built-ins (the streaming estimation in
-  /// ScenarioRunner::run_streamed) consult this so a user-replaced
-  /// "grouped"/"submission"/"oracle" wins on every path.
-  [[nodiscard]] bool is_builtin(const std::string& name) const;
-
   [[nodiscard]] std::vector<std::string> names() const;
 
-  /// Builds the predictor for a spec key like "grouped" or "grouped:1000"
-  /// (for the built-ins, a numeric arg sets the estimation length limit).
-  /// Throws std::invalid_argument for unknown names or malformed arguments.
-  [[nodiscard]] sim::StatsPredictor make(const std::string& key,
-                                         const PredictorInputs& inputs) const;
+  /// Builds the (un-fed) builder for a spec key like "grouped" or
+  /// "grouped:1000" (for the built-ins, a numeric arg sets the estimation
+  /// length limit). Throws std::invalid_argument for unknown names (the
+  /// message lists registered choices with their arg grammar) or malformed
+  /// arguments.
+  [[nodiscard]] PredictorBuilderPtr make_builder(const std::string& key) const;
+
+  /// Convenience for callers holding a materialized estimation trace:
+  /// make_builder + observe_trace + finalize in one call.
+  [[nodiscard]] sim::StatsPredictor make(
+      const std::string& key, const trace::Trace& estimation_trace) const;
 
   static PredictorRegistry with_builtins();
 
  private:
+  struct Entry {
+    Factory factory;
+    std::string grammar;
+  };
+
   PredictorRegistry();
 
   mutable std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
-  std::vector<std::string> builtin_names_;  ///< still-unreplaced built-ins
+  std::map<std::string, Entry> entries_;
 };
 
 }  // namespace cloudcr::api

@@ -14,7 +14,6 @@
 #include "obs/probe.hpp"
 #include "obs/trace_writer.hpp"
 #include "sched/registry.hpp"
-#include "sim/predictors.hpp"
 #include "sim/simulation.hpp"
 #include "trace/generator.hpp"
 
@@ -140,12 +139,31 @@ trace::Trace make_replay_trace(const TraceSpec& spec) {
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {}
 
 RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
+  // One entry point, two shapes: stream whenever the source yields jobs
+  // without materializing the workload (and nothing was pre-materialized
+  // by the caller), replay the whole trace otherwise. Bit-identical either
+  // way (tests/api/stream_determinism_test.cpp), so this only picks the
+  // memory/IO shape.
+  if (hooks.replay_trace == nullptr && spec_streams_lazily(spec_.trace)) {
+    return run_streamed(hooks);
+  }
+  return run_materialized(hooks);
+}
+
+RunArtifact ScenarioRunner::run_materialized(const RunHooks& hooks) const {
   // The unrestricted trace of spec_.trace, generated at most once per run:
   // both the replay set (restricted view) and kFull estimation derive from
   // it, and generation is the expensive step.
+  std::size_t trace_reads = 0;
+  std::size_t rows_read = 0;
   std::optional<trace::Trace> owned_full;
-  auto full_trace = [this, &owned_full]() -> const trace::Trace& {
-    if (!owned_full) owned_full = make_trace(spec_.trace);
+  auto full_trace = [this, &owned_full, &trace_reads,
+                     &rows_read]() -> const trace::Trace& {
+    if (!owned_full) {
+      owned_full = make_trace(spec_.trace);
+      ++trace_reads;
+      rows_read += owned_full->task_count();
+    }
     return *owned_full;
   };
 
@@ -162,35 +180,44 @@ RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
     }
   }
 
-  // Predictor: override > hook trace > the spec's estimation source. The
-  // estimation trace lives at function scope: a registered factory may
-  // return a predictor that keeps the PredictorInputs reference, so it must
-  // survive until the simulation finishes.
+  // Predictor: override > hook trace > the spec's estimation source, fed
+  // through the PredictorBuilder observation contract. The builder only
+  // borrows each record during observe_job, so the estimation view needs
+  // no lifetime past finalize(): a kHistory trace is released before the
+  // replay starts, and a predictor that wants no observations (oracle)
+  // skips its estimation read entirely.
   RunTracer tracer(spec_);
-  std::optional<trace::Trace> owned_estimation;
   sim::StatsPredictor predictor = hooks.predictor_override;
   double estimation_wall_s = 0.0;
   if (!predictor) {
     const auto est_start = std::chrono::steady_clock::now();
-    const trace::Trace* estimation = hooks.estimation_trace;
-    if (estimation == nullptr) {
-      switch (spec_.estimation) {
-        case EstimationSource::kReplay:
-          estimation = replay;
-          break;
-        case EstimationSource::kFull:
-          estimation = &full_trace();
-          break;
-        case EstimationSource::kHistory:
-          owned_estimation = make_replay_trace(spec_.history);
-          estimation = &*owned_estimation;
-          break;
+    PredictorBuilderPtr builder =
+        with_key_context("predictor", spec_.predictor, [&] {
+          return PredictorRegistry::instance().make_builder(spec_.predictor);
+        });
+    if (builder->wants_observations()) {
+      if (hooks.estimation_trace != nullptr) {
+        observe_trace(*builder, *hooks.estimation_trace);
+      } else {
+        switch (spec_.estimation) {
+          case EstimationSource::kReplay:
+            observe_trace(*builder, *replay);
+            break;
+          case EstimationSource::kFull:
+            observe_trace(*builder, full_trace());
+            break;
+          case EstimationSource::kHistory: {
+            const trace::Trace history = make_replay_trace(spec_.history);
+            ++trace_reads;
+            rows_read += history.task_count();
+            observe_trace(*builder, history);
+            break;
+          }
+        }
       }
     }
-    predictor = with_key_context("predictor", spec_.predictor, [&] {
-      return PredictorRegistry::instance().make(spec_.predictor,
-                                                PredictorInputs{*estimation});
-    });
+    predictor = with_key_context("predictor", spec_.predictor,
+                                 [&] { return builder->finalize(); });
     const auto est_end = std::chrono::steady_clock::now();
     estimation_wall_s =
         std::chrono::duration<double>(est_end - est_start).count();
@@ -216,6 +243,8 @@ RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
   artifact.trace_jobs = replay->job_count();
   artifact.trace_tasks = replay->task_count();
   artifact.estimation_wall_s = estimation_wall_s;
+  artifact.trace_reads = trace_reads;
+  artifact.rows_read = rows_read;
 
   const auto start = std::chrono::steady_clock::now();
   sim::Simulation simulation(std::move(config), *policy, std::move(predictor),
@@ -230,99 +259,47 @@ RunArtifact ScenarioRunner::run(const RunHooks& hooks) const {
   return artifact;
 }
 
-namespace {
-
-/// Streams the estimation view of `spec` through the estimator — the
-/// bounded-memory equivalent of sim::build_estimator(make_trace(...)):
-/// observation order equals the materialized trace's job/task order, so
-/// the estimates are bit-identical.
-core::GroupedEstimator estimate_from_stream(const TraceSpec& spec,
-                                            bool replay_view,
-                                            double length_limit) {
-  core::GroupedEstimator estimator(length_limit);
-  auto stream = open_trace_stream(spec, replay_view);
-  std::vector<trace::JobRecord> batch;
-  while (stream->next_batch(sim::Simulation::kDefaultBatchJobs, batch) > 0) {
-    for (const auto& job : batch) {
-      for (const auto& task : job.tasks) sim::observe_task(estimator, task);
-    }
-    batch.clear();
-  }
-  return estimator;
-}
-
-/// Resolves the spec's predictor for the streaming path. The built-ins
-/// never materialize a trace: oracle is per-record; grouped/submission
-/// estimate from a streaming pass over the spec's estimation view — but
-/// only while the registry still maps those names to the built-in
-/// factories (a re-registered name must win on every path). Custom
-/// predictors fall back to a materialized estimation trace, owned by
-/// `owned_estimation`: a registered factory may return a lambda that keeps
-/// the PredictorInputs reference, so the caller must keep the trace alive
-/// until the simulation finishes (exactly as ScenarioRunner::run does).
-sim::StatsPredictor make_streaming_predictor(
-    const ScenarioSpec& spec, std::optional<trace::Trace>& owned_estimation) {
-  const RegistryKey key = split_key(spec.predictor);
-  if (PredictorRegistry::instance().is_builtin(key.name)) {
-    if (key.name == "oracle") return sim::make_oracle_predictor();
-    const double limit =
-        key.arg.empty() ? trace::kNoLengthLimit
-                        : parse_checked_double("predictor length limit",
-                                               key.arg);
-    core::GroupedEstimator estimator =
-        spec.estimation == EstimationSource::kHistory
-            ? estimate_from_stream(spec.history, true, limit)
-            : estimate_from_stream(spec.trace,
-                                   spec.estimation ==
-                                       EstimationSource::kReplay,
-                                   limit);
-    return key.name == "grouped"
-               ? sim::make_grouped_predictor(std::move(estimator))
-               : sim::make_submission_priority_predictor(
-                     std::move(estimator));
-  }
-  // Custom predictor: materialize the estimation trace it requires.
-  switch (spec.estimation) {
-    case EstimationSource::kReplay:
-      owned_estimation = make_replay_trace(spec.trace);
-      break;
-    case EstimationSource::kFull:
-      owned_estimation = make_trace(spec.trace);
-      break;
-    case EstimationSource::kHistory:
-      owned_estimation = make_replay_trace(spec.history);
-      break;
-  }
-  return PredictorRegistry::instance().make(
-      spec.predictor, PredictorInputs{*owned_estimation});
-}
-
-}  // namespace
-
 RunArtifact ScenarioRunner::run_streamed(const RunHooks& hooks,
                                          std::size_t batch_jobs) const {
   // A caller-materialized replay trace leaves nothing to stream.
-  if (hooks.replay_trace != nullptr) return run(hooks);
+  if (hooks.replay_trace != nullptr) return run_materialized(hooks);
 
-  // A custom predictor's materialized estimation trace lives on this frame
-  // (a registered factory may keep the PredictorInputs reference until the
-  // simulation finishes, as in run()).
+  // One cursor serves estimation and replay: a single-pass source is
+  // parsed once and shared by both phases; a lazy source opens one
+  // bounded-memory pass per phase that touches it. Every predictor —
+  // builtin or registered — estimates through the PredictorBuilder
+  // observation contract, so nothing on this path materializes O(trace)
+  // memory for a lazy source.
   RunTracer tracer(spec_);
-  std::optional<trace::Trace> owned_estimation;
+  SharedTraceCursor cursor(spec_.trace);
+  std::size_t history_reads = 0;
+  std::size_t history_rows = 0;
   sim::StatsPredictor predictor = hooks.predictor_override;
   double artifact_estimation_wall_s = 0.0;
   if (!predictor) {
     const auto est_start = std::chrono::steady_clock::now();
-    if (hooks.estimation_trace != nullptr) {
-      predictor = with_key_context("predictor", spec_.predictor, [&] {
-        return PredictorRegistry::instance().make(
-            spec_.predictor, PredictorInputs{*hooks.estimation_trace});
-      });
-    } else {
-      predictor = with_key_context("predictor", spec_.predictor, [&] {
-        return make_streaming_predictor(spec_, owned_estimation);
-      });
+    PredictorBuilderPtr builder =
+        with_key_context("predictor", spec_.predictor, [&] {
+          return PredictorRegistry::instance().make_builder(spec_.predictor);
+        });
+    if (builder->wants_observations()) {
+      const auto observe = [&builder](const trace::JobRecord& job) {
+        builder->observe_job(job);
+      };
+      if (hooks.estimation_trace != nullptr) {
+        observe_trace(*builder, *hooks.estimation_trace);
+      } else if (spec_.estimation == EstimationSource::kHistory) {
+        SharedTraceCursor history(spec_.history);
+        history.feed_estimation(/*replay_view=*/true, observe);
+        history_reads = history.reads();
+        history_rows = history.rows_read();
+      } else {
+        cursor.feed_estimation(
+            spec_.estimation == EstimationSource::kReplay, observe);
+      }
     }
+    predictor = with_key_context("predictor", spec_.predictor,
+                                 [&] { return builder->finalize(); });
     const auto est_end = std::chrono::steady_clock::now();
     artifact_estimation_wall_s =
         std::chrono::duration<double>(est_end - est_start).count();
@@ -344,7 +321,7 @@ RunArtifact ScenarioRunner::run_streamed(const RunHooks& hooks,
   artifact.spec = spec_;
   artifact.estimation_wall_s = artifact_estimation_wall_s;
 
-  auto stream = open_trace_stream(spec_.trace, true);
+  auto stream = cursor.open_replay_stream();
   StreamJobSource source(*stream);
   const auto start = std::chrono::steady_clock::now();
   sim::Simulation simulation(std::move(config), *policy, std::move(predictor),
@@ -358,6 +335,11 @@ RunArtifact ScenarioRunner::run_streamed(const RunHooks& hooks,
   tracer.finish();
   artifact.trace_jobs = source.jobs();
   artifact.trace_tasks = source.tasks();
+  artifact.trace_reads = cursor.reads() + history_reads;
+  // A lazy cursor hands the replay stream off before its rows are pulled;
+  // a single-pass cursor already counted the parse.
+  artifact.rows_read = cursor.rows_read() + history_rows +
+                       (cursor.streams_lazily() ? source.tasks() : 0);
   // Recoverable row skips stay visible on the streaming path too (the
   // report is complete once the stream is drained).
   if (stream->report().rows_skipped > 0) {

@@ -44,6 +44,14 @@ struct RunArtifact {
   /// values reflect the process high-water at that point, not this run's
   /// isolated footprint.
   double peak_rss_mb = 0.0;
+  /// Passes over trace sources this run performed (estimation + replay;
+  /// history counts too). A streamed single-pass source serves both phases
+  /// from 1; a lazy source pays 1 per phase that touches it; 0 when every
+  /// trace came in via hooks.
+  std::size_t trace_reads = 0;
+  /// Task rows those passes produced (post-processed view). The one-cursor
+  /// path halves this relative to two independent reads.
+  std::size_t rows_read = 0;
 };
 
 /// Non-serializable extension points. All pointers are borrowed and must
@@ -89,21 +97,30 @@ class ScenarioRunner {
 
   [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
 
-  /// Builds policy, traces, and predictor, replays, and returns the
-  /// artifact. Reusable and const: each call builds a fresh Simulation.
+  /// Runs the scenario, picking the replay shape automatically: the
+  /// streaming path whenever the spec's source streams lazily
+  /// (spec_streams_lazily) and no caller-materialized replay trace was
+  /// handed in; the materialized path otherwise. The two paths are
+  /// bit-identical (pinned by tests/api/stream_determinism_test.cpp), so
+  /// the choice only moves the memory/IO shape, never results. Reusable
+  /// and const: each call builds a fresh Simulation.
   [[nodiscard]] RunArtifact run(const RunHooks& hooks = {}) const;
 
-  /// Streaming replay of the same scenario, bit-identical to run() (pinned
-  /// by tests/api/stream_determinism_test.cpp): the replay set is pulled
-  /// chunk-by-chunk through api::open_trace_stream and admitted lazily
-  /// (sim::Simulation::run_stream), never materialized. For the built-in
-  /// predictors the estimation view streams too — oracle needs no trace;
-  /// grouped/submission build their estimator from a separate streaming
-  /// pass. With a lazily-streaming source (spec_streams_lazily) memory is
-  /// therefore bounded by the active task set, which is what lets a
-  /// month-scale trace replay in a fixed footprint. Custom registered
-  /// predictors still materialize the estimation trace (their factories
-  /// take a trace::Trace&); hooks.replay_trace delegates to run() — a
+  /// Classic whole-trace replay: materializes the replay set (or borrows
+  /// hooks.replay_trace) and feeds the spec's estimation view to the
+  /// predictor builder from the materialized trace.
+  [[nodiscard]] RunArtifact run_materialized(const RunHooks& hooks = {}) const;
+
+  /// Streaming replay of the same scenario, bit-identical to
+  /// run_materialized(): the replay set is pulled chunk-by-chunk and
+  /// admitted lazily (sim::Simulation::run_stream), never materialized,
+  /// and *every* predictor — builtin or registered — estimates through the
+  /// PredictorBuilder observation contract fed from a SharedTraceCursor
+  /// (oracle skips the estimation pass entirely; single-pass sources serve
+  /// estimation and replay from one parse). With a lazily-streaming source
+  /// memory is therefore bounded by the active task set for any predictor,
+  /// which is what lets a month-scale trace replay in a fixed footprint.
+  /// hooks.replay_trace delegates to run_materialized() — a
   /// caller-materialized trace has nothing left to stream.
   [[nodiscard]] RunArtifact run_streamed(
       const RunHooks& hooks = {},

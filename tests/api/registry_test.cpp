@@ -96,7 +96,7 @@ TEST(PredictorRegistry, BuiltinsProduceCallablePredictors) {
 
   auto& registry = PredictorRegistry::instance();
   for (const char* name : {"oracle", "grouped", "submission"}) {
-    const auto predictor = registry.make(name, PredictorInputs{trace});
+    const auto predictor = registry.make(name, trace);
     ASSERT_TRUE(predictor) << name;
     const auto stats = predictor(task, task.priority);
     EXPECT_GE(stats.mnof, 0.0) << name;
@@ -104,13 +104,24 @@ TEST(PredictorRegistry, BuiltinsProduceCallablePredictors) {
   }
 }
 
+TEST(PredictorRegistry, OracleWantsNoObservations) {
+  // The streaming runner skips the estimation trace read entirely when the
+  // builder declares it needs no observations; pin that the oracle does.
+  EXPECT_FALSE(PredictorRegistry::instance()
+                   .make_builder("oracle")
+                   ->wants_observations());
+  EXPECT_TRUE(PredictorRegistry::instance()
+                  .make_builder("grouped")
+                  ->wants_observations());
+}
+
 TEST(PredictorRegistry, LengthLimitArgumentChangesEstimates) {
   const auto trace = tiny_trace();
   auto& registry = PredictorRegistry::instance();
   // A very tight length limit excludes most tasks from estimation; the
   // grouped estimates must move (structure of the paper's Table 7).
-  const auto unrestricted = registry.make("grouped", PredictorInputs{trace});
-  const auto restricted = registry.make("grouped:60", PredictorInputs{trace});
+  const auto unrestricted = registry.make("grouped", trace);
+  const auto restricted = registry.make("grouped:60", trace);
   const auto& task = trace.jobs.front().tasks.front();
   const auto a = unrestricted(task, task.priority);
   const auto b = restricted(task, task.priority);
@@ -118,24 +129,82 @@ TEST(PredictorRegistry, LengthLimitArgumentChangesEstimates) {
 }
 
 TEST(PredictorRegistry, UnknownNameAndBadArgumentThrow) {
-  const auto trace = tiny_trace();
   auto& registry = PredictorRegistry::instance();
-  EXPECT_THROW((void)registry.make("nope", PredictorInputs{trace}),
-               std::invalid_argument);
-  EXPECT_THROW((void)registry.make("grouped:abc", PredictorInputs{trace}),
+  EXPECT_THROW((void)registry.make_builder("nope"), std::invalid_argument);
+  EXPECT_THROW((void)registry.make_builder("grouped:abc"),
                std::invalid_argument);
 }
 
-TEST(PredictorRegistry, CustomRegistrationPlugsIn) {
-  auto registry = PredictorRegistry::with_builtins();
-  registry.add("constant",
-               [](const PredictorInputs&, const std::string&) {
-                 return [](const trace::TaskRecord&, int) {
-                   return core::FailureStats{2.0, 300.0};
-                 };
-               });
+TEST(PredictorRegistry, UnknownNameListsChoicesWithArgGrammar) {
+  try {
+    (void)PredictorRegistry::with_builtins().make_builder("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("nope"), std::string::npos) << message;
+    EXPECT_NE(message.find("oracle"), std::string::npos) << message;
+    EXPECT_NE(message.find("grouped[:max_len_s]"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("submission[:max_len_s]"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(PolicyRegistry, UnknownNameListsChoicesWithArgGrammar) {
+  try {
+    (void)PolicyRegistry::with_builtins().make("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("fixed:<interval_s>"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("formula3[:exact]"), std::string::npos) << message;
+  }
+}
+
+// A builder that only overrides observe_task still sees every task: the
+// base observe_job forwards the job's tasks in record order.
+class CountingBuilder final : public PredictorBuilder {
+ public:
+  void observe_task(const trace::TaskRecord&) override { ++tasks_; }
+  [[nodiscard]] sim::StatsPredictor finalize() override {
+    const std::size_t seen = tasks_;
+    return [seen](const trace::TaskRecord&, int) {
+      return core::FailureStats{static_cast<double>(seen), 300.0};
+    };
+  }
+
+ private:
+  std::size_t tasks_ = 0;
+};
+
+TEST(PredictorRegistry, DefaultObserveJobForwardsEveryTask) {
   const auto trace = tiny_trace();
-  const auto predictor = registry.make("constant", PredictorInputs{trace});
+  auto registry = PredictorRegistry::with_builtins();
+  registry.add("counting", [](const std::string&) -> PredictorBuilderPtr {
+    return std::make_unique<CountingBuilder>();
+  });
+  const auto predictor = registry.make("counting", trace);
+  const auto stats = predictor(trace.jobs.front().tasks.front(), 1);
+  EXPECT_DOUBLE_EQ(stats.mnof, static_cast<double>(trace.task_count()));
+}
+
+TEST(PredictorRegistry, CustomRegistrationPlugsIn) {
+  class ConstantBuilder final : public PredictorBuilder {
+   public:
+    [[nodiscard]] bool wants_observations() const override { return false; }
+    [[nodiscard]] sim::StatsPredictor finalize() override {
+      return [](const trace::TaskRecord&, int) {
+        return core::FailureStats{2.0, 300.0};
+      };
+    }
+  };
+  auto registry = PredictorRegistry::with_builtins();
+  registry.add("constant", [](const std::string&) -> PredictorBuilderPtr {
+    return std::make_unique<ConstantBuilder>();
+  });
+  const auto trace = tiny_trace();
+  const auto predictor = registry.make("constant", trace);
   const auto stats = predictor(trace.jobs.front().tasks.front(), 1);
   EXPECT_DOUBLE_EQ(stats.mnof, 2.0);
   EXPECT_DOUBLE_EQ(stats.mtbf_s, 300.0);

@@ -1,15 +1,21 @@
 // Property: the streaming replay is bit-identical to the materialized one.
 // ScenarioRunner::run_streamed (lazy admission, per-chunk post-processing,
-// streamed estimation, row recycling) must produce byte-identical artifacts
-// to ScenarioRunner::run across every built-in source kind, seeds,
-// policies, and estimation modes — serial and through a threaded
-// BatchRunner with stream_traces on. This is what makes the memory-bounded
-// month-scale path trustworthy: streaming can change the footprint, never
-// the results.
+// builder-observed estimation, row recycling) must produce byte-identical
+// artifacts to ScenarioRunner::run_materialized across every built-in
+// source kind, seeds, policies, estimation modes, and — since the
+// PredictorBuilder observation contract — custom registered predictors,
+// serial and through a threaded BatchRunner with stream_traces on. This is
+// what makes the memory-bounded month-scale path trustworthy: streaming
+// can change the footprint, never the results. The suite also pins the
+// SharedTraceCursor pass accounting (single-pass sources serve estimation
+// and replay from one read) and the observation-order property (streamed
+// observe_task order == the materialized trace's job/task order).
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +24,7 @@
 #include "api/registry.hpp"
 #include "api/runner.hpp"
 #include "api/stream.hpp"
+#include "core/estimator.hpp"
 #include "ingest/google_source.hpp"
 #include "metrics/export.hpp"
 #include "sim/predictors.hpp"
@@ -51,6 +58,35 @@ std::string render_one(const RunArtifact& artifact) {
   return render({artifact});
 }
 
+/// A predictor registered through the public observation API only — the
+/// "any predictor at any scale" acceptance case. Equivalent in spirit to
+/// the builtin grouped predictor but built entirely out of user-facing
+/// pieces, so the grid proves a custom registration streams bit-identically
+/// with no access to registry internals.
+void register_custom_grouped() {
+  class CustomGroupedBuilder final : public PredictorBuilder {
+   public:
+    explicit CustomGroupedBuilder(double limit) : estimator_(limit) {}
+    void observe_task(const trace::TaskRecord& task) override {
+      sim::observe_task(estimator_, task);
+    }
+    [[nodiscard]] sim::StatsPredictor finalize() override {
+      return sim::make_grouped_predictor(std::move(estimator_));
+    }
+
+   private:
+    core::GroupedEstimator estimator_;
+  };
+  PredictorRegistry::instance().add(
+      "custom_grouped",
+      [](const std::string& arg) -> PredictorBuilderPtr {
+        const double limit =
+            arg.empty() ? trace::kNoLengthLimit : std::stod(arg);
+        return std::make_unique<CustomGroupedBuilder>(limit);
+      },
+      "custom_grouped[:max_len_s]");
+}
+
 trace::Trace fixture_trace(std::uint64_t seed) {
   trace::GeneratorConfig cfg;
   cfg.seed = seed;
@@ -64,6 +100,7 @@ trace::Trace fixture_trace(std::uint64_t seed) {
 /// One scenario per built-in source kind (fixtures written per seed), with
 /// varied policies and estimation modes.
 std::vector<ScenarioSpec> grid(std::uint64_t seed) {
+  register_custom_grouped();
   const std::string tag = std::to_string(seed);
   const std::string google_path =
       "stream_det_google_" + tag + "_task_events.csv";
@@ -116,6 +153,38 @@ std::vector<ScenarioSpec> grid(std::uint64_t seed) {
     spec.predictor = "oracle";
     specs.push_back(spec);
   }
+  // A custom registered predictor on every source kind: the observation
+  // contract must stream bit-identically wherever the built-ins do.
+  {
+    ScenarioSpec spec;
+    spec.name = "stream_det_custom_syn_" + tag;
+    spec.trace.seed = seed;
+    spec.trace.horizon_s = 2.0 * 3600.0;
+    spec.trace.arrival_rate = 0.08;
+    spec.policy = "formula3";
+    spec.predictor = "custom_grouped";
+    spec.estimation = EstimationSource::kFull;
+    specs.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "stream_det_custom_google_" + tag;
+    spec.trace.source = "google:" + google_path;
+    spec.trace.sample_job_filter = true;
+    spec.policy = "daly";
+    spec.predictor = "custom_grouped";
+    specs.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "stream_det_custom_csv_" + tag;
+    spec.trace.source = "csv:" + csv_path;
+    spec.trace.sample_job_filter = true;
+    spec.trace.max_jobs = 40;
+    spec.policy = "young";
+    spec.predictor = "custom_grouped:7200";
+    specs.push_back(spec);
+  }
   // Scheduling-stage points: each scheduler on both a generated and an
   // ingested source, under a small cluster so jobs really queue. Streaming
   // admits jobs lazily — the held-job queue and reservation wakeups must
@@ -156,7 +225,7 @@ TEST_P(StreamedEqualsMaterialized, AcrossSourcesPoliciesAndBatchSizes) {
   const auto specs = grid(GetParam());
   for (const auto& spec : specs) {
     const ScenarioRunner runner(spec);
-    const std::string materialized = render_one(runner.run());
+    const std::string materialized = render_one(runner.run_materialized());
     // Chunk size must be invisible: per-job pulls, a mid-size batch, and
     // one chunk far larger than the trace.
     for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
@@ -166,6 +235,8 @@ TEST_P(StreamedEqualsMaterialized, AcrossSourcesPoliciesAndBatchSizes) {
       EXPECT_EQ(materialized, streamed)
           << spec.name << " diverged at batch_jobs=" << batch;
     }
+    // The unified entry point picks one of the two proven-equal shapes.
+    EXPECT_EQ(materialized, render_one(runner.run())) << spec.name;
   }
 }
 
@@ -188,6 +259,132 @@ TEST_P(StreamedEqualsMaterialized, ThreadedBatchWithStreamCursors) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamedEqualsMaterialized,
                          ::testing::Values(11u, 12u, 13u));
+
+// The observation-order property: a builder fed by the streaming runner
+// sees exactly the job/task sequence of the materialized estimation view,
+// in its order — the invariant that lets any order-sensitive custom
+// estimator stream safely.
+TEST(PredictorObservationOrder, StreamedFeedMatchesMaterializedTraceOrder) {
+  using Seen = std::vector<std::pair<std::uint64_t, double>>;
+  const auto recorded = std::make_shared<Seen>();
+
+  class OrderProbeBuilder final : public PredictorBuilder {
+   public:
+    explicit OrderProbeBuilder(std::shared_ptr<Seen> out)
+        : out_(std::move(out)) {}
+    void observe_task(const trace::TaskRecord& task) override {
+      out_->emplace_back(task.job_id, task.length_s);
+    }
+    [[nodiscard]] sim::StatsPredictor finalize() override {
+      return [](const trace::TaskRecord&, int) {
+        return core::FailureStats{1.0, 100.0};
+      };
+    }
+
+   private:
+    std::shared_ptr<Seen> out_;
+  };
+  PredictorRegistry::instance().add(
+      "order_probe", [recorded](const std::string&) -> PredictorBuilderPtr {
+        return std::make_unique<OrderProbeBuilder>(recorded);
+      });
+
+  const std::string google_path = "stream_order_google_task_events.csv";
+  {
+    std::ofstream os(google_path);
+    ingest::write_task_events(os, fixture_trace(21));
+  }
+  const std::string csv_path = "stream_order_native.csv";
+  trace::write_csv_file(csv_path, fixture_trace(22));
+
+  std::vector<ScenarioSpec> specs;
+  {
+    ScenarioSpec spec;
+    spec.name = "order_syn";
+    spec.trace.seed = 21;
+    spec.trace.horizon_s = 2.0 * 3600.0;
+    spec.trace.arrival_rate = 0.05;
+    specs.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "order_google";
+    spec.trace.source = "google:" + google_path;
+    spec.trace.sample_job_filter = true;
+    specs.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "order_csv";
+    spec.trace.source = "csv:" + csv_path;
+    spec.trace.max_jobs = 30;
+    specs.push_back(spec);
+  }
+  for (auto& spec : specs) {
+    spec.predictor = "order_probe";  // estimation view: kReplay (default)
+    Seen expected;
+    for (const auto& job : make_replay_trace(spec.trace).jobs) {
+      for (const auto& task : job.tasks) {
+        expected.emplace_back(task.job_id, task.length_s);
+      }
+    }
+    ASSERT_FALSE(expected.empty()) << spec.name;
+
+    recorded->clear();
+    (void)ScenarioRunner(spec).run_streamed();
+    EXPECT_EQ(*recorded, expected) << spec.name << " (streamed feed)";
+
+    recorded->clear();
+    (void)ScenarioRunner(spec).run_materialized();
+    EXPECT_EQ(*recorded, expected) << spec.name << " (materialized feed)";
+  }
+}
+
+// SharedTraceCursor pass accounting: a lazy source pays one pass per phase
+// that touches it; a single-pass source serves estimation AND replay from
+// one parse; a no-observation predictor never triggers the estimation pass.
+TEST(SingleCursor, ReadAccountingPerSourceKind) {
+  register_custom_grouped();
+  const std::string csv_path = "stream_reads_native.csv";
+  trace::write_csv_file(csv_path, fixture_trace(23));
+
+  ScenarioSpec synthetic;
+  synthetic.name = "reads_syn";
+  synthetic.trace.seed = 23;
+  synthetic.trace.horizon_s = 2.0 * 3600.0;
+  synthetic.trace.arrival_rate = 0.05;
+  synthetic.predictor = "custom_grouped";
+
+  ScenarioSpec csv = synthetic;
+  csv.name = "reads_csv";
+  csv.trace.source = "csv:" + csv_path;
+
+  // Lazy source, estimating predictor: one generation pass per phase.
+  const RunArtifact syn_streamed = ScenarioRunner(synthetic).run_streamed();
+  EXPECT_EQ(syn_streamed.trace_reads, 2u);
+  EXPECT_EQ(syn_streamed.rows_read, 2 * syn_streamed.trace_tasks);
+
+  // Lazy source, oracle: the estimation pass disappears entirely.
+  ScenarioSpec oracle = synthetic;
+  oracle.predictor = "oracle";
+  const RunArtifact oracle_streamed = ScenarioRunner(oracle).run_streamed();
+  EXPECT_EQ(oracle_streamed.trace_reads, 1u);
+  EXPECT_EQ(oracle_streamed.rows_read, oracle_streamed.trace_tasks);
+
+  // Single-pass source (csv parses whole-input): estimation + replay share
+  // ONE read even for a custom registered predictor — the tee.
+  const RunArtifact csv_streamed = ScenarioRunner(csv).run_streamed();
+  EXPECT_EQ(csv_streamed.trace_reads, 1u);
+  EXPECT_GE(csv_streamed.rows_read, csv_streamed.trace_tasks);
+
+  // The materialized path reads once too (estimation observes the replay
+  // set in place) — and the unified entry point routes csv there.
+  const RunArtifact csv_unified = ScenarioRunner(csv).run();
+  EXPECT_EQ(csv_unified.trace_reads, 1u);
+  const RunArtifact syn_materialized =
+      ScenarioRunner(synthetic).run_materialized();
+  EXPECT_EQ(syn_materialized.trace_reads, 1u);
+}
 
 /// JobSource over a pre-built job vector (yields owned copies).
 class VectorJobSource final : public sim::JobSource {
