@@ -7,47 +7,24 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <sstream>
 #include <thread>
 #include <utility>
 
+#include "api/fingerprint.hpp"
 #include "api/registry.hpp"
 #include "api/scenario.hpp"
 #include "api/stream.hpp"
-#include "ingest/registry.hpp"
 
 namespace cloudcr::api {
 
 namespace {
 
-/// Serializes the trace-shaping fields of a TraceSpec into a cache key.
-/// Reuses the scenario serializer so the key tracks the spec definition. The
-/// replay length limit does not shape *generation*, so the full-trace key
-/// normalizes it away — specs differing only in the replay limit share one
-/// generated trace. For the file-backed built-in sources (csv:/google:) the
-/// generator-only fields are likewise normalized out: the log decides the
-/// workload, so specs differing only in, say, the seed share one ingestion
-/// instead of re-parsing a month-scale log per spec. Custom registered
-/// schemes keep the full key — they may consume the generator env.
+/// Cache key for a TraceSpec: the canonical workload fingerprint
+/// (api/fingerprint.hpp), so key-order variants of one spec — and specs
+/// differing only in fields the source ignores — share one cached trace,
+/// while an edited log file keys a fresh one.
 std::string trace_key(const TraceSpec& spec, bool restricted) {
-  ScenarioSpec probe;
-  probe.trace = spec;
-  if (!restricted) probe.trace.replay_max_task_length_s = trace::kNoLengthLimit;
-  const std::string scheme =
-      ingest::split_source_spec(spec.source).scheme;
-  if (scheme == "csv" || scheme == "google") {
-    const TraceSpec defaults;
-    probe.trace.seed = defaults.seed;
-    probe.trace.horizon_s = defaults.horizon_s;
-    probe.trace.arrival_rate = defaults.arrival_rate;
-    probe.trace.priority_change_midway = defaults.priority_change_midway;
-    probe.trace.long_service_fraction = defaults.long_service_fraction;
-    // sample_job_filter and max_jobs stay: make_trace applies them to the
-    // ingested trace, so they shape the cached result.
-  }
-  std::ostringstream os;
-  os << (restricted ? "replay|" : "full|") << serialize(probe);
-  return os.str();
+  return trace_fingerprint(spec, restricted);
 }
 
 /// Memoizing trace store. The first worker to request a key generates the

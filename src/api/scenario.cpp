@@ -266,13 +266,17 @@ ScenarioSpec parse_scenario(const std::string& text) {
     } else if (key == "sched") {
       spec.sched = unescape_string(key, value);
     } else if (key == "estimation") {
-      spec.estimation = parse_estimation(value);
+      spec.estimation = with_key_context(
+          "estimation", value, [&] { return parse_estimation(value); });
     } else if (key == "placement") {
-      spec.placement = parse_placement(value);
+      spec.placement = with_key_context(
+          "placement", value, [&] { return parse_placement(value); });
     } else if (key == "adaptation") {
-      spec.adaptation = parse_adaptation(value);
+      spec.adaptation = with_key_context(
+          "adaptation", value, [&] { return parse_adaptation(value); });
     } else if (key == "shared_device") {
-      spec.shared_device = parse_device(value);
+      spec.shared_device = with_key_context(
+          "shared_device", value, [&] { return parse_device(value); });
     } else if (key == "storage_noise") {
       spec.storage_noise = parse_double(key, value);
     } else if (key == "sim_seed") {

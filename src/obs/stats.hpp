@@ -120,6 +120,10 @@ extern Stat storage_opslab_high_water;///< max live storage ops (gauge)
 extern Stat api_estimation_ns;        ///< host ns in the estimation pass
 extern Stat api_replay_ns;            ///< host ns in the replay pass
 extern Stat report_evaluate_ns;       ///< host ns evaluating report entries
+extern Stat svc_cache_hits;           ///< SimService artifact-cache hits
+extern Stat svc_cache_misses;         ///< SimService artifact-cache misses
+extern Stat svc_snapshot_resumes;     ///< what-if runs resumed from snapshots
+extern Stat svc_snapshot_bytes;       ///< parked snapshot footprint (gauge)
 }  // namespace st
 
 }  // namespace cloudcr::obs

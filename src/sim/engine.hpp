@@ -91,6 +91,30 @@ class Engine {
   /// EventQueue::reset_tuning). Only meaningful on an empty queue.
   void reset_queue_tuning() noexcept { queue_.reset_tuning(); }
 
+  /// Frozen engine state: the clock plus a deep copy of the event queue
+  /// (pending callbacks, slot generations, seq counter, calendar tuning).
+  /// Queued callbacks capture raw pointers (`this`, backends), so a
+  /// snapshot may only be restored into the very object graph that took
+  /// it — Simulation::resume_stream enforces that contract.
+  struct Snapshot {
+    EventQueue queue;
+    double now = 0.0;
+  };
+
+  /// Captures the current clock + queue. Every pending callback must be
+  /// trivially copyable (all simulator events are); otherwise throws.
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{queue_.clone(), now_};
+  }
+
+  /// Rewinds this engine to a previously captured snapshot. Outstanding
+  /// EventIds from snapshot time stay valid (slot generations are part of
+  /// the copied state); ids handed out after the snapshot are not.
+  void restore(const Snapshot& snap) {
+    queue_ = snap.queue.clone();
+    now_ = snap.now;
+  }
+
   /// Pre-sizes the queue for `n` concurrent events.
   void reserve(std::size_t n) { queue_.reserve(n); }
 

@@ -5,8 +5,38 @@
 
 namespace cloudcr::sim {
 
+void EventFn::throw_nontrivial_clone() {
+  throw std::logic_error(
+      "EventFn::clone: pending callable is not trivially copyable");
+}
+
 void EventQueue::throw_empty(const char* what) {
   throw std::logic_error(what);
+}
+
+EventQueue EventQueue::clone() const {
+  EventQueue out;
+  out.buckets_ = buckets_;
+  out.width_ = width_;
+  out.inv_width_ = inv_width_;
+  out.cur_window_ = cur_window_;
+  out.resident_ = resident_;
+  out.inserts_since_rebuild_ = inserts_since_rebuild_;
+  out.sparse_pops_since_rebuild_ = sparse_pops_since_rebuild_;
+  // scratch_ is pure rebuild staging; it stays empty in the copy.
+  out.slots_.resize(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    Slot& d = out.slots_[i];
+    if (s.fn) d.fn = s.fn.clone();
+    d.gen = s.gen;
+    d.next_free = s.next_free;
+  }
+  out.free_head_ = free_head_;
+  out.next_seq_ = next_seq_;
+  out.live_ = live_;
+  out.rebuilds_ = rebuilds_;
+  return out;
 }
 
 double EventQueue::next_time() const {

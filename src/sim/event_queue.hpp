@@ -102,6 +102,20 @@ class EventFn {
 
   void operator()() { vt_->invoke(buf_); }
 
+  /// Copy of this callable, for queue snapshots. Only trivially copyable
+  /// callables support cloning — every simulator event qualifies (they
+  /// capture `this` + indices); anything else throws std::logic_error
+  /// rather than silently aliasing captured state.
+  [[nodiscard]] EventFn clone() const {
+    EventFn out;
+    if (vt_ != nullptr) {
+      if (!vt_->trivial) throw_nontrivial_clone();
+      std::memcpy(out.buf_, buf_, kStorage);
+      out.vt_ = vt_;
+    }
+    return out;
+  }
+
  private:
   struct VTable {
     void (*invoke)(void*);
@@ -129,6 +143,8 @@ class EventFn {
     };
     return &vt;
   }
+
+  [[noreturn]] static void throw_nontrivial_clone();
 
   /// Takes over `other`'s callable; vt_ is already set to other.vt_.
   void relocate_from(EventFn& other) noexcept {
@@ -216,6 +232,13 @@ class EventQueue {
   /// Calendar rebuilds (grow/shrink/re-tune) since construction or the
   /// last clear(). Observability accounting; not part of queue semantics.
   [[nodiscard]] std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+
+  /// Deep copy of the whole queue — entries, slot generations, the seq
+  /// counter, and the calendar tuning (width, cursor, rebuild cadence
+  /// counters) — so a restored queue continues with bit-identical pop
+  /// order AND bit-identical rebuild accounting. Requires every pending
+  /// callback to be trivially copyable (EventFn::clone throws otherwise).
+  [[nodiscard]] EventQueue clone() const;
 
   /// Restores the just-constructed bucket tuning. clear() deliberately
   /// keeps the learned bucket count and width so a pooled queue replays

@@ -59,6 +59,7 @@ void Simulation::begin_run() {
                                           config_.cluster.hosts);
   result_ = SimResult{};
   release_rows_ = false;
+  policy_override_ = nullptr;
 
   // The scheduling stage engages only for a non-pass-through policy; fcfs
   // (and a null scheduler) takes the exact historical admission path.
@@ -397,6 +398,212 @@ SimResult Simulation::run_stream(JobSource& source, std::size_t batch_jobs) {
   return result;
 }
 
+// -- snapshot / restore -------------------------------------------------------
+
+std::size_t SimSnapshot::approx_bytes() const {
+  std::size_t bytes = sizeof(SimSnapshot);
+  // Event queue: one bucket entry + one slot (inline callable) per event.
+  bytes += engine.queue.size() *
+           (sizeof(double) + sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t) +
+            EventFn::kStorage + 2 * sizeof(std::uint32_t));
+  // Task table: the per-row cost across every SoA column.
+  bytes += tasks.size() *
+           (sizeof(HotRow) + sizeof(EventId) + 2 * sizeof(std::int32_t) +
+            2 * sizeof(double) + sizeof(std::int32_t) + sizeof(std::uint32_t) +
+            sizeof(void*) +
+            sizeof(std::optional<core::CheckpointController>) + sizeof(void*) +
+            sizeof(storage::CheckpointPrice) + sizeof(double) +
+            sizeof(TaskAccounting));
+  for (const auto& job : jobs) {
+    bytes += sizeof(job);
+    for (const auto& task : job.owned) {
+      bytes += sizeof(task) + task.failure_dates.size() * sizeof(double);
+    }
+  }
+  bytes += (pending.size() + free_jobs.size() + sched_stash.size()) *
+           sizeof(std::uint32_t);
+  for (const auto& [span, slots] : free_spans) {
+    (void)span;
+    bytes += slots.size() * sizeof(std::uint32_t);
+  }
+  bytes += sched_queue.size() * sizeof(sched::PendingJob);
+  bytes += sched_running.size() * sizeof(sched::RunningJob);
+  bytes += result.outcomes.size() * sizeof(result.outcomes[0]);
+  bytes += result.probes.size() * sizeof(result.probes[0]);
+  return bytes;
+}
+
+void Simulation::copy_task_table(const TaskTable& from, TaskTable& to) {
+  to.hot = from.hot;
+  to.pending_event = from.pending_event;
+  to.vm = from.vm;
+  to.last_failed_host = from.last_failed_host;
+  to.memory_mb = from.memory_mb;
+  to.length_s = from.length_s;
+  to.priority = from.priority;
+  to.job = from.job;
+  to.rec = from.rec;
+  to.controller.clear();
+  to.controller.reserve(from.controller.size());
+  for (const auto& c : from.controller) to.controller.push_back(c);
+  to.backend = from.backend;
+  to.ckpt_price = from.ckpt_price;
+  to.restart_price_s = from.restart_price_s;
+  to.acct = from.acct;
+}
+
+void Simulation::capture_snapshot(SimSnapshot& out,
+                                  std::uint64_t jobs_admitted) const {
+  out.engine = engine_.snapshot();
+  copy_task_table(tasks_, out.tasks);
+  out.jobs = ws_.jobs;
+  out.pending = ws_.pending;
+  out.free_jobs = ws_.free_jobs;
+  out.free_spans = ws_.free_spans;
+  out.cluster = cluster_;
+  out.rng = rng_;
+  local_backend_->capture_state(out.local_backend);
+  shared_backend_->capture_state(out.shared_backend);
+  out.pending_min_mb = pending_min_mb_;
+  out.sched_queue = sched_queue_;
+  out.sched_running = sched_running_;
+  out.sched_stash = sched_stash_;
+  out.sched_wake_event = sched_wake_event_;
+  out.next_probe_s = next_probe_s_;
+  out.probe_running_tasks = probe_running_tasks_;
+  out.probe_active_jobs = probe_active_jobs_;
+  out.probe_wpr_sum = probe_wpr_sum_;
+  out.probe_wpr_n = probe_wpr_n_;
+  out.result = result_;
+  out.detection_delay_s = config_.detection_delay_s;
+  out.jobs_admitted = jobs_admitted;
+  out.taken_at = engine_.now();
+}
+
+void Simulation::restore_snapshot(const SimSnapshot& snap) {
+  engine_.restore(snap.engine);
+  copy_task_table(snap.tasks, tasks_);
+  ws_.jobs = snap.jobs;
+  ws_.pending = snap.pending;
+  ws_.free_jobs = snap.free_jobs;
+  ws_.free_spans = snap.free_spans;
+  ws_.chunk.clear();
+  cluster_ = snap.cluster;
+  rng_ = snap.rng;
+  // Backends are the instances begin_run created for the snapshot run —
+  // queued [backend, op] events and tasks_.backend hold raw pointers to
+  // them, so only their mutable state rewinds; they are never recreated.
+  local_backend_->restore_state(snap.local_backend);
+  shared_backend_->restore_state(snap.shared_backend);
+  pending_min_mb_ = snap.pending_min_mb;
+  // The jobs-vector copy relocated each owned record span: re-point the
+  // spans and the task rows of live jobs. Retired slots cleared their
+  // records (init_row re-points recycled rows at admission).
+  for (auto& job : ws_.jobs) {
+    if (!job.active || job.owned.empty()) continue;
+    job.task_recs = job.owned.data();
+    for (std::size_t i = 0; i < job.n_tasks; ++i) {
+      tasks_.rec[job.first_task + i] = &job.owned[i];
+    }
+  }
+  release_rows_ = true;  // snapshots exist only on the streaming path
+  sched_active_ =
+      config_.scheduler != nullptr && !config_.scheduler->pass_through();
+  total_capacity_mb_ = static_cast<double>(config_.cluster.hosts) *
+                       static_cast<double>(config_.cluster.vms_per_host) *
+                       config_.cluster.vm_memory_mb;
+  sched_queue_ = snap.sched_queue;
+  sched_running_ = snap.sched_running;
+  sched_stash_ = snap.sched_stash;
+  sched_in_pump_ = false;
+  sched_pump_again_ = false;
+  sched_wake_event_ = snap.sched_wake_event;
+  next_probe_s_ = snap.next_probe_s;
+  probe_running_tasks_ = snap.probe_running_tasks;
+  probe_active_jobs_ = snap.probe_active_jobs;
+  probe_wpr_sum_ = snap.probe_wpr_sum;
+  probe_wpr_n_ = snap.probe_wpr_n;
+  result_ = snap.result;
+  config_.detection_delay_s = snap.detection_delay_s;
+#if CLOUDCR_OBS_ENABLED
+  // Tallies and tracer spans restart at the fork: a resumed run's obs
+  // counters cover the post-fork segment only (results are unaffected —
+  // counters never feed back into the replay).
+  tally_ = ObsTally{};
+  trace_task_start_.clear();
+  trace_vm_start_.clear();
+#endif
+}
+
+SimResult Simulation::run_stream_snapshot(JobSource& source, double fork_at,
+                                          SimSnapshot& out,
+                                          std::size_t batch_jobs) {
+  begin_run();
+  release_rows_ = true;
+  if (batch_jobs == 0) batch_jobs = 1;
+  std::uint64_t admitted = 0;
+  bool taken = false;
+  while (true) {
+    ws_.chunk.clear();
+    if (source.next_jobs(batch_jobs, ws_.chunk) == 0) break;
+    CLOUDCR_OBS_STMT(++tally_.stream_batches);
+    for (auto& rec : ws_.chunk) {
+      // Capture at the arrival boundary, before this record's engine drain:
+      // resume_stream re-enters the loop at exactly this point. Capturing
+      // only copies state, so the ongoing run is not perturbed.
+      if (!taken && rec.arrival_s >= fork_at) {
+        capture_snapshot(out, admitted);
+        taken = true;
+      }
+      if (config_.probe_interval_s > 0.0) pump_probes_before(rec.arrival_s);
+      result_.events_dispatched += engine_.run_until_before(rec.arrival_s);
+      engine_.advance_to(rec.arrival_s);
+      admit_job(rec, &rec);
+      ++admitted;
+    }
+  }
+  // A fork beyond the last arrival snapshots the fully-admitted state; the
+  // resumed run then only replays the final drain.
+  if (!taken) capture_snapshot(out, admitted);
+  SimResult result = end_run();
+  release_rows_ = false;
+  return result;
+}
+
+SimResult Simulation::resume_stream(const SimSnapshot& snap, JobSource& source,
+                                    const ResumeOverrides& overrides,
+                                    std::size_t batch_jobs) {
+  restore_snapshot(snap);
+  policy_override_ = overrides.policy;
+  if (overrides.detection_delay_s) {
+    config_.detection_delay_s = *overrides.detection_delay_s;
+  }
+  if (batch_jobs == 0) batch_jobs = 1;
+  // The source replays the whole trace deterministically; discard the jobs
+  // the snapshot already admitted. Discarded records still count in the
+  // caller's source accounting, so trace_jobs/trace_tasks match a full run.
+  std::uint64_t to_skip = snap.jobs_admitted;
+  while (true) {
+    ws_.chunk.clear();
+    if (source.next_jobs(batch_jobs, ws_.chunk) == 0) break;
+    CLOUDCR_OBS_STMT(++tally_.stream_batches);
+    for (auto& rec : ws_.chunk) {
+      if (to_skip > 0) {
+        --to_skip;
+        continue;
+      }
+      if (config_.probe_interval_s > 0.0) pump_probes_before(rec.arrival_s);
+      result_.events_dispatched += engine_.run_until_before(rec.arrival_s);
+      engine_.advance_to(rec.arrival_s);
+      admit_job(rec, &rec);
+    }
+  }
+  SimResult result = end_run();
+  release_rows_ = false;
+  policy_override_ = nullptr;
+  return result;
+}
+
 void Simulation::on_job_arrival(std::size_t job_idx) {
   JobState& job = ws_.jobs[job_idx];
   if (job.structure == trace::JobStructure::kBagOfTasks) {
@@ -439,6 +646,10 @@ void Simulation::push_pending(std::size_t task_idx) {
 
 void Simulation::init_controller(std::size_t task_idx) {
   const trace::TaskRecord& rec = *tasks_.rec[task_idx];
+  // resume_stream's what-if policy applies to dispatches after the fork;
+  // everywhere else the override is null and this is the ctor-bound policy.
+  const core::CheckpointPolicy& policy =
+      policy_override_ != nullptr ? *policy_override_ : policy_;
   const core::FailureStats stats =
       predictor_(rec, tasks_.priority[task_idx]);
   std::optional<storage::DeviceKind> forced;
@@ -453,7 +664,7 @@ void Simulation::init_controller(std::size_t task_idx) {
       config_.length_predictor
           ? std::max(1.0, config_.length_predictor(rec))
           : rec.length_s;
-  tasks_.controller[task_idx].emplace(policy_, planned_length, rec.memory_mb,
+  tasks_.controller[task_idx].emplace(policy, planned_length, rec.memory_mb,
                                       stats, config_.adaptation,
                                       config_.shared_kind, forced);
   storage::StorageBackend* backend =

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/controller.hpp"
@@ -118,6 +119,67 @@ struct ReplayWorkspace {
   std::vector<std::uint32_t> admission_order;
 };
 
+/// Frozen mid-run state of a *streaming* replay, taken at an arrival
+/// boundary: the engine (clock + cloned event queue), every workspace
+/// table, the cluster index, the RNG, both storage-backend states, the
+/// scheduler queues, probe cursors, and the partial result. Together with
+/// the count of already-consumed source jobs this is everything a resumed
+/// run needs to continue bit-identically to a replay from zero — the
+/// snapshot==replay house invariant (tests/svc/snapshot_identity_test.cpp).
+///
+/// A snapshot is bound to the Simulation instance that captured it: queued
+/// callbacks and task rows hold raw pointers to that instance and its
+/// storage backends, so Simulation::resume_stream must be called on the
+/// same object (which must not have started any other run in between).
+/// One snapshot supports any number of sequential resumes.
+struct SimSnapshot {
+  Engine::Snapshot engine;
+  TaskTable tasks;
+  std::vector<ReplayWorkspace::JobState> jobs;
+  std::vector<std::uint32_t> pending;
+  std::vector<std::uint32_t> free_jobs;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> free_spans;
+  Cluster cluster;
+  stats::Rng rng;
+  storage::BackendState local_backend;
+  storage::BackendState shared_backend;
+  double pending_min_mb = 0.0;
+  std::vector<sched::PendingJob> sched_queue;
+  std::vector<sched::RunningJob> sched_running;
+  std::vector<std::uint32_t> sched_stash;
+  EventId sched_wake_event = TaskTable::kNoEvent;
+  double next_probe_s = 0.0;
+  std::uint64_t probe_running_tasks = 0;
+  std::uint64_t probe_active_jobs = 0;
+  double probe_wpr_sum = 0.0;
+  std::uint64_t probe_wpr_n = 0;
+  SimResult result;
+  /// Base detection delay at capture (resume overrides may replace it).
+  double detection_delay_s = 0.0;
+  /// Source jobs consumed before the fork point; resume_stream re-opens
+  /// the (deterministic) source and discards exactly this many jobs.
+  std::uint64_t jobs_admitted = 0;
+  /// Engine time when the snapshot was taken.
+  double taken_at = 0.0;
+
+  /// Rough heap footprint of the captured state, for the
+  /// svc.snapshot_bytes gauge. Estimate, not an allocator census.
+  [[nodiscard]] std::size_t approx_bytes() const;
+};
+
+/// What-if knobs a resumed run may change relative to its base spec.
+/// Everything else (trace, cluster, storage device, placement, seeds) is
+/// baked into the captured state and cannot be overridden — see
+/// docs/service.md for the rationale per field.
+struct ResumeOverrides {
+  /// Checkpoint policy for tasks *dispatched after the fork* (must outlive
+  /// the resumed run). Tasks already running keep the base policy — their
+  /// controllers were constructed against it. Null keeps the base policy.
+  const core::CheckpointPolicy* policy = nullptr;
+  /// Failure-detection latency from the fork onward.
+  std::optional<double> detection_delay_s;
+};
+
 /// Replays one trace under one policy. run() is reusable: every call resets
 /// the workspace, cluster, RNG, and storage backends, so consecutive runs
 /// are bit-identical to fresh constructions.
@@ -154,6 +216,27 @@ class Simulation {
   SimResult run_stream(JobSource& source,
                        std::size_t batch_jobs = kDefaultBatchJobs);
 
+  /// run_stream that additionally captures `out` just before admitting the
+  /// first job whose arrival is at or beyond `fork_at` (or after the last
+  /// admission when no such job exists). The returned result is
+  /// bit-identical to a plain run_stream — capturing only copies state.
+  /// Only the streaming path supports snapshots: the materialized run()
+  /// borrows the caller's trace records, which a snapshot cannot pin.
+  SimResult run_stream_snapshot(JobSource& source, double fork_at,
+                                SimSnapshot& out,
+                                std::size_t batch_jobs = kDefaultBatchJobs);
+
+  /// Resumes a captured run from its fork point against a *fresh* JobSource
+  /// over the same trace (the first SimSnapshot::jobs_admitted jobs are
+  /// consumed and discarded to reach the fork). With empty overrides the
+  /// result is bit-identical to the run that took the snapshot; overrides
+  /// apply from the fork onward. Must be called on the Simulation instance
+  /// that captured `snap`, before any other run() / run_stream() on it;
+  /// sequential resumes from one snapshot are fine.
+  SimResult resume_stream(const SimSnapshot& snap, JobSource& source,
+                          const ResumeOverrides& overrides = {},
+                          std::size_t batch_jobs = kDefaultBatchJobs);
+
  private:
   enum class Wakeup : std::uint8_t {
     kKill,
@@ -169,6 +252,17 @@ class Simulation {
   // -- run skeleton ---------------------------------------------------------
   /// Resets all pooled state; shared by both entry points.
   void begin_run();
+  /// Copies every mutable column; the controller column is rebuilt by copy
+  /// construction (CheckpointController's policy reference deletes its copy
+  /// assignment, which vector element-wise assignment would need).
+  static void copy_task_table(const TaskTable& from, TaskTable& to);
+  /// Copies the full mid-run state into `out` (read-only; the running
+  /// simulation is not perturbed).
+  void capture_snapshot(SimSnapshot& out, std::uint64_t jobs_admitted) const;
+  /// Rewinds this simulation to `snap`, re-pointing the record spans that
+  /// the jobs-vector copy relocated. Leaves the engine ready to continue
+  /// the admission loop from the fork point.
+  void restore_snapshot(const SimSnapshot& snap);
   /// Finishes the run: drains the engine, sweeps still-active jobs, and
   /// returns the result.
   SimResult end_run();
@@ -277,6 +371,10 @@ class Simulation {
 
   SimConfig config_;
   const core::CheckpointPolicy& policy_;
+  /// Non-null only inside resume_stream: init_controller consults it so a
+  /// what-if fork can swap the policy for post-fork dispatches without
+  /// reseating the reference above. Cleared by begin_run.
+  const core::CheckpointPolicy* policy_override_ = nullptr;
   StatsPredictor predictor_;
 
   Cluster cluster_;

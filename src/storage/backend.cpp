@@ -41,6 +41,15 @@ void LocalRamdiskBackend::end_checkpoint(std::uint64_t op_id) {
   ops_.end(op_id);
 }
 
+void LocalRamdiskBackend::capture_state(BackendState& out) const {
+  out.ops = ops_;
+  out.per_server_active.clear();
+}
+
+void LocalRamdiskBackend::restore_state(const BackendState& state) {
+  ops_ = state.ops;
+}
+
 // ------------------------------------------------------------ SharedNfsBackend
 
 SharedNfsBackend::SharedNfsBackend(stats::Rng* rng, double noise,
@@ -66,6 +75,15 @@ CheckpointTicket SharedNfsBackend::begin_priced(const CheckpointPrice& base,
 
 void SharedNfsBackend::end_checkpoint(std::uint64_t op_id) {
   ops_.end(op_id);
+}
+
+void SharedNfsBackend::capture_state(BackendState& out) const {
+  out.ops = ops_;
+  out.per_server_active.clear();
+}
+
+void SharedNfsBackend::restore_state(const BackendState& state) {
+  ops_ = state.ops;
 }
 
 // ---------------------------------------------------------------- DmNfsBackend
@@ -108,6 +126,16 @@ void DmNfsBackend::end_checkpoint(std::uint64_t op_id) {
 
 std::size_t DmNfsBackend::server_load(std::size_t server) const {
   return per_server_active_.at(server);
+}
+
+void DmNfsBackend::capture_state(BackendState& out) const {
+  out.ops = ops_;
+  out.per_server_active = per_server_active_;
+}
+
+void DmNfsBackend::restore_state(const BackendState& state) {
+  ops_ = state.ops;
+  per_server_active_ = state.per_server_active;
 }
 
 std::unique_ptr<StorageBackend> make_backend(DeviceKind kind, stats::Rng& rng,

@@ -104,6 +104,16 @@ class OpSlab {
   std::size_t high_water_ = 0;
 };
 
+/// Frozen mutable state of a backend: the in-flight op slab plus, for
+/// devices that track it, the per-server load vector. Calibration curves,
+/// noise configuration, and the RNG binding are construction-time state
+/// and deliberately excluded — a snapshot restores into the same backend
+/// instance (queued engine events hold raw backend pointers).
+struct BackendState {
+  OpSlab ops;
+  std::vector<std::size_t> per_server_active;
+};
+
 /// A checkpoint storage device as seen by the simulator.
 class StorageBackend {
  public:
@@ -150,6 +160,14 @@ class StorageBackend {
   /// Most ops ever in flight at once (observability high-water mark).
   [[nodiscard]] virtual std::size_t ops_high_water() const noexcept = 0;
 
+  /// Copies the device's mutable state into `out` (simulation snapshots).
+  virtual void capture_state(BackendState& out) const = 0;
+
+  /// Inverse of capture_state(). Must be called on the same instance the
+  /// state was captured from — op ids held by queued events stay valid
+  /// because the slab's slot generations are part of the copied state.
+  virtual void restore_state(const BackendState& state) = 0;
+
   /// Migration type implied by this device.
   [[nodiscard]] MigrationType migration_type() const noexcept {
     return migration_for_device(kind());
@@ -183,6 +201,8 @@ class LocalRamdiskBackend final : public StorageBackend {
   [[nodiscard]] std::size_t ops_high_water() const noexcept override {
     return ops_.high_water();
   }
+  void capture_state(BackendState& out) const override;
+  void restore_state(const BackendState& state) override;
 
  private:
   stats::Rng* rng_;
@@ -210,6 +230,8 @@ class SharedNfsBackend final : public StorageBackend {
   [[nodiscard]] std::size_t ops_high_water() const noexcept override {
     return ops_.high_water();
   }
+  void capture_state(BackendState& out) const override;
+  void restore_state(const BackendState& state) override;
 
  private:
   stats::Rng* rng_;
@@ -247,6 +269,8 @@ class DmNfsBackend final : public StorageBackend {
   }
   /// Ops currently writing to one server (for contention validation tests).
   [[nodiscard]] std::size_t server_load(std::size_t server) const;
+  void capture_state(BackendState& out) const override;
+  void restore_state(const BackendState& state) override;
 
  private:
   stats::Rng& rng_;

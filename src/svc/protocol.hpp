@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file protocol.hpp
+/// \brief The line-delimited JSON wire format of cloudcr_serve.
+///
+/// One request per input line, one response per request, always in order —
+/// no framing beyond '\n', no networking (the binary speaks stdin/stdout;
+/// anything from a shell pipe to a socket relay can drive it). Grammar
+/// (docs/service.md spells out every field):
+///
+///   {"op":"run","spec":"<serialized ScenarioSpec>"[,"outcomes":true]}
+///   {"op":"batch","specs":["<spec>",...][,"outcomes":true]}
+///   {"op":"whatif","spec":"<base>","fork_at":N
+///        [,"policy":"<key>"][,"detection_delay_s":N][,"outcomes":true]}
+///   {"op":"stats"}
+///
+/// Responses:
+///
+///   {"ok":true,"cached":B,"artifact":{...}}          run | whatif
+///   {"ok":true,"cached":[B,...],"artifacts":[{...}]} batch
+///   {"ok":true,"stats":{...}}                        stats
+///   {"ok":false,"error":"<message>"}                 any failure
+///
+/// A malformed line or a failing run never kills the loop: the error lands
+/// in that line's response and the next request is served. The parser
+/// accepts exactly the subset of JSON the grammar needs (flat objects,
+/// string/number/bool scalars, arrays of strings) and rejects everything
+/// else loudly.
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/service.hpp"
+
+namespace cloudcr::svc {
+
+/// One parsed request line.
+struct Request {
+  enum class Op { kRun, kBatch, kWhatIf, kStats };
+  Op op = Op::kStats;
+  std::string spec;                ///< run | whatif
+  std::vector<std::string> specs;  ///< batch
+  double fork_at = 0.0;            ///< whatif
+  std::string policy;              ///< whatif (empty = keep base)
+  std::optional<double> detection_delay_s;  ///< whatif
+  bool outcomes = false;  ///< include per-job outcome rows in artifacts
+};
+
+/// Parses one NDJSON request line. Throws std::invalid_argument naming the
+/// offending field on anything outside the grammar.
+Request parse_request(const std::string& line);
+
+/// Response writers (one line each, including the trailing newline).
+void write_reply(std::ostream& os, const ServiceReply& reply, bool outcomes);
+void write_batch_reply(std::ostream& os,
+                       const std::vector<ServiceReply>& replies,
+                       bool outcomes);
+void write_stats_reply(std::ostream& os, const ServiceStats& stats);
+void write_error_reply(std::ostream& os, const std::string& message);
+
+/// Serves requests from `in` against `service` until EOF, one response
+/// line per request line (blank lines are skipped). Flushes after every
+/// response so a pipe-driven client can interleave. Returns the number of
+/// requests answered (errors included).
+std::size_t serve(SimService& service, std::istream& in, std::ostream& out);
+
+}  // namespace cloudcr::svc
