@@ -237,6 +237,11 @@ RunArtifact ScenarioRunner::run_materialized(const RunHooks& hooks) const {
   config.length_predictor = hooks.length_predictor;
   config.scheduler = scheduler.get();
   config.tracer = tracer.get();
+  // A shard cap changes only the worker-thread budget, never results; the
+  // artifact's spec echo keeps the requested count.
+  if (hooks.shard_limit > 0 && config.shards > hooks.shard_limit) {
+    config.shards = hooks.shard_limit;
+  }
 
   RunArtifact artifact;
   artifact.spec = spec_;
@@ -316,6 +321,9 @@ RunArtifact ScenarioRunner::run_streamed(const RunHooks& hooks,
   config.length_predictor = hooks.length_predictor;
   config.scheduler = scheduler.get();
   config.tracer = tracer.get();
+  if (hooks.shard_limit > 0 && config.shards > hooks.shard_limit) {
+    config.shards = hooks.shard_limit;
+  }
 
   RunArtifact artifact;
   artifact.spec = spec_;

@@ -1,0 +1,164 @@
+#include "sim/ckpt_sequence.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cloudcr::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void plan_controller(const PlanEnv& env, const trace::TaskRecord& rec,
+                     std::int32_t priority, ControllerPlan& out) {
+  const SimConfig& config = *env.config;
+  const core::FailureStats stats =
+      (*env.predictor)(rec, static_cast<int>(priority));
+  std::optional<storage::DeviceKind> forced;
+  if (config.placement == PlacementMode::kForceLocal) {
+    forced = storage::DeviceKind::kLocalRamdisk;
+  } else if (config.placement == PlacementMode::kForceShared) {
+    forced = config.shared_kind;
+  }
+  // The planner sees the parser's *predicted* length; execution still ends
+  // at the true length.
+  const double planned_length =
+      config.length_predictor ? std::max(1.0, config.length_predictor(rec))
+                              : rec.length_s;
+  out.ctrl.emplace(*env.policy, planned_length, rec.memory_mb, stats,
+                   config.adaptation, config.shared_kind, forced);
+  out.device = out.ctrl->storage_decision().device;
+  // Only the pure pricing curves are consulted (base_price/restart_cost are
+  // const functions of the footprint) — never the contention slab, so this
+  // is safe off-thread while the committer runs ops on the same backend.
+  const storage::StorageBackend* backend =
+      out.device == storage::DeviceKind::kLocalRamdisk ? env.local_backend
+                                                       : env.shared_backend;
+  out.price = backend->base_price(rec.memory_mb);
+  out.restart_s = backend->restart_cost(rec.memory_mb);
+}
+
+void sync_row_clock(HotRow& h, double now) {
+  const double elapsed = now - h.last_sync_s;
+  if (elapsed > 0.0) {
+    h.active_s += elapsed;
+    if (h.phase == TaskPhase::kExecuting) {
+      h.progress_s += elapsed;
+    }
+  }
+  h.last_sync_s = now;
+}
+
+CkptSeqResult run_ckpt_sequence(HotRow& h, core::CheckpointController& ctrl,
+                                TaskAccounting& acct,
+                                const storage::CheckpointPrice& price,
+                                double length_s, double prio_change_time,
+                                double vt0, CkptSeqTrace* tr) {
+  CkptSeqResult out;
+  double vt = vt0;
+
+  while (true) {
+    // -- the due transition (begin the write) -------------------------------
+    // On a pure device the ticket begin_priced would return carries exactly
+    // the cached base price (no contention scaling, no noise draw); the
+    // committer replays the op bookkeeping itself, `out.ops` times.
+    if (tr != nullptr) tr->end_span(vt);  // the "run" span so far
+    ++acct.checkpoints;
+    acct.checkpoint_cost_s += price.cost_s;
+    ++out.ops;
+    h.ckpt_progress_s = h.progress_s;
+    h.phase = TaskPhase::kCheckpointing;
+    if (tr != nullptr) tr->begin_span(vt);
+    h.phase_end_active = h.active_s + price.cost_s;
+
+    // -- can the write complete uninterrupted? ------------------------------
+    const double active0 = h.active_s;
+    const double done_delta = h.phase_end_active - active0;
+    const double kill_delta = h.next_failure_date_s != kInf
+                                  ? h.next_failure_date_s - active0
+                                  : kInf;
+    const double prio_delta = (h.flags & TaskTable::kPriorityChangePending)
+                                  ? prio_change_time - active0
+                                  : kInf;
+    if (!(done_delta < kill_delta && done_delta < prio_delta)) {
+      // arm_from replayed against the frozen row: the phase is
+      // kCheckpointing, so the candidates are kill, priority change, and
+      // checkpoint-done, considered in arm()'s order with its strict-< tie
+      // rule (the kill/priority wake must win exact ties).
+      out.evented = true;
+      double best_delta = kInf;
+      Wakeup best = Wakeup::kComplete;
+      auto consider = [&](double delta, Wakeup kind) {
+        if (delta < best_delta) {
+          best_delta = delta;
+          best = kind;
+        }
+      };
+      if (h.next_failure_date_s != kInf) {
+        consider(h.next_failure_date_s - active0, Wakeup::kKill);
+      }
+      if (h.flags & TaskTable::kPriorityChangePending) {
+        consider(prio_change_time - active0, Wakeup::kPriorityChange);
+      }
+      consider(h.phase_end_active - active0, Wakeup::kCheckpointDone);
+      best_delta = std::max(0.0, best_delta);
+      out.wake_time = vt + best_delta;
+      out.wake_kind = best;
+      return out;
+    }
+
+    // -- the done transition, replayed inline -------------------------------
+    const double delta0 = std::max(0.0, done_delta);
+    const double done_time = vt + delta0;  // the done wake's timestamp
+    const double elapsed = done_time - vt; // sync_clock at that wake
+    if (elapsed > 0.0) h.active_s = active0 + elapsed;
+    h.last_sync_s = done_time;
+    h.saved_s = h.ckpt_progress_s;
+    ctrl.on_checkpoint(h.saved_s);
+    ++out.dones;
+    if (tr != nullptr) tr->end_span(done_time);  // the "ckpt" span
+    h.phase = TaskPhase::kExecuting;
+    if (tr != nullptr) tr->begin_span(done_time);
+    vt = done_time;
+
+    // -- the post-checkpoint arm, against the virtual state -----------------
+    const double active1 = h.active_s;
+    double best_delta = kInf;
+    Wakeup best = Wakeup::kComplete;
+    auto consider = [&](double delta, Wakeup kind) {
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = kind;
+      }
+    };
+    if (h.next_failure_date_s != kInf) {
+      consider(h.next_failure_date_s - active1, Wakeup::kKill);
+    }
+    if (h.flags & TaskTable::kPriorityChangePending) {
+      consider(prio_change_time - active1, Wakeup::kPriorityChange);
+    }
+    const double progress = h.progress_s;
+    consider(length_s - progress, Wakeup::kComplete);
+    const auto next_ckpt = ctrl.work_until_next_checkpoint(progress);
+    if (next_ckpt) consider(*next_ckpt, Wakeup::kCheckpointDue);
+
+    best_delta = std::max(0.0, best_delta);
+    if (best != Wakeup::kCheckpointDue) {  // callers guarantee a pure device
+      out.wake_time = vt + best_delta;
+      out.wake_kind = best;
+      return out;
+    }
+
+    // -- next checkpoint is also determined: advance to it inline -----------
+    const double due_time = vt + best_delta;  // the due wake's timestamp
+    const double run = due_time - vt;         // sync_clock at that wake
+    if (run > 0.0) {
+      h.active_s = active1 + run;
+      h.progress_s = progress + run;  // kExecuting accrues
+    }
+    h.last_sync_s = due_time;
+    vt = due_time;
+  }
+}
+
+}  // namespace cloudcr::sim

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file ckpt_sequence.hpp
+/// \brief The deterministic pieces of one task's replay, as pure functions.
+///
+/// Two fragments of the event handlers are pure functions of a single task's
+/// frozen state: the controller construction at first dispatch (predictor
+/// call + Section 4.2.2 storage decision + cached prices) and the
+/// checkpoint-run compression loop on pure storage devices (handle_
+/// checkpoint_due's inline replay of begin → done → next-due transitions).
+/// This header extracts both so the sharded runtime (shard.hpp) can
+/// speculatively precompute them on worker threads while the committing
+/// shard keeps the canonical serial event order.
+///
+/// Bit-identity contract: there is exactly ONE compiled instance of each
+/// function (ckpt_sequence.cpp), called by both the inline path and the
+/// workers, so a consumed plan and an inline computation are the same
+/// machine code over the same inputs — byte-identical results for any shard
+/// count, by construction. Every expression replays the uncompressed
+/// engine's arithmetic expression-for-expression (arm()'s delta space,
+/// first-candidate-wins strict-< ties, sync_clock's elapsed guard).
+
+#include <cstdint>
+#include <optional>
+
+#include "core/controller.hpp"
+#include "sim/config.hpp"
+#include "sim/task_table.hpp"
+#include "storage/backend.hpp"
+#include "trace/records.hpp"
+
+namespace cloudcr::sim {
+
+/// Wakeup kinds a task's single pending engine event can deliver. (Hoisted
+/// from Simulation so plan results can name the event they determined.)
+enum class Wakeup : std::uint8_t {
+  kKill,
+  kPriorityChange,
+  kCheckpointDue,
+  kCheckpointDone,
+  kRestoreDone,
+  kComplete,
+};
+
+/// Read-only environment a controller plan needs: the run's configuration,
+/// the resolved checkpoint policy, the failure-statistics predictor, and
+/// the two storage backends (const — only the pure pricing curves are
+/// consulted, never the contention slab).
+///
+/// Thread-safety contract (enforced by documentation, exercised under
+/// TSan): when SimConfig::shards > 1, the policy, predictor, and
+/// length_predictor must tolerate concurrent const invocation. Every
+/// built-in policy/predictor is stateless or captures immutable estimator
+/// state by value, so all of them qualify.
+struct PlanEnv {
+  const SimConfig* config = nullptr;
+  const core::CheckpointPolicy* policy = nullptr;
+  const StatsPredictor* predictor = nullptr;
+  const storage::StorageBackend* local_backend = nullptr;
+  const storage::StorageBackend* shared_backend = nullptr;
+  bool collect_stats = false;
+};
+
+/// Everything init_controller derives for a task at first dispatch.
+struct ControllerPlan {
+  std::optional<core::CheckpointController> ctrl;
+  storage::DeviceKind device = storage::DeviceKind::kLocalRamdisk;
+  storage::CheckpointPrice price;
+  double restart_s = 0.0;
+};
+
+/// Computes a task's controller, storage decision, and cached prices —
+/// the exact arithmetic of Simulation::init_controller, relocated. Pure:
+/// touches no simulation state, draws no RNG.
+void plan_controller(const PlanEnv& env, const trace::TaskRecord& rec,
+                     std::int32_t priority, ControllerPlan& out);
+
+/// Span-emission callback for the checkpoint sequence: null when tracing is
+/// off and always null on worker threads (plans are only consumed when no
+/// tracer is attached, so spans are exclusively an inline-path concern).
+/// Callbacks fire at the exact points — relative to the row's phase
+/// mutations — where the uncompressed handler emitted spans.
+class CkptSeqTrace {
+ public:
+  virtual void end_span(double t) = 0;
+  virtual void begin_span(double t) = 0;
+
+ protected:
+  ~CkptSeqTrace() = default;
+};
+
+/// Outcome of one compressed checkpoint run.
+struct CkptSeqResult {
+  double wake_time = 0.0;  ///< absolute time of the one engine event needed
+  Wakeup wake_kind = Wakeup::kComplete;
+  std::uint32_t ops = 0;   ///< checkpoint writes begun (device ops to replay)
+  std::uint32_t dones = 0; ///< done transitions compressed inline
+  bool evented = false;    ///< exited via the interrupted (kill/prio) arm
+};
+
+/// sync_clock's arithmetic on a detached row: accrues active (and, while
+/// executing, productive) time since the last sync. One compiled instance,
+/// shared by Simulation::sync_clock and the worker-side plan replay.
+void sync_row_clock(HotRow& h, double now);
+
+/// The checkpoint-run compression loop of handle_checkpoint_due for a PURE
+/// device (begin_priced is a pure function of its arguments and completion
+/// never affects pricing — so the ticket price equals `price` exactly and
+/// no completion events are owed). Mutates `h`, `ctrl`, and `acct` exactly
+/// as the serial engine would, and returns the single engine event the run
+/// determined plus the device-op count the committer must replay against
+/// the real backend. `vt0` is the due wake's timestamp (the row must be
+/// clock-synced to it); `prio_change_time` is the record's scheduled
+/// priority-change date (read only when the row's flag is set).
+CkptSeqResult run_ckpt_sequence(HotRow& h, core::CheckpointController& ctrl,
+                                TaskAccounting& acct,
+                                const storage::CheckpointPrice& price,
+                                double length_s, double prio_change_time,
+                                double vt0, CkptSeqTrace* tr);
+
+}  // namespace cloudcr::sim

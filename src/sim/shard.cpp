@@ -1,0 +1,281 @@
+#include "sim/shard.hpp"
+
+#include <chrono>
+
+#include "obs/hooks.hpp"
+
+namespace cloudcr::sim {
+
+ShardRuntime::ShardRuntime(std::uint32_t shards, const PlanEnv& env)
+    : env_(env),
+      blocks_(new std::atomic<Block*>[kMaxBlocks]) {
+  for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+    blocks_[b].store(nullptr, std::memory_order_relaxed);
+  }
+  const std::uint32_t n_workers = shards > 1 ? shards - 1 : 0;
+  channels_.reserve(n_workers);
+  for (std::uint32_t w = 0; w < n_workers; ++w) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+  for (auto& ch : channels_) {
+    Channel* c = ch.get();
+    c->thread = std::thread([this, c] { worker_main(*c); });
+  }
+}
+
+ShardRuntime::~ShardRuntime() {
+  stop_.store(true);
+  for (auto& ch : channels_) {
+    {
+      std::lock_guard<std::mutex> lock(ch->m);
+    }
+    ch->cv.notify_all();
+  }
+  for (auto& ch : channels_) {
+    if (ch->thread.joinable()) ch->thread.join();
+  }
+  for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+    delete blocks_[b].load(std::memory_order_relaxed);
+  }
+}
+
+ShardRuntime::Slot* ShardRuntime::slot_if(std::size_t row) const noexcept {
+  const std::size_t b = row >> kBlockBits;
+  if (b >= kMaxBlocks) return nullptr;
+  Block* blk = blocks_[b].load(std::memory_order_acquire);
+  if (blk == nullptr) return nullptr;
+  return &blk->slots[row & (kBlockSize - 1)];
+}
+
+ShardRuntime::Slot& ShardRuntime::ensure_slot(std::size_t row) {
+  const std::size_t b = row >> kBlockBits;
+  Block* blk = blocks_[b].load(std::memory_order_acquire);
+  if (blk == nullptr) {
+    blk = new Block();
+    // Committer-only growth: the release store publishes the constructed
+    // block before any worker can receive a row index inside it.
+    blocks_[b].store(blk, std::memory_order_release);
+  }
+  return blk->slots[row & (kBlockSize - 1)];
+}
+
+bool ShardRuntime::ring_push(Channel& ch, std::uint32_t row) {
+  const std::size_t t = ch.tail.load(std::memory_order_relaxed);
+  if (t - ch.head.load(std::memory_order_acquire) >= Channel::kRingSize) {
+    return false;  // full: the committer computes inline later instead
+  }
+  ch.buf[t & (Channel::kRingSize - 1)] = row;
+  ch.tail.store(t + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+bool ShardRuntime::ring_pop(Channel& ch, std::uint32_t& row) {
+  const std::size_t h = ch.head.load(std::memory_order_relaxed);
+  if (h == ch.tail.load(std::memory_order_acquire)) return false;
+  row = ch.buf[h & (Channel::kRingSize - 1)];
+  ch.head.store(h + 1, std::memory_order_release);
+  return true;
+}
+
+bool ShardRuntime::ring_empty(const Channel& ch) {
+  return ch.head.load(std::memory_order_seq_cst) ==
+         ch.tail.load(std::memory_order_seq_cst);
+}
+
+void ShardRuntime::wake_worker(Channel& ch) {
+  // Dekker-style: the seq_cst tail store in ring_push orders against the
+  // worker's parked store + ring recheck, so either we see parked here or
+  // the worker sees the new tail before sleeping.
+  if (ch.parked.load(std::memory_order_seq_cst)) {
+    {
+      std::lock_guard<std::mutex> lock(ch.m);
+    }
+    ch.cv.notify_one();
+  }
+}
+
+void ShardRuntime::worker_main(Channel& ch) {
+  for (;;) {
+    std::uint32_t row;
+    if (ring_pop(ch, row)) {
+      Slot* s = slot_if(row);
+      if (s != nullptr) {
+        std::uint8_t expected = kQueued;
+        // A stale ring entry (its request canceled, possibly republished)
+        // either fails the CAS or computes the slot's *current* request —
+        // both harmless.
+        if (s->state.compare_exchange_strong(expected, kPlanning)) {
+          compute_plan(*s);
+          s->state.store(kReady, std::memory_order_release);
+        }
+      }
+      continue;
+    }
+    if (stop_.load()) return;
+    std::unique_lock<std::mutex> lock(ch.m);
+    ch.parked.store(true, std::memory_order_seq_cst);
+    if (stop_.load() || !ring_empty(ch)) {
+      ch.parked.store(false);
+      continue;
+    }
+    ch.cv.wait(lock, [&] { return stop_.load() || !ring_empty(ch); });
+    ch.parked.store(false);
+  }
+}
+
+void ShardRuntime::compute_plan(Slot& s) {
+#if CLOUDCR_OBS_ENABLED
+  const bool timed = env_.collect_stats;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+#endif
+  if (s.kind == kController) {
+    plan_controller(env_, *s.rec, s.priority, s.controller_out);
+  } else {
+    ContinuationPlan& out = s.continuation_out;
+    out.row = s.row;
+    // Replays the sync_clock the firing wake will perform, then the
+    // compressed run itself — the same compiled functions the committer
+    // falls back to inline, so the plan is bit-identical by construction.
+    sync_row_clock(out.row, s.fire_time);
+    out.ctrl.emplace(*s.ctrl);
+    out.acct = s.acct;
+    out.seq = run_ckpt_sequence(out.row, *out.ctrl, out.acct, s.price,
+                                s.length_s, s.prio_change_time, s.fire_time,
+                                nullptr);
+  }
+#if CLOUDCR_OBS_ENABLED
+  if (timed) {
+    // Host time, per worker thread: merged order-free into the registry
+    // like every timer (excluded from deterministic byte-compares).
+    obs::st::shard_worker_plan_ns.add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+#endif
+}
+
+void ShardRuntime::publish_controller_plan(std::size_t row,
+                                           const trace::TaskRecord* rec,
+                                           std::int32_t priority) {
+  ++plans_requested_;
+  if ((row >> kBlockBits) >= kMaxBlocks) return;
+  Slot& s = ensure_slot(row);
+  if (s.state.load() != kIdle) return;  // defensive: slots idle outside
+                                        // [publish, consume] windows
+  s.kind = kController;
+  s.rec = rec;
+  s.priority = priority;
+  s.state.store(kQueued, std::memory_order_seq_cst);
+  Channel& ch = *channels_[row % channels_.size()];
+  if (!ring_push(ch, static_cast<std::uint32_t>(row))) {
+    std::uint8_t q = kQueued;
+    // A stale ring entry may have claimed the request already; if so, let
+    // the worker finish — the consume path will find it kReady.
+    s.state.compare_exchange_strong(q, kIdle);
+    return;
+  }
+  wake_worker(ch);
+}
+
+void ShardRuntime::publish_continuation_plan(
+    std::size_t row, double fire_time, const HotRow& h,
+    const core::CheckpointController& ctrl, const TaskAccounting& acct,
+    const storage::CheckpointPrice& price, double length_s,
+    double prio_change_time) {
+  ++plans_requested_;
+  if ((row >> kBlockBits) >= kMaxBlocks) return;
+  Slot& s = ensure_slot(row);
+  if (s.state.load() != kIdle) return;
+  s.kind = kContinuation;
+  s.fire_time = fire_time;
+  s.row = h;
+  s.ctrl.emplace(ctrl);
+  s.acct = acct;
+  s.price = price;
+  s.length_s = length_s;
+  s.prio_change_time = prio_change_time;
+  s.state.store(kQueued, std::memory_order_seq_cst);
+  Channel& ch = *channels_[row % channels_.size()];
+  if (!ring_push(ch, static_cast<std::uint32_t>(row))) {
+    std::uint8_t q = kQueued;
+    s.state.compare_exchange_strong(q, kIdle);
+    return;
+  }
+  wake_worker(ch);
+}
+
+bool ShardRuntime::acquire_ready(Slot& s, std::uint8_t kind,
+                                 double fire_time) {
+  for (;;) {
+    const std::uint8_t st = s.state.load(std::memory_order_acquire);
+    if (st == kIdle) return false;
+    if (st == kQueued) {
+      std::uint8_t q = kQueued;
+      if (s.state.compare_exchange_strong(q, kIdle)) return false;
+      continue;  // a worker just claimed it; wait for the result
+    }
+    if (st == kPlanning) {
+      // Bounded wait: plan computation is a handful of closed-form steps.
+      std::this_thread::yield();
+      continue;
+    }
+    // kReady. A mismatched kind or timestamp is a stale plan: discard.
+    if (s.kind != kind ||
+        (kind == kContinuation && s.fire_time != fire_time)) {
+      s.state.store(kIdle, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+}
+
+bool ShardRuntime::consume_controller_plan(std::size_t row,
+                                           ControllerPlan& out) {
+  Slot* s = slot_if(row);
+  if (s == nullptr) return false;
+  if (!acquire_ready(*s, kController, 0.0)) return false;
+  out.ctrl.emplace(*s->controller_out.ctrl);
+  out.device = s->controller_out.device;
+  out.price = s->controller_out.price;
+  out.restart_s = s->controller_out.restart_s;
+  s->state.store(kIdle, std::memory_order_release);
+  return true;
+}
+
+bool ShardRuntime::consume_continuation_plan(std::size_t row,
+                                             double fire_time,
+                                             ContinuationPlan& out) {
+  Slot* s = slot_if(row);
+  if (s == nullptr) return false;
+  if (!acquire_ready(*s, kContinuation, fire_time)) return false;
+  out.row = s->continuation_out.row;
+  out.ctrl.emplace(*s->continuation_out.ctrl);
+  out.acct = s->continuation_out.acct;
+  out.seq = s->continuation_out.seq;
+  s->state.store(kIdle, std::memory_order_release);
+  return true;
+}
+
+void ShardRuntime::cancel_plan(std::size_t row) {
+  Slot* s = slot_if(row);
+  if (s == nullptr) return;
+  for (;;) {
+    const std::uint8_t st = s->state.load(std::memory_order_acquire);
+    if (st == kIdle) return;
+    if (st == kQueued) {
+      std::uint8_t q = kQueued;
+      if (s->state.compare_exchange_strong(q, kIdle)) return;
+      continue;
+    }
+    if (st == kPlanning) {
+      std::this_thread::yield();
+      continue;
+    }
+    s->state.store(kIdle, std::memory_order_release);  // discard kReady
+    return;
+  }
+}
+
+}  // namespace cloudcr::sim

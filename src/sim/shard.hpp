@@ -1,0 +1,193 @@
+#pragma once
+
+/// \file shard.hpp
+/// \brief Sharded replay: speculative per-shard planning, serial commit.
+///
+/// `shards=K` splits one simulation across K shards: shard 0 is the
+/// committing shard — it owns the event queue and applies every state
+/// transition in the engine's canonical serial order — and shards 1..K-1
+/// are planning shards, each a worker thread that speculatively precomputes
+/// the deterministic, task-local parts of upcoming transitions:
+///
+///  - controller plans: at admission, a task's predictor call, Section
+///    4.2.2 storage decision, and cached prices (consumed at first
+///    dispatch);
+///  - continuation plans: when a checkpoint-due event is armed on a pure
+///    storage device, the whole compressed checkpoint run the due wake will
+///    execute (consumed when that event fires).
+///
+/// Tasks are partitioned over planning shards by row index (row % (K-1)).
+/// The commit is the deterministic synchronization point: when the
+/// committing shard reaches the transition, it consumes the plan if ready
+/// and otherwise computes inline via the SAME compiled functions
+/// (ckpt_sequence.cpp) — so whether a plan arrived in time is invisible to
+/// the results, and `shards=K` replay is byte-identical to `shards=1` for
+/// every K. Plans never touch globally ordered state (cluster, RNG,
+/// contended devices); the committer replays device-op bookkeeping itself.
+///
+/// Per-task plan slots use a lock-free state machine
+/// (idle → queued → planning → ready) arbitrated by compare-and-swap
+/// between exactly two parties; cancellation (event canceled, preemption,
+/// row recycled) CASes queued slots back to idle and waits out in-flight
+/// planning, so a worker never reads a task's request after the committer
+/// has moved on. Slot storage is a table of pointer-stable blocks published
+/// with release stores — growth never relocates a slot a worker can see.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/ckpt_sequence.hpp"
+#include "sim/task_table.hpp"
+#include "storage/backend.hpp"
+#include "trace/records.hpp"
+
+namespace cloudcr::sim {
+
+/// A ready continuation plan: the row/controller/accounting state after the
+/// compressed checkpoint run, plus the one engine event it determined.
+struct ContinuationPlan {
+  HotRow row;
+  std::optional<core::CheckpointController> ctrl;
+  TaskAccounting acct;
+  CkptSeqResult seq;
+};
+
+/// The planning-shard runtime: K-1 worker threads, their work rings, and
+/// the per-task plan slots. Owned by a Simulation for the duration of one
+/// run (start after begin_run, joined before the workspace is reused).
+/// All publish/consume/cancel calls come from the committing shard only.
+class ShardRuntime {
+ public:
+  /// Spawns `shards - 1` planning workers (shards must be >= 2).
+  ShardRuntime(std::uint32_t shards, const PlanEnv& env);
+  ~ShardRuntime();
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  /// Queues a controller plan for `row` (call at admission; `rec` must stay
+  /// valid until the plan is consumed or canceled — guaranteed because
+  /// records outlive their live rows and every slot is idled at dispatch).
+  void publish_controller_plan(std::size_t row, const trace::TaskRecord* rec,
+                               std::int32_t priority);
+
+  /// Queues a continuation plan for `row`: the checkpoint-due event armed
+  /// at `fire_time` will replay a compressed run from the given frozen
+  /// state. Only valid for pure devices with no completion pricing.
+  void publish_continuation_plan(std::size_t row, double fire_time,
+                                 const HotRow& h,
+                                 const core::CheckpointController& ctrl,
+                                 const TaskAccounting& acct,
+                                 const storage::CheckpointPrice& price,
+                                 double length_s, double prio_change_time);
+
+  /// Takes `row`'s controller plan if one is ready; idles the slot either
+  /// way (a queued-but-unstarted plan is canceled, an in-flight one waited
+  /// out and discarded). Returns false when the committer must compute
+  /// inline.
+  bool consume_controller_plan(std::size_t row, ControllerPlan& out);
+
+  /// Same for a continuation plan; additionally requires the plan to match
+  /// the firing event's timestamp exactly (a stale plan is discarded).
+  bool consume_continuation_plan(std::size_t row, double fire_time,
+                                 ContinuationPlan& out);
+
+  /// Idles `row`'s slot: cancels a queued plan, waits out an in-flight one.
+  /// Called when the task's pending event is canceled and when its row is
+  /// retired — after this returns, no worker holds references into the row.
+  void cancel_plan(std::size_t row);
+
+  /// Planning worker count (K-1).
+  [[nodiscard]] std::uint32_t workers() const noexcept {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+
+  /// Plans the committing shard asked for (publish calls; deterministic —
+  /// a pure function of the serial replay, independent of worker timing).
+  [[nodiscard]] std::uint64_t plans_requested() const noexcept {
+    return plans_requested_;
+  }
+
+ private:
+  // Slot states. Transitions: committer stores kQueued after writing the
+  // request; a worker CASes kQueued->kPlanning, computes, stores kReady;
+  // the committer CASes kQueued->kIdle (cancel), spins kPlanning->kReady,
+  // and stores kIdle after consuming/discarding kReady.
+  static constexpr std::uint8_t kIdle = 0;
+  static constexpr std::uint8_t kQueued = 1;
+  static constexpr std::uint8_t kPlanning = 2;
+  static constexpr std::uint8_t kReady = 3;
+
+  static constexpr std::uint8_t kController = 0;
+  static constexpr std::uint8_t kContinuation = 1;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint8_t> state{kIdle};
+    std::uint8_t kind = kController;
+    // Request fields (written by the committer before the kQueued store,
+    // read by the worker after its acquire CAS).
+    const trace::TaskRecord* rec = nullptr;
+    std::int32_t priority = 0;
+    double fire_time = 0.0;
+    double prio_change_time = 0.0;
+    double length_s = 0.0;
+    storage::CheckpointPrice price;
+    HotRow row;
+    std::optional<core::CheckpointController> ctrl;
+    TaskAccounting acct;
+    // Result fields (written by the worker before the kReady store, read
+    // by the committer after its acquire load).
+    ControllerPlan controller_out;
+    ContinuationPlan continuation_out;
+  };
+
+  static constexpr std::size_t kBlockBits = 9;  // 512 slots per block
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
+  /// 2^24 task rows — far above any streaming table and comfortably above
+  /// materialized month-scale runs; publish is a no-op beyond it.
+  static constexpr std::size_t kMaxBlocks = std::size_t{1} << 15;
+
+  struct Block {
+    Slot slots[kBlockSize];
+  };
+
+  /// One committer->worker SPSC work ring plus the worker's parking state.
+  struct Channel {
+    static constexpr std::size_t kRingSize = std::size_t{1} << 12;
+    std::uint32_t buf[kRingSize];
+    std::atomic<std::size_t> head{0};  // consumer cursor (worker)
+    std::atomic<std::size_t> tail{0};  // producer cursor (committer)
+    std::mutex m;
+    std::condition_variable cv;
+    std::atomic<bool> parked{false};
+    std::thread thread;
+  };
+
+  [[nodiscard]] Slot* slot_if(std::size_t row) const noexcept;
+  Slot& ensure_slot(std::size_t row);
+  bool ring_push(Channel& ch, std::uint32_t row);
+  static bool ring_pop(Channel& ch, std::uint32_t& row);
+  static bool ring_empty(const Channel& ch);
+  void wake_worker(Channel& ch);
+  void worker_main(Channel& ch);
+  void compute_plan(Slot& s);
+  /// Drives the slot out of kQueued/kPlanning/kReady to kIdle; returns
+  /// true when a ready result of kind `kind` (and, for continuations,
+  /// matching `fire_time`) was left intact for the caller to read —
+  /// the caller must then store kIdle after copying it out.
+  bool acquire_ready(Slot& s, std::uint8_t kind, double fire_time);
+
+  PlanEnv env_;
+  std::unique_ptr<std::atomic<Block*>[]> blocks_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::atomic<bool> stop_{false};
+  std::uint64_t plans_requested_ = 0;
+};
+
+}  // namespace cloudcr::sim

@@ -34,6 +34,7 @@ ScenarioSpec exotic_spec() {
   spec.storage_noise = 0.1;
   spec.sim_seed = 0xabcdef;
   spec.detection_delay_s = 2.5;
+  spec.shards = 7;
   spec.cluster.hosts = 16;
   spec.cluster.vms_per_host = 4;
   spec.cluster.vm_memory_mb = 2048.0;
@@ -57,7 +58,20 @@ TEST(ScenarioSerialization, RoundTripsEveryField) {
   EXPECT_EQ(parsed.history.seed, 99u);
   EXPECT_DOUBLE_EQ(parsed.history.replay_max_task_length_s, 4000.0);
   EXPECT_EQ(parsed.placement, sim::PlacementMode::kForceLocal);
+  EXPECT_EQ(parsed.shards, 7u);
   EXPECT_EQ(parsed.cluster.hosts, 16u);
+}
+
+TEST(ScenarioSerialization, ShardsRoundTripAndBounds) {
+  ScenarioSpec spec;
+  spec.shards = 4096;  // upper bound is accepted
+  EXPECT_EQ(parse_scenario(serialize(spec)), spec);
+  // Unlisted key keeps the serial default — pre-sharding artifacts parse.
+  EXPECT_EQ(parse_scenario("name=old_artifact\n").shards, 1u);
+  EXPECT_THROW((void)parse_scenario("shards=0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("shards=4097"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("shards=-2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("shards=two"), std::invalid_argument);
 }
 
 TEST(ScenarioSerialization, RoundTripsTraceSource) {

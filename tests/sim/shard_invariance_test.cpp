@@ -1,0 +1,241 @@
+// The shard-count-invariance house property: shards=K must produce an
+// artifact byte-identical to shards=1 for EVERY K — sharding is a wall-time
+// knob, never an output knob. The sharded runtime only ever precomputes
+// work the committing shard would otherwise do inline, through the same
+// compiled functions (sim/ckpt_sequence.cpp), so any divergence here means
+// a speculative plan leaked state the serial engine would not have had.
+//
+// The grid mirrors the snapshot-identity suite: every built-in source
+// family (synthetic generator, native csv, slurm table) x three simulation
+// seeds x all three scheduler families (fcfs, backfill:easy, preempt:ckpt),
+// each at shards in {2, 4, 7} against the shards=1 reference. Odd shard
+// counts are deliberate — a worker pool of K-1 threads with K=7 exercises
+// uneven plan interleavings that powers of two miss. A second test pins
+// the classic tie hazard directly: arrivals tied at one timestamp landing
+// exactly on a streaming epoch boundary, replayed sharded.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+
+#include "api/artifact_io.hpp"
+#include "api/registry.hpp"
+#include "api/runner.hpp"
+#include "api/scenario.hpp"
+#include "metrics/export.hpp"
+#include "sim/predictors.hpp"
+#include "sim/simulation.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace cloudcr::sim {
+namespace {
+
+/// Canonical bytes of an artifact: host-timing fields (the only
+/// nondeterministic ones) zeroed, and the spec echo's shards key
+/// normalized — the echo intentionally keeps the requested shard count
+/// (provenance), which is exactly the one spec field allowed to differ.
+std::string canonical_json(api::RunArtifact artifact) {
+  artifact.wall_time_s = 0.0;
+  artifact.estimation_wall_s = 0.0;
+  artifact.peak_rss_mb = 0.0;
+  artifact.spec.shards = 1;
+  std::ostringstream os;
+  api::write_artifact_json(os, artifact, /*include_outcomes=*/true);
+  return os.str();
+}
+
+std::string write_csv_fixture(std::uint64_t seed) {
+  const std::string path = testing::TempDir() + "shard_inv_" +
+                           std::to_string(seed) + ".csv";
+  trace::GeneratorConfig cfg;
+  cfg.seed = seed + 1000;
+  cfg.horizon_s = 1800.0;
+  cfg.arrival_rate = 0.08;
+  cfg.sample_job_filter = false;
+  cfg.workload.long_service_fraction = 0.0;
+  trace::write_csv_file(path, trace::TraceGenerator(cfg).generate());
+  return path;
+}
+
+std::string write_slurm_fixture(std::uint64_t seed) {
+  const std::string path = testing::TempDir() + "shard_inv_" +
+                           std::to_string(seed) + ".slurm";
+  std::mt19937_64 rng(seed * 7919);
+  std::uniform_real_distribution<double> duration(45.0, 400.0);
+  std::uniform_int_distribution<int> nodes(1, 2);
+  std::uniform_int_distribution<int> priority(1, 9);
+  std::ofstream os(path);
+  os << "JOBID SUBMIT DURATION NODES MEM_MB PRIORITY\n";
+  for (int i = 0; i < 24; ++i) {
+    os << (100 + i) << ' ' << (i * 62.5) << ' ' << duration(rng) << ' '
+       << nodes(rng) << ' ' << 256 << ' ' << priority(rng) << '\n';
+  }
+  return path;
+}
+
+struct SourcePoint {
+  std::string tag;
+  std::string source;  ///< TraceSpec::source ("" = synthetic generator)
+};
+
+struct GridParam {
+  std::uint64_t sim_seed;
+  std::string sched;
+};
+
+std::vector<SourcePoint> source_points(std::uint64_t sim_seed) {
+  return {
+      {"synthetic", ""},
+      {"csv", "csv:" + write_csv_fixture(sim_seed)},
+      {"slurm", "slurm:" + write_slurm_fixture(sim_seed)},
+  };
+}
+
+api::ScenarioSpec make_spec(const SourcePoint& point, const GridParam& p) {
+  api::ScenarioSpec spec;
+  spec.name = "shard_inv_" + point.tag + "_s" + std::to_string(p.sim_seed);
+  spec.policy = "formula3";
+  spec.sched = p.sched;
+  spec.sim_seed = p.sim_seed;
+  // A small cluster so the backfill/preempt points actually queue work —
+  // preemption stashes tasks whose controller plans must stay valid.
+  spec.cluster.hosts = 4;
+  spec.cluster.vms_per_host = 2;
+  if (point.source.empty()) {
+    spec.trace.seed = p.sim_seed;
+    spec.trace.horizon_s = 1800.0;
+    spec.trace.arrival_rate = 0.08;
+  } else {
+    spec.trace.source = point.source;
+  }
+  return spec;
+}
+
+class ShardInvarianceTest : public testing::TestWithParam<GridParam> {};
+
+TEST_P(ShardInvarianceTest, AnyShardCountMatchesSerialByteForByte) {
+  const GridParam p = GetParam();
+  for (const SourcePoint& point : source_points(p.sim_seed)) {
+    api::ScenarioSpec spec = make_spec(point, p);
+    const std::string reference =
+        canonical_json(api::ScenarioRunner(spec).run());
+
+    for (const std::uint32_t shards : {2u, 4u, 7u}) {
+      spec.shards = shards;
+      EXPECT_EQ(canonical_json(api::ScenarioRunner(spec).run()), reference)
+          << point.tag << " sched='" << p.sched << "' seed=" << p.sim_seed
+          << " shards=" << shards;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardInvarianceTest,
+    testing::Values(GridParam{11u, "fcfs"}, GridParam{12u, "fcfs"},
+                    GridParam{13u, "fcfs"},
+                    GridParam{11u, "backfill:easy"},
+                    GridParam{12u, "backfill:easy"},
+                    GridParam{13u, "backfill:easy"},
+                    GridParam{11u, "preempt:ckpt"},
+                    GridParam{12u, "preempt:ckpt"},
+                    GridParam{13u, "preempt:ckpt"}),
+    [](const testing::TestParamInfo<GridParam>& info) {
+      std::string sched = info.param.sched;
+      for (char& c : sched) {
+        if (c == ':') c = '_';
+      }
+      return sched + "_seed" + std::to_string(info.param.sim_seed);
+    });
+
+/// JobSource over a pre-built job vector (yields owned copies).
+class VectorJobSource final : public JobSource {
+ public:
+  explicit VectorJobSource(const std::vector<trace::JobRecord>& jobs)
+      : jobs_(jobs) {}
+
+  std::size_t next_jobs(std::size_t max_jobs,
+                        std::vector<trace::JobRecord>& out) override {
+    std::size_t n = 0;
+    while (n < max_jobs && next_ < jobs_.size()) {
+      out.push_back(jobs_[next_]);
+      ++next_;
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  const std::vector<trace::JobRecord>& jobs_;
+  std::size_t next_ = 0;
+};
+
+// Arrivals tied at one timestamp, split across streaming epochs
+// (batch_jobs=1 puts every tied job in its own admission epoch), replayed
+// sharded: the tie-break (arrivals beat same-time dynamic events, in job
+// order) is a committing-shard decision and must be untouched by how many
+// planning workers exist or which plans happened to be ready.
+TEST(ShardEpochBoundary, TiedArrivalsAtEpochBoundaryMatchSerial) {
+  trace::Trace trace;
+  trace.horizon_s = 4000.0;
+  auto add_job = [&trace](std::uint64_t id, double arrival, double length,
+                          std::vector<double> failures) {
+    trace::JobRecord job;
+    job.id = id;
+    job.arrival_s = arrival;
+    trace::TaskRecord task;
+    task.job_id = id;
+    task.length_s = length;
+    task.memory_mb = 100.0;
+    task.priority = 5;
+    task.failure_dates = std::move(failures);
+    job.tasks.push_back(task);
+    trace.jobs.push_back(job);
+  };
+  add_job(1, 10.0, 100.0, {40.0});
+  // Three jobs tied at t=110 — job 1's clean-completion instant — so the
+  // epoch boundary lands exactly on the contended timestamp.
+  add_job(2, 110.0, 50.0, {});
+  add_job(3, 110.0, 50.0, {});
+  add_job(4, 110.0, 200.0, {25.0, 90.0});
+  add_job(5, 500.0, 300.0, {});
+
+  const core::PolicyPtr policy =
+      api::PolicyRegistry::instance().make("formula3");
+
+  auto run_at = [&](std::uint32_t shards, std::size_t batch) {
+    SimConfig config;
+    config.shards = shards;
+    Simulation sim(config, *policy, make_oracle_predictor());
+    VectorJobSource source(trace.jobs);
+    const SimResult result = sim.run_stream(source, batch);
+    std::ostringstream os;
+    os << result.makespan_s << " ckpt=" << result.total_checkpoints
+       << " fail=" << result.total_failures << "\n";
+    for (const auto& outcome : result.outcomes) {
+      metrics::write_outcome_json(os, outcome);
+      os << "\n";
+    }
+    return os.str();
+  };
+
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{2}, std::size_t{100}}) {
+    const std::string serial = run_at(1, batch);
+    for (const std::uint32_t shards : {2u, 4u}) {
+      EXPECT_EQ(run_at(shards, batch), serial)
+          << "tied arrivals diverged at batch_jobs=" << batch
+          << " shards=" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudcr::sim
